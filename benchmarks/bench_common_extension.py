@@ -1,0 +1,107 @@
+"""Lemma 2.7: common extensions cost time linear in their output.
+
+The product construction merges two compatible instances (e.g. the result
+of a structural subquery and a fresh string-constraint labeling).  We
+measure (a) merge time against output size across a sweep of labelings that
+shatter progressively more sharing, and (b) the paper's remark that the
+output is at worst the uncompressed tree.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.tables import fmt_int, format_table
+from repro.compress.common_extension import common_extension
+from repro.compress.minimize import minimize
+from repro.corpora.relational import generate_xml
+from repro.model.instance import tree_instance
+from repro.model.paths import tree_size
+from repro.skeleton.loader import load_instance
+
+from conftest import register_report
+
+_ROWS = []
+
+
+def labeled_variant(xml: str, marks: int):
+    """The same document with ``marks`` random rows' first columns marked.
+
+    Random (rather than periodic) marking breaks the table's multiplicity
+    run into ~2*marks segments, so the labeled instance — and therefore the
+    merge output — grows with ``marks``.
+    """
+    import random
+
+    instance = load_instance(xml, tags=None)
+    from repro.compress.decompress import decompress
+
+    tree = decompress(instance).tree
+    tree.ensure_set("marked")
+    rows = sorted(tree.members("row"))
+    rng = random.Random(42)
+    for row in rng.sample(rows, marks):
+        first_col = tree.children(row)[0][0]
+        tree.add_to_set(first_col, "marked")
+    return minimize(tree)
+
+
+@pytest.mark.parametrize("marks", [1, 16, 128])
+def test_merge_time_tracks_output_size(benchmark, marks):
+    xml = generate_xml(512, 6).xml
+    base = load_instance(xml, tags=None)
+    variant = labeled_variant(xml, marks)
+
+    merged = benchmark(lambda: common_extension(base, variant))
+    _ROWS.append(
+        [
+            marks,
+            fmt_int(base.num_edge_entries),
+            fmt_int(variant.num_edge_entries),
+            fmt_int(merged.num_edge_entries),
+        ]
+    )
+    # Output bounded by the uncompressed tree.
+    assert len(merged.preorder()) <= tree_size(base)
+    # The merged instance carries both labelings.
+    assert merged.has_set("marked")
+    assert merged.has_set("row")
+
+
+def test_merge_of_identical_is_identity_sized(benchmark):
+    xml = generate_xml(256, 6).xml
+    instance = load_instance(xml, tags=None)
+    merged = benchmark(lambda: common_extension(instance, instance))
+    assert len(merged.preorder()) == len(instance.preorder())
+
+
+def test_worst_case_is_tree_sized():
+    """Orthogonal labelings force the output towards the tree (quadratic in
+    the compressed inputs, linear in the output — the Lemma's fine print)."""
+    leaves = 256
+    spec = ("r", [("x", [])] * leaves)
+    odd = tree_instance(spec)
+    odd.ensure_set("odd")
+    for index, leaf in enumerate(sorted(odd.members("x"))):
+        if index % 2:
+            odd.add_to_set(leaf, "odd")
+    third = tree_instance(spec)
+    third.ensure_set("third")
+    for index, leaf in enumerate(sorted(third.members("x"))):
+        if index % 3 == 0:
+            third.add_to_set(leaf, "third")
+    merged = common_extension(minimize(odd), minimize(third))
+    assert len(merged.preorder()) <= leaves + 1
+
+
+def _report():
+    if not _ROWS:
+        return None
+    return format_table(
+        ["random marks", "|E| base", "|E| labeled", "|E| merged"],
+        _ROWS,
+        title="Lemma 2.7 — common extension size as labelings shatter sharing",
+    )
+
+
+register_report(_report)

@@ -1,0 +1,66 @@
+"""Section 4's property workflow: distill + merge vs full re-parse.
+
+The paper's engine, when a query needs a string property not yet in the
+instance, "searches the representation on disk, distills a compressed
+instance over schema {P}, and merges it" (common extensions, Lemma 2.7).
+With our lossless decomposition the distillation replays events from the
+skeleton+containers, skipping XML tokenisation entirely.  This bench
+measures that saving against the alternative the paper's prototype actually
+used (re-parse the document per query schema).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.tables import fmt_seconds, format_table
+from repro.skeleton.distill import add_string_sets
+from repro.skeleton.loader import load
+
+from conftest import register_report
+
+NEEDLES = {
+    "dblp": ["Codd"],
+    "omim": ["LETHAL"],
+    "shakespeare": ["CLEOPATRA"],
+}
+
+_ROWS = []
+
+
+@pytest.mark.parametrize("strategy", ["reparse", "distill+merge"])
+@pytest.mark.parametrize("corpus", sorted(NEEDLES))
+def test_add_string_property(benchmark, corpus_cache, corpus, strategy):
+    xml = corpus_cache(corpus)
+    needles = NEEDLES[corpus]
+    base = load(xml, collect_containers=True)
+
+    if strategy == "reparse":
+        run = lambda: load(xml, strings=needles).instance
+    else:
+        run = lambda: add_string_sets(
+            base.instance, base.containers, base.layout, needles
+        )
+    instance = benchmark(run)
+    assert instance.has_set(f"#contains:{needles[0]}")
+    _ROWS.append([corpus, strategy, fmt_seconds(benchmark.stats.stats.mean)])
+
+
+def _report():
+    if not _ROWS:
+        return None
+    by_corpus: dict[str, dict[str, str]] = {}
+    for corpus, strategy, mean in _ROWS:
+        by_corpus.setdefault(corpus, {})[strategy] = mean
+    rows = [
+        [corpus, means.get("reparse", "-"), means.get("distill+merge", "-")]
+        for corpus, means in sorted(by_corpus.items())
+    ]
+    return format_table(
+        ["corpus", "full re-parse", "distill + merge (Lemma 2.7)"],
+        rows,
+        title="Section 4 — adding a string property to a stored instance",
+    )
+
+
+register_report(_report)

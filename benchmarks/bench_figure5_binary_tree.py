@@ -1,0 +1,78 @@
+"""Figure 5: eight queries on the compressed complete binary tree.
+
+The paper's Figure 5 shows the optimally compressed complete binary tree of
+depth 5 (the root selected as context) and, for queries (b)-(i), which
+vertices get selected and how much each query partially decompresses the
+instance.  We reproduce the table of per-query instance sizes and selection
+counts, and additionally run the same queries at depth 60 — a tree of
+2^61 - 1 nodes that only exists compressed — to exhibit the exponential
+leverage of querying without decompression.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.tables import fmt_int, format_table
+from repro.corpora.binary_tree import FIGURE5_QUERIES, compressed_instance
+from repro.engine.evaluator import CompressedEvaluator
+from repro.model.paths import tree_size
+
+from conftest import register_report
+
+_ROWS = []
+
+
+@pytest.mark.parametrize("figure_id,query", FIGURE5_QUERIES)
+def test_figure5_query(benchmark, figure_id, query):
+    instance = compressed_instance(5)
+    before = (len(instance.preorder()), instance.num_edge_entries)
+
+    result = CompressedEvaluator(instance).evaluate(query)
+    after = result.after
+    _ROWS.append(
+        [
+            f"({figure_id})",
+            query,
+            fmt_int(before[0]),
+            fmt_int(after[0]),
+            fmt_int(result.dag_count()),
+            fmt_int(result.tree_count()),
+        ]
+    )
+
+    # Each splitting operation at most doubles (Theorem 3.6): |Q| small here.
+    assert after[0] <= 2**6 * before[0]
+    assert result.tree_count() >= 1
+
+    benchmark(lambda: CompressedEvaluator(instance).evaluate(query))
+
+
+@pytest.mark.parametrize("figure_id,query", FIGURE5_QUERIES)
+def test_figure5_at_depth_60(benchmark, figure_id, query):
+    """The same queries on a tree with 2^61 - 1 nodes (121 DAG vertices)."""
+    instance = compressed_instance(60)
+    assert tree_size(instance) == 2**61 - 1
+    result = CompressedEvaluator(instance).evaluate(query)
+    assert result.tree_count() >= 1
+    # Selections on the astronomically large tree are still exactly counted.
+    if query == "//a":
+        # //a = descendant::a of the tree root (this instance has no virtual
+        # document vertex, so the root itself is not selected): the left
+        # children at levels 1..60 number sum_{k=1..60} 2^(k-1) = 2^60 - 1.
+        assert result.tree_count() == 2**60 - 1
+    benchmark(lambda: CompressedEvaluator(instance).evaluate(query))
+
+
+def _report():
+    if not _ROWS:
+        return None
+    headers = ["fig", "query", "|V| before", "|V| after", "sel dag", "sel tree"]
+    return format_table(
+        headers,
+        _ROWS,
+        title="Figure 5 — queries on the compressed complete binary tree (depth 5)",
+    )
+
+
+register_report(_report)

@@ -1,0 +1,83 @@
+"""Figure 6: degree of compression of the benchmarked corpora.
+
+Reproduces the paper's compression table: for each corpus, the skeleton is
+compressed with tags ignored ("-") and with all tags included ("+"), and we
+report |V^T|, |V^M(T)|, |E^M(T)| and the ratio |E^M|/|E^T| next to the
+paper's measured ratio.  The benchmark timing measures the full one-scan
+parse+compress pipeline (the paper's Proposition 2.6 linear-time claim).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import figure6_row
+from repro.bench.tables import fmt_int, fmt_pct, format_table
+from repro.corpora import CORPORA
+from repro.skeleton.loader import load
+
+from conftest import register_report
+
+_ROWS = {}
+
+
+@pytest.mark.parametrize("corpus", sorted(CORPORA))
+def test_compression_ratio(benchmark, corpus_cache, corpus):
+    xml = corpus_cache(corpus)
+    row = figure6_row(corpus, xml)
+    _ROWS[corpus] = row
+
+    # Time the measured pipeline: one-scan parse + compression (all tags).
+    benchmark(lambda: load(xml, tags=None))
+
+    # The reproduction claim is about *shape*: corpora the paper found
+    # highly compressible must stay far below the outlier.
+    assert row.ratio_plus < 1.0
+    if corpus == "treebank":
+        assert row.ratio_plus > 0.25
+    if corpus in ("dblp", "baseball", "tpcd", "omim"):
+        assert row.ratio_plus < 0.12
+
+
+def _report():
+    """Assemble the Figure 6 table once all rows exist (session teardown)."""
+    if not _ROWS:
+        return None
+    headers = [
+        "corpus",
+        "MB",
+        "|V^T|",
+        "|V^M| -",
+        "|E^M| -",
+        "ratio -",
+        "paper -",
+        "|V^M| +",
+        "|E^M| +",
+        "ratio +",
+        "paper +",
+    ]
+    rows = []
+    order = [name for name in CORPORA if name in _ROWS]
+    for name in order:
+        row = _ROWS[name]
+        rows.append(
+            [
+                name,
+                f"{row.megabytes:.2f}",
+                fmt_int(row.tree_vertices),
+                fmt_int(row.vertices_minus),
+                fmt_int(row.edges_minus),
+                fmt_pct(row.ratio_minus),
+                fmt_pct(row.paper_ratio_minus) if row.paper_ratio_minus else "-",
+                fmt_int(row.vertices_plus),
+                fmt_int(row.edges_plus),
+                fmt_pct(row.ratio_plus),
+                fmt_pct(row.paper_ratio_plus) if row.paper_ratio_plus else "-",
+            ]
+        )
+    return format_table(
+        headers, rows, title="Figure 6 — degree of compression (measured vs paper ratios)"
+    )
+
+
+register_report(_report)

@@ -1,0 +1,99 @@
+"""Figure 7: parsing and query evaluation performance.
+
+For every query corpus and Q1-Q5 (Appendix A, verbatim), reproduce the
+paper's eight columns: parse time (including compression, over the query's
+schema), instance size before, query time, instance size after (showing how
+much partial decompression occurred), and the selected node counts on the
+DAG and in the tree.
+
+pytest-benchmark times the in-memory query evaluation (the paper's column
+4); the parse is timed once per cell (column 1) since re-parsing per
+benchmark round would dominate the suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import figure7_row
+from repro.bench.queries import QUERY_IDS, queries_for
+from repro.bench.tables import fmt_int, fmt_seconds, format_table
+from repro.corpora.registry import QUERY_CORPORA
+from repro.engine.evaluator import CompressedEvaluator
+from repro.engine.pipeline import load_for_query
+from repro.xpath.compiler import compile_query
+from repro.xpath.algebra import uses_only_upward_axes
+
+from conftest import register_report
+
+_ROWS = []
+
+
+@pytest.mark.parametrize("corpus", QUERY_CORPORA)
+@pytest.mark.parametrize("query_id", QUERY_IDS)
+def test_query(benchmark, corpus_cache, corpus, query_id):
+    xml = corpus_cache(corpus)
+    row = figure7_row(corpus, xml, query_id)
+    _ROWS.append(row)
+
+    # Benchmark the repeated in-memory evaluation on a fresh copy each round
+    # (evaluation decompresses, so reuse would skew sizes).
+    instance = load_for_query(xml, row.query).instance
+    query_text = row.query
+
+    def run():
+        CompressedEvaluator(instance, copy=True).evaluate(query_text)
+
+    benchmark(run)
+
+    # Every benchmark query selects at least one node (paper section 5).
+    assert row.selected_tree >= 1
+    # Q1 is a tree pattern: root-selecting, upward-only, no decompression
+    # (Corollary 3.7).
+    if query_id == "Q1":
+        assert uses_only_upward_axes(compile_query(query_text))
+        assert (row.vertices_after, row.edges_after) == (
+            row.vertices_before,
+            row.edges_before,
+        )
+        assert row.selected_dag == row.selected_tree == 1
+
+
+def _report():
+    if not _ROWS:
+        return None
+    headers = [
+        "corpus",
+        "query",
+        "(1) parse",
+        "(2) |V| bef",
+        "(3) |E| bef",
+        "(4) query",
+        "(5) |V| aft",
+        "(6) |E| aft",
+        "(7) sel dag",
+        "(8) sel tree",
+    ]
+    rows = [
+        [
+            row.corpus,
+            row.query_id,
+            fmt_seconds(row.parse_seconds),
+            fmt_int(row.vertices_before),
+            fmt_int(row.edges_before),
+            fmt_seconds(row.query_seconds),
+            fmt_int(row.vertices_after),
+            fmt_int(row.edges_after),
+            fmt_int(row.selected_dag),
+            fmt_int(row.selected_tree),
+        ]
+        for row in _ROWS
+    ]
+    return format_table(
+        headers,
+        rows,
+        title="Figure 7 — parsing and query evaluation performance (Appendix A queries)",
+    )
+
+
+register_report(_report)

@@ -1,0 +1,68 @@
+"""Section 3.3's remark: query results are not necessarily minimal.
+
+"It is easy to re-compress, but we suspect that this will rarely pay off in
+practice."  We measure exactly that: for the decompression-heavy Appendix A
+queries, how many vertices re-minimisation reclaims and what it costs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.queries import queries_for
+from repro.bench.tables import fmt_int, format_table
+from repro.compress.minimize import minimize
+from repro.engine.evaluator import CompressedEvaluator
+from repro.engine.pipeline import load_for_query
+
+from conftest import register_report
+
+CASES = [
+    ("treebank", "Q2"),
+    ("treebank", "Q5"),
+    ("xmark", "Q2"),
+    ("shakespeare", "Q2"),
+    ("baseball", "Q4"),
+]
+
+_ROWS = []
+
+
+@pytest.mark.parametrize("corpus,query_id", CASES)
+def test_recompression_gain(benchmark, corpus_cache, corpus, query_id):
+    xml = corpus_cache(corpus)
+    query_text = queries_for(corpus)[query_id]
+    instance = load_for_query(xml, query_text).instance
+    result = CompressedEvaluator(instance).evaluate(query_text)
+    before = len(result.instance.preorder())
+
+    recompressed = benchmark(lambda: minimize(result.instance))
+    after = recompressed.num_vertices
+    _ROWS.append(
+        [
+            corpus,
+            query_id,
+            fmt_int(len(instance.preorder())),
+            fmt_int(before),
+            fmt_int(after),
+            f"{(1 - after / before) * 100:.1f}%" if before else "-",
+        ]
+    )
+    # Re-compression never grows the instance and preserves the selection.
+    assert after <= before
+    from repro.model.paths import selected_tree_count
+
+    assert selected_tree_count(recompressed, result.set_name) == result.tree_count()
+
+
+def _report():
+    if not _ROWS:
+        return None
+    return format_table(
+        ["corpus", "query", "|V| input", "|V| result", "|V| re-min", "reclaimed"],
+        _ROWS,
+        title="Section 3.3 — re-compressing query results (rarely pays off)",
+    )
+
+
+register_report(_report)

@@ -1,0 +1,121 @@
+"""Theorem 3.6 and section 3.4: decompression is exponential in |Q| only.
+
+Three measured claims:
+
+1. A query family D_1 ∩ ... ∩ D_k (where D_j = "has a right-sibling turn at
+   level j", built from child/following-sibling/descendant-or-self) forces
+   instance growth ~2^k on the compressed complete binary tree — the
+   worst-case exponential *in query size* that Theorem 3.6 permits.
+2. Growth never exceeds the size of the uncompressed tree T(I) (the
+   O(|Q| * |T(I)|) cap).
+3. Upward-only queries cause zero growth at any size (Corollary 3.7).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.tables import fmt_int, format_table
+from repro.engine.evaluator import CompressedEvaluator
+from repro.model.instance import Instance
+from repro.model.paths import tree_size
+from repro.xpath.algebra import AxisApply, Intersect, RootSet
+
+from conftest import register_report
+
+_ROWS = []
+
+
+def chain_instance(depth: int) -> Instance:
+    """The unlabeled complete binary tree of ``depth`` as a chain of doubles."""
+    instance = Instance()
+    vertex = instance.new_vertex()
+    for _ in range(depth):
+        vertex = instance.new_vertex(children=[(vertex, 2)])
+    instance.set_root(vertex)
+    return instance
+
+
+def turn_condition(level: int):
+    """D_level: tree nodes below a right child at ``level`` (incl. itself)."""
+    expr = RootSet()
+    for _ in range(level):
+        expr = AxisApply("child", expr)
+    return AxisApply("descendant-or-self", AxisApply("following-sibling", expr))
+
+
+def conjunction(k: int):
+    expr = turn_condition(1)
+    for level in range(2, k + 1):
+        expr = Intersect(expr, turn_condition(level))
+    return expr
+
+
+DEPTH = 14
+
+
+@pytest.mark.parametrize("k", [1, 2, 3, 4, 5, 6, 7])
+def test_exponential_growth_in_query_size(benchmark, k):
+    instance = chain_instance(DEPTH)
+    before = len(instance.preorder())
+    expr = conjunction(k)
+    result = CompressedEvaluator(instance).evaluate(expr)
+    after = len(result.instance.preorder())
+    _ROWS.append([k, fmt_int(before), fmt_int(after), f"{after / before:.1f}x"])
+
+    # Exponential in k: each added conjunct nearly doubles the instance ...
+    if k >= 3:
+        assert after >= before * 2 ** (k - 1)
+    # ... but never beyond the uncompressed tree (x a small per-op factor).
+    assert after <= tree_size(instance) * expr.size()
+
+    benchmark(lambda: CompressedEvaluator(instance).evaluate(expr))
+
+
+def test_growth_caps_at_tree_size():
+    """Past k ~ depth the growth flattens: it can never pass |T(I)|-ish."""
+    instance = chain_instance(8)  # tree of 511 nodes
+    sizes = []
+    for k in (2, 4, 6, 8):
+        result = CompressedEvaluator(instance).evaluate(conjunction(k))
+        sizes.append(len(result.instance.preorder()))
+    assert sizes[-1] <= tree_size(instance) * 4
+    # Growth between the last two steps is far below doubling-per-conjunct.
+    assert sizes[-1] < sizes[-2] * 2
+
+
+@pytest.mark.parametrize("depth", [100, 1000])
+def test_upward_only_queries_never_decompress(benchmark, depth):
+    """Corollary 3.7 on instances whose trees have 2^depth nodes."""
+    instance = chain_instance(depth)
+    instance.ensure_set("leafish")
+    instance.add_to_set(0, "leafish")  # the deepest vertex
+    before = len(instance.preorder())
+
+    def run():
+        from repro.xpath.algebra import NamedSet
+
+        return CompressedEvaluator(instance).evaluate(
+            AxisApply("ancestor", AxisApply("ancestor-or-self", NamedSet("leafish")))
+        )
+
+    result = run()
+    assert len(result.instance.preorder()) == before
+    assert result.tree_count() > 0
+    benchmark(run)
+
+
+def _report():
+    if not _ROWS:
+        return None
+    return format_table(
+        ["k (conjuncts)", "|V| before", "|V| after", "growth"],
+        _ROWS,
+        title=(
+            f"Theorem 3.6 — worst-case decompression on the depth-{DEPTH} "
+            "binary tree (exponential in |Q|, not in the data)"
+        ),
+    )
+
+
+register_report(_report)

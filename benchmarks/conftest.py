@@ -1,0 +1,72 @@
+"""Shared fixtures for the benchmark suite.
+
+Corpora are generated once per session at a scale controlled by the
+``REPRO_BENCH_SCALE`` environment variable (a float multiplier on the
+registry defaults; 1.0 gives a few-minute full run, 10 approaches paper
+node counts at the cost of a long pure-Python parse).
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the reproduced
+Figure 6 / Figure 7 tables; timing statistics come from pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.corpora import CORPORA, generate
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+
+@pytest.fixture(scope="session")
+def corpus_cache():
+    """Lazily generated corpora, shared across all benchmark modules."""
+    cache: dict[str, str] = {}
+
+    def get(name: str) -> str:
+        if name not in cache:
+            info = CORPORA[name]
+            scale = max(1, int(info.default_scale * SCALE))
+            cache[name] = generate(name, scale, SEED).xml
+        return cache[name]
+
+    return get
+
+
+def emit(text: str) -> None:
+    """Print a report block (visible with -s; kept out of benchmark JSON)."""
+    print(f"\n{text}")
+
+
+_REPORTS: list = []
+
+
+def register_report(builder) -> None:
+    """Register a zero-arg callable returning a report string (or None).
+
+    Reports print at session teardown, so they work under --benchmark-only
+    (which skips ordinary tests that would otherwise print the tables).
+    """
+    _REPORTS.append(builder)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _print_reports_at_teardown():
+    yield
+    blocks = []
+    for builder in _REPORTS:
+        text = builder()
+        if text:
+            blocks.append(text)
+    if not blocks:
+        return
+    report = "\n\n".join(blocks)
+    print("\n\n" + report + "\n")
+    # Also persist the tables: without -s, captured teardown output is
+    # invisible, but the reproduced figures are the point of the suite.
+    path = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "bench_tables.txt")
+    with open(os.path.abspath(path), "w", encoding="utf-8") as handle:
+        handle.write(report + "\n")

@@ -1,0 +1,60 @@
+"""Exploring what makes XML compressible (Figure 6 in miniature).
+
+Compresses a sample of every synthetic corpus in both of the paper's
+settings (structure only vs all tags) plus the two analytic extremes — the
+XML-ised relational table and the complete binary tree — and prints the
+resulting ratios side by side with the paper's measurements.
+
+Run:  python examples/compression_explorer.py
+"""
+
+from repro.bench.tables import format_table
+from repro.compress.stats import instance_stats
+from repro.corpora import CORPORA, generate
+from repro.corpora.binary_tree import compressed_instance
+from repro.corpora.relational import direct_instance
+from repro.model.paths import tree_size
+from repro.skeleton.loader import load_instance
+
+
+def main() -> None:
+    rows = []
+    for name, info in CORPORA.items():
+        xml = generate(name, max(1, info.default_scale // 4)).xml
+        bare = instance_stats(load_instance(xml, tags=()))
+        full = instance_stats(load_instance(xml, tags=None))
+        rows.append(
+            [
+                name,
+                f"{bare.tree_vertices:,}",
+                f"{100 * bare.edge_ratio:.1f}%",
+                f"{100 * info.paper_ratio_minus:.1f}%",
+                f"{100 * full.edge_ratio:.1f}%",
+                f"{100 * info.paper_ratio_plus:.1f}%",
+            ]
+        )
+    print(
+        format_table(
+            ["corpus", "|V^T|", "ratio -", "paper -", "ratio +", "paper +"],
+            rows,
+            title="Compression across corpora (measured vs paper; '-' = tags ignored)",
+        )
+    )
+
+    print("\nThe analytic extremes:")
+    table = direct_instance(1_000_000, 8)
+    print(
+        f"  relational 1M x 8 table : tree {tree_size(table):,} nodes -> "
+        f"{table.num_vertices} vertices, {table.num_edge_entries} edges  (O(C))"
+    )
+    tree = compressed_instance(200)
+    print(
+        f"  complete binary tree 200: tree 2^201-1 nodes -> "
+        f"{tree.num_vertices} vertices, {tree.num_edge_entries} edges  (O(depth))"
+    )
+    print("\nRegular data compresses towards its schema; TreeBank-like parse")
+    print("trees stay near the tree size — exactly Figure 6's spread.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Quickstart: Example 1.1 of the paper, end to end.
+
+Builds the bibliographic document of section 1, shows the three
+representations of Figure 1 (tree skeleton, shared-subtree DAG, multiplicity
+edges), then evaluates path queries directly on the compressed instance.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.compress.stats import instance_stats
+from repro.engine.pipeline import query
+from repro.skeleton.loader import load
+
+BIB = """\
+<bib>
+  <book>
+    <title>Foundations of Databases</title>
+    <author>Abiteboul</author><author>Hull</author><author>Vianu</author>
+  </book>
+  <paper>
+    <title>A Relational Model for Large Shared Data Banks</title>
+    <author>Codd</author>
+  </paper>
+  <paper>
+    <title>The Complexity of Relational Query Languages</title>
+    <author>Vardi</author>
+  </paper>
+</bib>
+"""
+
+
+def main() -> None:
+    print("=== Example 1.1: the bibliographic database ===\n")
+
+    # One scan builds the *minimal* compressed instance (Figure 1 (b)+(c)):
+    # string data goes to containers, structure is hash-consed on the fly.
+    result = load(BIB, collect_containers=True)
+    instance = result.instance
+    stats = instance_stats(instance)
+
+    print(f"skeleton tree nodes |V^T|   : {stats.tree_vertices}  (Figure 1 (a), + document root)")
+    print(f"compressed vertices |V^M|   : {stats.vertices}  (Figure 1 (b))")
+    print(f"multiplicity edges  |E^M|   : {stats.edge_entries}  (Figure 1 (c))")
+    print(f"compression ratio |E^M|/|E^T|: {stats.edge_ratio:.0%}\n")
+
+    print("The DAG, in graphviz dot syntax (note the x3 author edge):\n")
+    print(instance.to_dot())
+
+    print("\nString containers (XMILL-style skeleton/text separation):")
+    print(result.containers.summary())
+
+    print("\n=== Queries on the compressed instance ===\n")
+    for xpath in (
+        "/bib/book/author",
+        "//author",
+        '//paper[author["Codd"]]/title',
+        "//title/following-sibling::author",
+        "/self::*[bib/book/author]",
+    ):
+        answer = query(BIB, xpath)
+        print(f"{xpath}")
+        print(f"    -> {answer.dag_count()} DAG vertex(es) standing for "
+              f"{answer.tree_count()} tree node(s); {answer.summary()}")
+        for path in answer.tree_paths(limit=1000)[:5]:
+            print(f"       tree node at edge path {'.'.join(map(str, path)) or '(root)'}")
+    print("\nNote the sharing: //author selects 5 tree nodes as ONE DAG vertex,")
+    print("and querying never rebuilt the document tree.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The sandboxed environment ships setuptools 65 without the ``wheel`` package,
+so PEP 660 editable installs fail; this shim enables the legacy
+``pip install -e . --no-use-pep517 --no-build-isolation`` path.  All project
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,44 @@
+"""repro: Path Queries on Compressed XML (Buneman, Grohe, Koch; VLDB 2003).
+
+A complete reproduction of the paper's system: XML skeletons compressed into
+DAGs by subtree sharing (bisimulation) with multiplicity edges, queried
+directly with a Core XPath algebra under partial decompression.
+
+Quick start::
+
+    from repro import load_instance, query
+
+    instance = load_instance(xml_text, query_text="//book/author")
+    result = query(instance, "//book/author")
+    print(result.dag_count(), result.tree_count())
+
+See README.md for the architecture overview and examples/ for runnable
+scenarios.
+"""
+
+from repro.model import Instance, equivalent, tree_instance
+from repro.compress import DagBuilder, common_extension, decompress, instance_stats, minimize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DagBuilder",
+    "Instance",
+    "common_extension",
+    "decompress",
+    "equivalent",
+    "instance_stats",
+    "minimize",
+    "tree_instance",
+    "__version__",
+]
+
+
+def __getattr__(name: str):
+    # Heavy subsystems (engine, xpath, skeleton) are imported lazily so that
+    # `import repro` stays cheap for model-only users.
+    if name in {"load_instance", "query", "Engine"}:
+        from repro.engine import pipeline
+
+        return getattr(pipeline, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,19 @@
+"""Benchmark harness: Appendix A queries, Figure 6/7 runners, table printing."""
+
+from repro.bench.harness import Figure6Row, Figure7Row, figure6_row, figure7_row
+from repro.bench.queries import QUERIES, QUERY_IDS, queries_for
+from repro.bench.tables import fmt_int, fmt_pct, fmt_seconds, format_table
+
+__all__ = [
+    "Figure6Row",
+    "Figure7Row",
+    "QUERIES",
+    "QUERY_IDS",
+    "figure6_row",
+    "figure7_row",
+    "fmt_int",
+    "fmt_pct",
+    "fmt_seconds",
+    "format_table",
+    "queries_for",
+]

@@ -1,0 +1,55 @@
+"""Plain-text table rendering for the benchmark reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
+    """Render a monospace table with right-aligned numeric columns."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+
+    def align(value: str, index: int, numeric: bool) -> str:
+        return value.rjust(widths[index]) if numeric else value.ljust(widths[index])
+
+    numeric_columns = [
+        all(_is_numberish(row[i]) for row in cells if i < len(row)) if cells else False
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(
+            "  ".join(align(v, i, numeric_columns[i]) for i, v in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def _is_numberish(value: str) -> bool:
+    stripped = value.replace(",", "").replace("%", "").replace("x", "")
+    try:
+        float(stripped)
+        return True
+    except ValueError:
+        return value in ("-", "")
+
+
+def fmt_int(value: int) -> str:
+    return f"{value:,}"
+
+
+def fmt_pct(value: float) -> str:
+    return f"{100 * value:.1f}%"
+
+
+def fmt_seconds(value: float) -> str:
+    if value < 0.1:
+        return f"{value * 1000:.2f}ms"
+    return f"{value:.3f}s"

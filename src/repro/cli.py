@@ -1,0 +1,188 @@
+"""Command-line interface: generate corpora, compress documents, run queries.
+
+Installed as the ``repro`` console script::
+
+    repro corpora                         # list available corpus generators
+    repro gen dblp --scale 500 -o d.xml   # generate synthetic XML
+    repro compress d.xml                  # compression statistics
+    repro compress d.xml --tags none      # ... structure only (Figure 6 "-")
+    repro query d.xml '//article[author["Codd"]]'
+    repro explain '//a/b[c or not(following::*)]'
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+
+
+def _cmd_corpora(args: argparse.Namespace) -> int:
+    from repro.corpora import CORPORA
+
+    for name, info in CORPORA.items():
+        print(f"{name:12s} default scale {info.default_scale:>6}  {info.description}")
+    return 0
+
+
+def _cmd_gen(args: argparse.Namespace) -> int:
+    from repro.corpora import generate
+
+    corpus = generate(args.corpus, args.scale, args.seed)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(corpus.xml)
+        print(f"wrote {corpus.megabytes:.2f} MB to {args.output}", file=sys.stderr)
+    else:
+        sys.stdout.write(corpus.xml)
+    return 0
+
+
+def _read(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _parse_tags(spec: str):
+    if spec == "all":
+        return None
+    if spec == "none":
+        return ()
+    return [tag.strip() for tag in spec.split(",") if tag.strip()]
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    from repro.compress.stats import instance_stats
+    from repro.model.serialize import save_file
+    from repro.skeleton.loader import load
+
+    result = load(
+        _read(args.file),
+        tags=_parse_tags(args.tags),
+        strings=args.string or (),
+        attributes="nodes" if args.attributes else "ignore",
+    )
+    stats = instance_stats(result.instance)
+    print(f"parse+compress time : {result.parse_seconds:.3f}s")
+    print(f"skeleton nodes |V^T|: {stats.tree_vertices:,}")
+    print(f"dag vertices  |V^M| : {stats.vertices:,}")
+    print(f"dag edges     |E^M| : {stats.edge_entries:,}")
+    print(f"ratio |E^M|/|E^T|   : {100 * stats.edge_ratio:.2f}%")
+    if args.save:
+        save_file(result.instance, args.save)
+        print(f"saved compressed instance to {args.save}", file=sys.stderr)
+    if args.dot:
+        print(result.instance.to_dot())
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.engine.evaluator import CompressedEvaluator
+    from repro.engine.pipeline import load_for_query
+
+    if args.file.endswith(".dag"):
+        # A previously saved compressed instance: skip the XML parse.
+        from repro.model.serialize import load_file as load_dag
+
+        instance = load_dag(args.file)
+        parse_seconds = 0.0
+    else:
+        loaded = load_for_query(_read(args.file), args.xpath)
+        instance = loaded.instance
+        parse_seconds = loaded.parse_seconds
+    result = CompressedEvaluator(instance, copy=False, axes=args.axes).evaluate(
+        args.xpath
+    )
+    after_v, after_e = result.after
+    print(f"parse+compress time : {parse_seconds:.3f}s")
+    print(f"query time          : {1000 * result.seconds:.2f}ms")
+    print(f"instance            : {result.before[0]:,}v/{result.before[1]:,}e "
+          f"-> {after_v:,}v/{after_e:,}e")
+    print(f"selected dag nodes  : {result.dag_count():,}")
+    print(f"selected tree nodes : {result.tree_count():,}")
+    if args.paths:
+        for path in result.tree_paths(limit=args.limit)[: args.paths]:
+            print("  " + (".".join(map(str, path)) or "(root)"))
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.xpath.algebra import uses_only_upward_axes
+    from repro.xpath.compiler import compile_query
+
+    expr = compile_query(args.xpath)
+    print(expr.render())
+    if uses_only_upward_axes(expr):
+        print("\nupward-only: evaluation never decompresses (Corollary 3.7)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Path queries on compressed XML (Buneman/Grohe/Koch, VLDB 2003)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("corpora", help="list corpus generators").set_defaults(
+        func=_cmd_corpora
+    )
+
+    gen = commands.add_parser("gen", help="generate a synthetic corpus")
+    gen.add_argument("corpus")
+    gen.add_argument("--scale", type=int, default=None)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("-o", "--output")
+    gen.set_defaults(func=_cmd_gen)
+
+    compress = commands.add_parser("compress", help="compress a document, print stats")
+    compress.add_argument("file", help="XML file ('-' for stdin)")
+    compress.add_argument(
+        "--tags", default="all", help="'all', 'none', or comma-separated tag list"
+    )
+    compress.add_argument(
+        "--string", action="append", help="string-containment set (repeatable)"
+    )
+    compress.add_argument(
+        "--attributes", action="store_true", help="encode attributes as @name nodes"
+    )
+    compress.add_argument("--save", help="write the instance to a .dag file")
+    compress.add_argument("--dot", action="store_true", help="print graphviz dot")
+    compress.set_defaults(func=_cmd_compress)
+
+    query = commands.add_parser("query", help="evaluate a Core XPath query")
+    query.add_argument("file", help="XML file ('-' for stdin) or a saved .dag instance")
+    query.add_argument("xpath")
+    query.add_argument("--paths", type=int, default=0, help="print up to N result paths")
+    query.add_argument("--limit", type=int, default=1_000_000)
+    query.add_argument(
+        "--axes", choices=("functional", "inplace"), default="functional",
+        help="axis implementation (inplace = the paper's Figure 4)",
+    )
+    query.set_defaults(func=_cmd_query)
+
+    explain = commands.add_parser("explain", help="print a query's algebra plan")
+    explain.add_argument("xpath")
+    explain.set_defaults(func=_cmd_explain)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

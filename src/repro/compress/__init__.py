@@ -1,0 +1,26 @@
+"""Compression subsystem: minimisation, streaming build, decompression, merging.
+
+Implements sections 2.2-2.3 of the paper: the linear-time compressor
+``M(I)``, the one-scan streaming :class:`DagBuilder`, tree materialisation
+``T(I)`` and the product-construction common extension of compatible
+instances.
+"""
+
+from repro.compress.builder import DagBuilder
+from repro.compress.common_extension import common_extension
+from repro.compress.decompress import DEFAULT_LIMIT, Decompression, decompress, document_order
+from repro.compress.minimize import is_compressed, minimize
+from repro.compress.stats import InstanceStats, instance_stats
+
+__all__ = [
+    "DEFAULT_LIMIT",
+    "DagBuilder",
+    "Decompression",
+    "InstanceStats",
+    "common_extension",
+    "decompress",
+    "document_order",
+    "instance_stats",
+    "is_compressed",
+    "minimize",
+]

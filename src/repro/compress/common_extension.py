@@ -1,0 +1,109 @@
+"""Common extensions of compatible instances (section 2.3, Lemma 2.7).
+
+Two instances over schemas sigma and tau that agree on their shared reduct
+can be merged into one instance over sigma union tau carrying both labelings.
+The construction is the product construction for finite automata, built
+lazily over the *reachable* pairs only, so it runs in time linear in the size
+of its output (which is at worst the size of the uncompressed tree, and in
+the pathological case quadratic in the inputs).
+
+The result is the least upper bound of the two inputs in the bisimilarity
+lattice of their common tree version.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IncompatibleInstancesError
+from repro.model.instance import Edge, Instance
+
+
+def _merged_runs(a: tuple[Edge, ...], b: tuple[Edge, ...], where: str):
+    """Zip two run-length child sequences position-wise into pair runs.
+
+    Yields ``(child_a, child_b, count)``.  Raises if the expanded lengths
+    differ — that means the instances are not compatible.
+    """
+    ia = ib = 0
+    remaining_a = remaining_b = 0
+    child_a = child_b = -1
+    while True:
+        if remaining_a == 0:
+            if ia < len(a):
+                child_a, remaining_a = a[ia]
+                ia += 1
+        if remaining_b == 0:
+            if ib < len(b):
+                child_b, remaining_b = b[ib]
+                ib += 1
+        if remaining_a == 0 and remaining_b == 0:
+            return
+        if remaining_a == 0 or remaining_b == 0:
+            raise IncompatibleInstancesError(
+                f"child sequences of different lengths at {where}"
+            )
+        step = min(remaining_a, remaining_b)
+        yield child_a, child_b, step
+        remaining_a -= step
+        remaining_b -= step
+
+
+def common_extension(a: Instance, b: Instance) -> Instance:
+    """Merge two compatible instances into one over the union schema.
+
+    Shared sets are verified to agree on every aligned vertex pair; a
+    disagreement raises :class:`IncompatibleInstancesError` (this makes the
+    compatibility requirement of section 2.3 self-checking rather than a
+    silent precondition).
+    """
+    shared = sorted(set(a.schema) & set(b.schema))
+    only_b = [name for name in b.schema if name not in set(a.schema)]
+    result = Instance(tuple(a.schema) + tuple(only_b))
+    bits_a = {name: a.bit_of(name) for name in a.schema}
+    bits_b_extra = [(result.bit_of(name), b.bit_of(name)) for name in only_b]
+    bits_shared = [(a.bit_of(name), b.bit_of(name), name) for name in shared]
+
+    built: dict[tuple[int, int], int] = {}
+    # Iterative postorder over pairs: build children before parents.
+    stack: list[tuple[int, int, bool]] = [(a.root, b.root, False)]
+    while stack:
+        va, vb, expanded = stack.pop()
+        pair = (va, vb)
+        if pair in built:
+            continue
+        if not expanded:
+            stack.append((va, vb, True))
+            for ca, cb, _ in _merged_runs(a.children(va), b.children(vb), f"pair {pair}"):
+                if (ca, cb) not in built:
+                    stack.append((ca, cb, False))
+            continue
+        for bit_a, bit_b, name in bits_shared:
+            if (a.mask(va) >> bit_a & 1) != (b.mask(vb) >> bit_b & 1):
+                raise IncompatibleInstancesError(
+                    f"instances disagree on shared set {name!r} at pair {pair}"
+                )
+        mask = 0
+        mask_a = a.mask(va)
+        for name, bit in bits_a.items():
+            if mask_a >> bit & 1:
+                mask |= 1 << result.bit_of(name)
+        mask_b = b.mask(vb)
+        for result_bit, bit in bits_b_extra:
+            if mask_b >> bit & 1:
+                mask |= 1 << result_bit
+        edges = [
+            (built[(ca, cb)], count)
+            for ca, cb, count in _merged_runs(a.children(va), b.children(vb), f"pair {pair}")
+        ]
+        built[pair] = result.new_vertex_masked(mask, _normalize(edges))
+    result.set_root(built[(a.root, b.root)])
+    return result
+
+
+def _normalize(edges: list[Edge]) -> tuple[Edge, ...]:
+    out: list[Edge] = []
+    for child, count in edges:
+        if out and out[-1][0] == child:
+            out[-1] = (child, out[-1][1] + count)
+        else:
+            out.append((child, count))
+    return tuple(out)

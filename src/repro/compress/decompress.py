@@ -1,0 +1,90 @@
+"""Decompression: materialising the unique equivalent tree ``T(I)`` (Prop 2.2).
+
+The tree can be exponentially (with multiplicities: doubly exponentially)
+larger than the instance, so materialisation is guarded by a node limit and
+the common size queries (:func:`repro.model.paths.tree_size`) are computed
+without building anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DecompressionLimitError
+from repro.model.instance import Instance
+from repro.model.paths import tree_size
+
+#: Default guard for tree materialisation.
+DEFAULT_LIMIT = 2_000_000
+
+
+@dataclass(frozen=True)
+class Decompression:
+    """A materialised tree plus its correspondence to the source DAG.
+
+    ``origin[t]`` is the DAG vertex that tree vertex ``t`` was unfolded from
+    (the bisimulation of Proposition 2.4 maps each tree node to its DAG
+    vertex).  ``path[t]`` is the 1-based edge path of ``t`` — the identity of
+    the tree node in the sense of section 2.1.
+    """
+
+    tree: Instance
+    origin: list[int]
+
+    def paths(self) -> list[tuple[int, ...]]:
+        """Edge path of every tree vertex (index = tree vertex id)."""
+        out: list[tuple[int, ...]] = [()] * self.tree.num_vertices
+        stack: list[int] = [self.tree.root]
+        while stack:
+            vertex = stack.pop()
+            base = out[vertex]
+            position = 0
+            for child, count in self.tree.children(vertex):
+                position += count  # trees have count == 1; keep general
+                out[child] = base + (position,)
+                stack.append(child)
+        return out
+
+    def vertices_from(self, dag_vertex: int) -> list[int]:
+        """All tree vertices unfolded from a given DAG vertex."""
+        return [t for t, origin in enumerate(self.origin) if origin == dag_vertex]
+
+
+def decompress(instance: Instance, limit: int = DEFAULT_LIMIT) -> Decompression:
+    """Materialise ``T(I)``.
+
+    Tree vertices are created parent-first, children in document order, so
+    sibling ids are consecutive.  Raises :class:`DecompressionLimitError` if
+    the tree would exceed ``limit`` nodes (checked *before* allocating).
+    """
+    total = tree_size(instance)
+    if total > limit:
+        raise DecompressionLimitError(
+            f"T(I) has {total} nodes, exceeding the limit of {limit}"
+        )
+    tree = Instance(instance.schema)
+    origin: list[int] = []
+
+    def make(dag_vertex: int) -> int:
+        origin.append(dag_vertex)
+        return tree.new_vertex_masked(instance.mask(dag_vertex))
+
+    root = make(instance.root)
+    stack: list[tuple[int, int]] = [(root, instance.root)]
+    while stack:
+        tree_vertex, dag_vertex = stack.pop()
+        edges = []
+        pairs = []
+        for dag_child in instance.expanded_children(dag_vertex):
+            tree_child = make(dag_child)
+            edges.append((tree_child, 1))
+            pairs.append((tree_child, dag_child))
+        tree.set_children(tree_vertex, edges)
+        stack.extend(reversed(pairs))
+    tree.set_root(root)
+    return Decompression(tree=tree, origin=origin)
+
+
+def document_order(tree: Instance) -> list[int]:
+    """Tree vertices in document order (preorder); the inverse of ranking."""
+    return tree.preorder()

@@ -1,0 +1,53 @@
+"""Size statistics for instances — the quantities reported in Figures 6 and 7.
+
+The paper measures compression as ``|E^{M(T)}| / |E^T|`` where DAG edges are
+counted as run-length *entries* (one multiplicity edge counts once) and tree
+edges are ``|V^T| - 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.instance import Instance
+from repro.model.paths import tree_size
+
+
+@dataclass(frozen=True)
+class InstanceStats:
+    """Vertex/edge counts of an instance and of its tree version."""
+
+    vertices: int
+    edge_entries: int
+    edges_expanded: int
+    tree_vertices: int
+
+    @property
+    def tree_edges(self) -> int:
+        return self.tree_vertices - 1
+
+    @property
+    def edge_ratio(self) -> float:
+        """The paper's compression measure ``|E^M| / |E^T|`` (entries)."""
+        return self.edge_entries / self.tree_edges if self.tree_edges else 1.0
+
+    @property
+    def vertex_ratio(self) -> float:
+        return self.vertices / self.tree_vertices if self.tree_vertices else 1.0
+
+    def row(self) -> str:
+        """One formatted line in the style of Figure 6."""
+        return (
+            f"|V^T|={self.tree_vertices:>12,} |V^M|={self.vertices:>9,} "
+            f"|E^M|={self.edge_entries:>10,} ratio={100 * self.edge_ratio:6.2f}%"
+        )
+
+
+def instance_stats(instance: Instance) -> InstanceStats:
+    """Compute the Figure 6 quantities for ``instance``."""
+    return InstanceStats(
+        vertices=len(instance.preorder()),
+        edge_entries=instance.num_edge_entries,
+        edges_expanded=instance.num_edges_expanded,
+        tree_vertices=tree_size(instance),
+    )

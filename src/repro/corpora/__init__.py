@@ -1,0 +1,18 @@
+"""Synthetic benchmark corpora standing in for the paper's eight datasets.
+
+See DESIGN.md section 2: real SwissProt/DBLP/TreeBank/... files are not
+available offline, so each module here generates a document with the same
+structural character and plants the strings the Appendix A queries need.
+"""
+
+from repro.corpora.base import CorpusInfo, GeneratedCorpus
+from repro.corpora.registry import CORPORA, QUERY_CORPORA, generate, get_corpus
+
+__all__ = [
+    "CORPORA",
+    "CorpusInfo",
+    "GeneratedCorpus",
+    "QUERY_CORPORA",
+    "generate",
+    "get_corpus",
+]

@@ -1,0 +1,135 @@
+"""Shared machinery for the synthetic benchmark corpora.
+
+The paper evaluates on eight real XML corpora (SwissProt, DBLP, Penn
+TreeBank, OMIM, XMark, Shakespeare, 1998 Baseball, TPC-D) that are not
+available offline; each module in this package generates a synthetic
+document with the same *structural character* (depth, regularity, fan-out,
+tag vocabulary) and plants the strings the Appendix A queries search for, so
+every benchmark query selects at least one node, as in the paper.  See
+DESIGN.md section 2 for the substitution rationale.
+
+Generators are deterministic functions of ``(scale, seed)`` and write XML
+text through the tiny :class:`XMLBuilder` (direct text emission — building a
+DOM for millions of nodes would dominate generation time).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import CorpusError
+from repro.xmlio.escape import escape_text
+
+#: A small English-ish word pool for filler text (seeded sampling).
+WORDS = (
+    "the quick brown fox jumps over a lazy dog while seven wizards "
+    "mix quartz pyx jugs with vexing daft zebras under pale moon light "
+    "data base query engine index tree path node edge label scale "
+    "merge sort hash join scan page buffer cache disk memory stream"
+).split()
+
+FIRST_NAMES = (
+    "Ada Alan Barbara Carl Dana Edgar Fred Grace Hector Irene Jim Karen "
+    "Leslie Michael Nina Oscar Peter Quinn Rosa Sam Tina Ulf Vera Walter"
+).split()
+
+LAST_NAMES = (
+    "Anderson Brown Chen Davis Evans Fischer Garcia Hoffman Ito Jansen "
+    "Kumar Lopez Miller Novak Olsen Petrov Quist Rossi Schmidt Tanaka "
+    "Ullman Varga Weber Xu Young Zhang"
+).split()
+
+
+@dataclass
+class GeneratedCorpus:
+    """The output of a generator: XML text plus provenance."""
+
+    name: str
+    xml: str
+    scale: int
+    seed: int
+
+    @property
+    def megabytes(self) -> float:
+        return len(self.xml.encode("utf-8")) / 1e6
+
+
+@dataclass(frozen=True)
+class CorpusInfo:
+    """Registry entry: how to generate a corpus and what the paper measured.
+
+    ``paper_tree_nodes`` and the two compression ratios are Figure 6's
+    |V^T| and |E^M|/|E^T| columns ("-" = tags ignored, "+" = all tags),
+    recorded here so EXPERIMENTS.md can print paper-vs-measured side by side.
+    """
+
+    name: str
+    description: str
+    generate: Callable[[int, int], GeneratedCorpus]
+    default_scale: int
+    paper_size_mb: float | None = None
+    paper_tree_nodes: int | None = None
+    paper_ratio_minus: float | None = None
+    paper_ratio_plus: float | None = None
+
+
+class XMLBuilder:
+    """Append-only XML text builder (escaping handled, tags balanced)."""
+
+    __slots__ = ("_parts", "_stack")
+
+    def __init__(self) -> None:
+        self._parts: list[str] = ['<?xml version="1.0" encoding="UTF-8"?>\n']
+        self._stack: list[str] = []
+
+    def open(self, tag: str) -> "XMLBuilder":
+        self._parts.append(f"<{tag}>")
+        self._stack.append(tag)
+        return self
+
+    def close(self) -> "XMLBuilder":
+        if not self._stack:
+            raise CorpusError("close() with no open element")
+        self._parts.append(f"</{self._stack.pop()}>")
+        return self
+
+    def text(self, data: str) -> "XMLBuilder":
+        self._parts.append(escape_text(data))
+        return self
+
+    def leaf(self, tag: str, data: str = "") -> "XMLBuilder":
+        if data:
+            self._parts.append(f"<{tag}>{escape_text(data)}</{tag}>")
+        else:
+            self._parts.append(f"<{tag}/>")
+        return self
+
+    def newline(self) -> "XMLBuilder":
+        self._parts.append("\n")
+        return self
+
+    def result(self) -> str:
+        if self._stack:
+            raise CorpusError(f"unclosed elements at result(): {self._stack!r}")
+        return "".join(self._parts)
+
+
+def rng_for(name: str, scale: int, seed: int) -> random.Random:
+    """A deterministic RNG stream per (corpus, scale, seed)."""
+    return random.Random(f"{name}:{scale}:{seed}")
+
+
+def sentence(rng: random.Random, words: int) -> str:
+    """A filler sentence of ``words`` pool words."""
+    return " ".join(rng.choice(WORDS) for _ in range(words))
+
+
+def person_name(rng: random.Random) -> str:
+    return f"{rng.choice(FIRST_NAMES)} {rng.choice(LAST_NAMES)}"
+
+
+def check_scale(scale: int, minimum: int = 1) -> None:
+    if scale < minimum:
+        raise CorpusError(f"scale must be >= {minimum}, got {scale}")

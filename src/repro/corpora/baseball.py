@@ -1,0 +1,98 @@
+"""1998 Major League Baseball statistics corpus.
+
+The baseball file is the paper's most compressible query corpus (0.3%
+bare, 2.6% with tags; only 26/83 DAG vertices): every player record has one
+of two fixed field layouts (batter or pitcher), so almost everything is
+shared.  We reproduce exactly that: two rigid player shapes, fixed league /
+division / team nesting.
+
+Planted strings (Appendix A, Baseball queries): throws "Right", a team in
+"Atlanta", batters with HOME_RUNS "5" and STEALS "1", and a "First Base"
+player followed (among the team's players) by a "Starting Pitcher" (Q5).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.corpora.base import GeneratedCorpus, XMLBuilder, check_scale, rng_for
+
+_CITIES = (
+    "Atlanta", "Boston", "Chicago", "Denver", "Houston", "Miami",
+    "New York", "Seattle", "St. Louis", "Toronto",
+)
+_NICKNAMES = ("Braves", "Sox", "Cubs", "Rockies", "Astros", "Marlins", "Mets", "Mariners")
+_SURNAMES = ("Jones", "Smith", "Lopez", "Brown", "Clark", "Davis", "Evans", "Moyer")
+_GIVEN = ("Andy", "Bob", "Carlos", "Dave", "Ed", "Frank", "Greg", "Hank")
+_BATTING_POSITIONS = ("First Base", "Second Base", "Shortstop", "Third Base", "Catcher", "Outfield")
+
+
+def _batter(builder: XMLBuilder, rng: random.Random, position: str) -> None:
+    builder.open("PLAYER")
+    builder.leaf("SURNAME", rng.choice(_SURNAMES))
+    builder.leaf("GIVEN_NAME", rng.choice(_GIVEN))
+    builder.leaf("POSITION", position)
+    builder.leaf("GAMES", str(rng.randint(20, 162)))
+    builder.leaf("AT_BATS", str(rng.randint(50, 600)))
+    builder.leaf("HITS", str(rng.randint(10, 200)))
+    builder.leaf("HOME_RUNS", str(rng.randint(0, 9)))
+    builder.leaf("RBI", str(rng.randint(0, 140)))
+    builder.leaf("STEALS", str(rng.randint(0, 9)))
+    builder.leaf("THROWS", "Right" if rng.random() < 0.7 else "Left")
+    builder.leaf("BATS", "Right" if rng.random() < 0.55 else "Left")
+    builder.close()
+
+
+def _pitcher(builder: XMLBuilder, rng: random.Random, starting: bool) -> None:
+    builder.open("PLAYER")
+    builder.leaf("SURNAME", rng.choice(_SURNAMES))
+    builder.leaf("GIVEN_NAME", rng.choice(_GIVEN))
+    builder.leaf("POSITION", "Starting Pitcher" if starting else "Relief Pitcher")
+    builder.leaf("GAMES", str(rng.randint(10, 70)))
+    builder.leaf("WINS", str(rng.randint(0, 22)))
+    builder.leaf("LOSSES", str(rng.randint(0, 18)))
+    builder.leaf("SAVES", str(rng.randint(0, 45)))
+    builder.leaf("ERA", f"{rng.uniform(1.5, 6.5):.2f}")
+    builder.leaf("THROWS", "Right" if rng.random() < 0.7 else "Left")
+    builder.leaf("BATS", "Right" if rng.random() < 0.55 else "Left")
+    builder.close()
+
+
+def _team(builder: XMLBuilder, rng: random.Random, city: str, players: int) -> None:
+    builder.open("TEAM")
+    builder.leaf("TEAM_CITY", city)
+    builder.leaf("TEAM_NAME", rng.choice(_NICKNAMES))
+    batters = max(2, players * 3 // 5)
+    # A First Base player among the batters, then pitchers follow — this
+    # realises Q5's following-sibling condition in every team.
+    for index in range(batters):
+        position = "First Base" if index == 0 else rng.choice(_BATTING_POSITIONS)
+        _batter(builder, rng, position)
+    for index in range(players - batters):
+        _pitcher(builder, rng, starting=index == 0)
+    builder.close().newline()
+
+
+def generate(scale: int = 30, seed: int = 0) -> GeneratedCorpus:
+    """Generate a season with ``scale`` teams of ~25 players each."""
+    check_scale(scale)
+    rng = rng_for("baseball", scale, seed)
+    builder = XMLBuilder()
+    builder.open("SEASON").newline()
+    builder.leaf("YEAR", "1998")
+    cities = list(_CITIES)
+    team_index = 0
+    for league in ("National", "American"):
+        builder.open("LEAGUE").newline()
+        builder.leaf("LEAGUE_NAME", f"{league} League")
+        for division in ("East", "Central", "West"):
+            builder.open("DIVISION").newline()
+            builder.leaf("DIVISION_NAME", division)
+            for _ in range(max(1, scale // 6)):
+                city = cities[team_index % len(cities)]
+                team_index += 1
+                _team(builder, rng, city, players=25)
+            builder.close().newline()
+        builder.close().newline()
+    builder.close()
+    return GeneratedCorpus(name="baseball", xml=builder.result(), scale=scale, seed=seed)

@@ -1,0 +1,71 @@
+"""Complete binary trees — Figure 5's worked example.
+
+Figure 5 shows the optimally compressed complete binary tree of depth 5
+(labels ``a`` and ``b``) and how eight XPath queries partially decompress
+it.  We use the labeling that yields the figure's DAG: every left child is
+an ``a``, every right child a ``b`` (the root is an ``a``).  All subtrees of
+equal depth with equal root label coincide, so the minimal instance has
+exactly two vertices per level (one per label; the root level has one) —
+``2d + 1`` vertices standing for ``2^(d+1) - 1`` tree nodes.
+"""
+
+from __future__ import annotations
+
+from repro.corpora.base import GeneratedCorpus, XMLBuilder, check_scale
+from repro.model.instance import Instance
+
+
+def compressed_instance(depth: int) -> Instance:
+    """The minimal instance of the depth-``depth`` complete binary tree.
+
+    Two vertices per level below the root (an ``a`` and a ``b`` variant),
+    each with one edge to the next level's ``a`` and one to its ``b``.
+    """
+    if depth < 0:
+        raise ValueError("depth must be non-negative")
+    instance = Instance(["a", "b"])
+    if depth == 0:
+        instance.set_root(instance.new_vertex(["a"]))
+        return instance
+    a_below = instance.new_vertex(["a"])
+    b_below = instance.new_vertex(["b"])
+    for _ in range(depth - 1):
+        children = [(a_below, 1), (b_below, 1)]
+        a_below = instance.new_vertex(["a"], children)
+        b_below = instance.new_vertex(["b"], children)
+    root = instance.new_vertex(["a"], [(a_below, 1), (b_below, 1)])
+    instance.set_root(root)
+    return instance
+
+
+def generate_xml(depth: int = 5, seed: int = 0) -> GeneratedCorpus:
+    """The same tree as XML text (2^(depth+1)-1 elements; keep depth small)."""
+    check_scale(depth + 1)
+    builder = XMLBuilder()
+
+    def emit(label: str, level: int) -> None:
+        builder.open(label)
+        if level < depth:
+            emit("a", level + 1)
+            emit("b", level + 1)
+        builder.close()
+
+    emit("a", 0)
+    return GeneratedCorpus(
+        name="binary_tree", xml=builder.result(), scale=depth, seed=seed
+    )
+
+
+#: The eight queries of Figure 5 (b)-(i), in figure order.  Relative queries
+#: use the root as context (the figure's caption: "with the root node being
+#: selected as context").
+FIGURE5_QUERIES = (
+    ("b", "//a"),
+    ("c", "//a/b"),
+    ("d", "a"),
+    ("e", "a/a"),
+    ("f", "a/a/b"),
+    ("g", "*"),
+    ("h", "*/a"),
+    ("i", "*/a/following::*"),
+)

@@ -1,0 +1,71 @@
+"""DBLP-like bibliography corpus.
+
+DBLP is the paper's most striking compression result: 2.6M skeleton nodes
+collapse to 321 DAG vertices (tags ignored), because bibliography records
+are drawn from a tiny pool of shapes.  This generator reproduces that
+character: records are one of a small number of field layouts (publication
+type x author count x optional-field pattern), so the compressed vertex
+count stays in the hundreds regardless of scale.
+
+Planted strings (Appendix A, DBLP Q3-Q5): one ``article`` authored by
+"E. F. Codd"; records where "Ashok K. Chandra" is immediately followed by
+"David Harel" (Q5's following-sibling), and one where another author sits
+between them (matches Q4 but not Q5).
+"""
+
+from __future__ import annotations
+
+from repro.corpora.base import GeneratedCorpus, XMLBuilder, check_scale, person_name, rng_for, sentence
+
+_VENUES = ("JACM", "TODS", "SIGMOD", "VLDB", "PODS", "ICDT", "TCS", "IPL")
+
+#: The small pool of record layouts: (kind, #authors, optional fields).
+_SHAPES = [
+    ("article", authors, extras)
+    for authors in (1, 2, 3, 4)
+    for extras in (("volume",), ("volume", "ee"), ("ee",), ())
+] + [
+    ("inproceedings", authors, extras)
+    for authors in (1, 2, 3)
+    for extras in (("ee",), ())
+]
+
+
+def _record(builder: XMLBuilder, rng, kind: str, authors: list[str], extras: tuple[str, ...]) -> None:
+    builder.open(kind)
+    for author in authors:
+        builder.leaf("author", author)
+    builder.leaf("title", sentence(rng, rng.randint(4, 9)).title())
+    builder.leaf("pages", f"{rng.randint(1, 400)}-{rng.randint(401, 800)}")
+    builder.leaf("year", str(rng.randint(1970, 2002)))
+    if "volume" in extras:
+        builder.leaf("volume", str(rng.randint(1, 40)))
+    builder.leaf("journal" if kind == "article" else "booktitle", rng.choice(_VENUES))
+    builder.leaf("url", f"db/journals/x/y{rng.randint(1, 99)}.html#p{rng.randint(1, 999)}")
+    if "ee" in extras:
+        builder.leaf("ee", f"https://doi.example/10.{rng.randint(1000, 9999)}")
+    builder.close().newline()
+
+
+def generate(scale: int = 3000, seed: int = 0) -> GeneratedCorpus:
+    """Generate ``scale`` bibliography records (roughly 9 skeleton nodes each)."""
+    check_scale(scale)
+    rng = rng_for("dblp", scale, seed)
+    builder = XMLBuilder()
+    builder.open("dblp").newline()
+    for index in range(scale):
+        kind, author_count, extras = rng.choice(_SHAPES)
+        authors = [person_name(rng) for _ in range(author_count)]
+        if index == 7 % scale:
+            kind, authors, extras = "article", ["E. F. Codd"], ("ee",)
+        elif scale > 3 and index % max(scale // 3, 1) == 1:
+            # Q5 adjacency: Chandra immediately followed by Harel.
+            kind = "article"
+            authors = ["Ashok K. Chandra", "David Harel"]
+        elif scale > 5 and index == 5:
+            # Matches Q4 (both authors) but not Q5 (not adjacent).
+            kind = "article"
+            authors = ["Ashok K. Chandra", person_name(rng), "David Harel"]
+        _record(builder, rng, kind, authors, extras)
+    builder.close()
+    return GeneratedCorpus(name="dblp", xml=builder.result(), scale=scale, seed=seed)

@@ -1,0 +1,65 @@
+"""OMIM-like (Online Mendelian Inheritance in Man) corpus.
+
+OMIM records are long free-text entries about genes/disorders with a
+clinical synopsis section; structurally they are flat and regular (paper:
+5.8% / 7.0%, 962 vertices for 206k nodes).
+
+Planted strings (Appendix A, OMIM queries): titles containing "LETHAL"; a
+record with Text "consanguineous parents" *and* a LETHAL title (Q4); and a
+Clinical_Synop where a Part "Metabolic" is followed by a sibling Synop
+containing "Lactic acidosis" (Q5).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.corpora.base import GeneratedCorpus, XMLBuilder, check_scale, rng_for, sentence
+
+_PARTS = ("Inheritance", "Growth", "Neuro", "Cardiac", "Skeletal", "Metabolic")
+
+
+def _record(builder: XMLBuilder, rng: random.Random, index: int, scale: int) -> None:
+    lethal = index % 7 == 0
+    q4_plant = index == min(14, scale - 1)
+    q5_plant = scale > 1 and index % max(scale // 5, 1) == 1
+
+    builder.open("Record")
+    builder.leaf("No", str(100000 + index))
+    title = sentence(rng, rng.randint(3, 7)).upper()
+    if lethal or q4_plant:
+        title = f"{title}, LETHAL FORM"
+    builder.leaf("Title", title)
+    for _ in range(rng.randint(0, 2)):
+        builder.leaf("Alias", sentence(rng, 3).upper())
+    body = sentence(rng, rng.randint(20, 60))
+    if q4_plant:
+        body = f"{body} born of consanguineous parents {sentence(rng, 10)}"
+    builder.leaf("Text", body)
+    builder.open("Clinical_Synop")
+    for _ in range(rng.randint(1, 4)):
+        builder.leaf("Part", rng.choice(_PARTS))
+        builder.leaf("Synop", sentence(rng, rng.randint(3, 8)))
+    if q5_plant:
+        builder.leaf("Part", "Metabolic")
+        builder.leaf("Synop", f"Lactic acidosis; {sentence(rng, 4)}")
+    builder.close()
+    for _ in range(rng.randint(1, 3)):
+        builder.open("Reference")
+        builder.leaf("Author", sentence(rng, 2).title())
+        builder.leaf("Citation", sentence(rng, 6))
+        builder.close()
+    builder.leaf("Edited", f"{rng.randint(1, 12)}/{rng.randint(1, 28)}/1998")
+    builder.close().newline()
+
+
+def generate(scale: int = 800, seed: int = 0) -> GeneratedCorpus:
+    """Generate ``scale`` OMIM-like records."""
+    check_scale(scale)
+    rng = rng_for("omim", scale, seed)
+    builder = XMLBuilder()
+    builder.open("ROOT").newline()
+    for index in range(scale):
+        _record(builder, rng, index, scale)
+    builder.close()
+    return GeneratedCorpus(name="omim", xml=builder.result(), scale=scale, seed=seed)

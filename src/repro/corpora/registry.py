@@ -1,0 +1,125 @@
+"""Registry of the benchmark corpora with the paper's Figure 6 reference data.
+
+``paper_ratio_minus`` / ``paper_ratio_plus`` are |E^M|/|E^T| with tags
+ignored / included, exactly as printed in Figure 6; ``paper_tree_nodes`` is
+|V^T|.  The benchmarks print these next to our measured values.
+"""
+
+from __future__ import annotations
+
+from repro.corpora import baseball, dblp, omim, shakespeare, swissprot, tpcd, treebank, xmark
+from repro.corpora.base import CorpusInfo, GeneratedCorpus
+from repro.errors import CorpusError
+
+CORPORA: dict[str, CorpusInfo] = {
+    info.name: info
+    for info in (
+        CorpusInfo(
+            name="swissprot",
+            description="Protein database: rich, repetitive records",
+            generate=swissprot.generate,
+            default_scale=900,
+            paper_size_mb=457.4,
+            paper_tree_nodes=10_903_569,
+            paper_ratio_minus=0.073,
+            paper_ratio_plus=0.101,
+        ),
+        CorpusInfo(
+            name="dblp",
+            description="Bibliography: a tiny pool of record shapes",
+            generate=dblp.generate,
+            default_scale=3000,
+            paper_size_mb=103.6,
+            paper_tree_nodes=2_611_932,
+            paper_ratio_minus=0.066,
+            paper_ratio_plus=0.085,
+        ),
+        CorpusInfo(
+            name="treebank",
+            description="Parse trees: deep, irregular (compression outlier)",
+            generate=treebank.generate,
+            default_scale=700,
+            paper_size_mb=55.8,
+            paper_tree_nodes=2_447_728,
+            paper_ratio_minus=0.349,
+            paper_ratio_plus=0.532,
+        ),
+        CorpusInfo(
+            name="omim",
+            description="Genetic disorder records: flat and regular",
+            generate=omim.generate,
+            default_scale=800,
+            paper_size_mb=28.3,
+            paper_tree_nodes=206_454,
+            paper_ratio_minus=0.058,
+            paper_ratio_plus=0.070,
+        ),
+        CorpusInfo(
+            name="xmark",
+            description="Auction site benchmark data",
+            generate=xmark.generate,
+            default_scale=600,
+            paper_size_mb=9.6,
+            paper_tree_nodes=190_488,
+            paper_ratio_minus=0.062,
+            paper_ratio_plus=0.144,
+        ),
+        CorpusInfo(
+            name="shakespeare",
+            description="Collected plays: shallow, moderately regular",
+            generate=shakespeare.generate,
+            default_scale=400,
+            paper_size_mb=7.9,
+            paper_tree_nodes=179_691,
+            paper_ratio_minus=0.161,
+            paper_ratio_plus=0.178,
+        ),
+        CorpusInfo(
+            name="baseball",
+            description="1998 MLB statistics: two rigid record shapes",
+            generate=baseball.generate,
+            default_scale=100,
+            paper_size_mb=0.672,
+            paper_tree_nodes=28_307,
+            paper_ratio_minus=0.003,
+            paper_ratio_plus=0.026,
+        ),
+        CorpusInfo(
+            name="tpcd",
+            description="XML-ised relational rows (compression only)",
+            generate=tpcd.generate,
+            default_scale=1000,
+            paper_size_mb=0.288,
+            paper_tree_nodes=11_765,
+            paper_ratio_minus=0.014,
+            paper_ratio_plus=0.022,
+        ),
+    )
+}
+
+#: The corpora with Q1-Q5 query experiments in Figure 7 (TPC-D excluded,
+#: footnote 10).
+QUERY_CORPORA = (
+    "swissprot",
+    "dblp",
+    "treebank",
+    "omim",
+    "xmark",
+    "shakespeare",
+    "baseball",
+)
+
+
+def get_corpus(name: str) -> CorpusInfo:
+    try:
+        return CORPORA[name]
+    except KeyError:
+        raise CorpusError(
+            f"unknown corpus {name!r}; available: {', '.join(sorted(CORPORA))}"
+        ) from None
+
+
+def generate(name: str, scale: int | None = None, seed: int = 0) -> GeneratedCorpus:
+    """Generate a corpus by name at ``scale`` (default per registry)."""
+    info = get_corpus(name)
+    return info.generate(scale if scale is not None else info.default_scale, seed)

@@ -1,0 +1,55 @@
+"""Parametric XML-ised relational tables (section 1's complexity claim).
+
+An R-row, C-column table has a skeleton of size O(C*R); sharing compresses
+it to O(C+R) and multiplicity edges to O(C + log R) — with our run-length
+representation the row fan-out is literally *one* edge entry, so the
+instance size is O(C).  ``benchmarks/bench_relational_scaling.py``
+regenerates the claim as measured numbers.
+"""
+
+from __future__ import annotations
+
+from repro.corpora.base import GeneratedCorpus, XMLBuilder, check_scale
+from repro.compress.builder import DagBuilder
+from repro.model.instance import Instance
+
+
+def generate_xml(rows: int, cols: int, distinct_texts: bool = False, seed: int = 0) -> GeneratedCorpus:
+    """An R x C table as XML text.
+
+    ``distinct_texts`` fills cells with unique strings; irrelevant to the
+    skeleton but useful when exercising string constraints.
+    """
+    check_scale(rows)
+    check_scale(cols)
+    builder = XMLBuilder()
+    builder.open("table").newline()
+    for row in range(rows):
+        builder.open("row")
+        for col in range(cols):
+            builder.leaf(f"col{col}", f"r{row}c{col}" if distinct_texts else "x")
+        builder.close()
+        if row % 100 == 99:
+            builder.newline()
+    builder.close()
+    return GeneratedCorpus(name="relational", xml=builder.result(), scale=rows * cols, seed=seed)
+
+
+def direct_instance(rows: int, cols: int) -> Instance:
+    """The compressed instance of an R x C table, built without XML.
+
+    Demonstrates the O(C) representation: C distinct column leaves, one
+    shared row vertex, and a single multiplicity-R edge from the table to
+    the row — C+2 vertices and C+1 edge entries, independent of R.
+    """
+    check_scale(rows)
+    check_scale(cols)
+    builder = DagBuilder()
+    builder.start_node()  # table
+    builder.start_node()  # first row
+    for col in range(cols):
+        builder.leaf((f"col{col}",))
+    builder.end_node(("row",))
+    builder.repeat_last(rows - 1)
+    builder.end_node(("table",))
+    return builder.finish()

@@ -1,0 +1,76 @@
+"""Shakespeare-like collected-plays corpus.
+
+The Bosak Shakespeare XML is shallow and fairly regular (paper: 16.1% /
+17.8%): plays split into acts, scenes and speeches, with the only variety
+being speech lengths and stage directions.
+
+Planted material (Appendix A, Shakespeare queries): speakers
+"MARK ANTONY" and "CLEOPATRA" (with an ANTONY speech immediately preceding a
+CLEOPATRA speech, for Q5's preceding-sibling), and lines mentioning
+"Cleopatra" (Q4's disjunct).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.corpora.base import GeneratedCorpus, XMLBuilder, check_scale, rng_for, sentence
+
+_SPEAKERS = ("FIRST WITCH", "MESSENGER", "SERVANT", "KING", "QUEEN", "FOOL", "SOLDIER")
+
+
+def _speech(builder: XMLBuilder, rng: random.Random, speaker: str, mention: str | None = None) -> None:
+    builder.open("SPEECH")
+    builder.leaf("SPEAKER", speaker)
+    lines = rng.randint(1, 6)
+    for index in range(lines):
+        text = sentence(rng, rng.randint(5, 9))
+        if mention and index == 0:
+            text = f"O {mention}, {text}"
+        builder.leaf("LINE", text)
+    builder.close()
+
+
+def _scene(builder: XMLBuilder, rng: random.Random, play_index: int, plant: bool) -> None:
+    builder.open("SCENE")
+    builder.leaf("TITLE", f"SCENE {rng.randint(1, 7)}. {sentence(rng, 3).title()}.")
+    builder.leaf("STAGEDIR", f"Enter {sentence(rng, 2).title()}")
+    speeches = rng.randint(4, 10)
+    for index in range(speeches):
+        if plant and index == 1:
+            _speech(builder, rng, "MARK ANTONY")
+            _speech(builder, rng, "CLEOPATRA", mention="Cleopatra")
+            continue
+        _speech(builder, rng, rng.choice(_SPEAKERS))
+    if rng.random() < 0.4:
+        builder.leaf("STAGEDIR", "Exeunt")
+    builder.close().newline()
+
+
+def generate(scale: int = 40, seed: int = 0) -> GeneratedCorpus:
+    """Generate ``scale`` scenes' worth of plays (5 acts x scenes each)."""
+    check_scale(scale)
+    rng = rng_for("shakespeare", scale, seed)
+    builder = XMLBuilder()
+    builder.open("all").newline()
+    plays = max(1, scale // 12)
+    scenes_left = scale
+    for play_index in range(plays):
+        builder.open("PLAY").newline()
+        builder.leaf("TITLE", sentence(rng, 4).title())
+        builder.open("PERSONAE")
+        builder.leaf("TITLE", "Dramatis Personae")
+        for _ in range(rng.randint(4, 10)):
+            builder.leaf("PERSONA", sentence(rng, 2).title())
+        builder.close().newline()
+        for act in range(5):
+            builder.open("ACT")
+            builder.leaf("TITLE", f"ACT {act + 1}")
+            for scene in range(max(1, scenes_left // max(1, (plays - play_index) * 5))):
+                plant = play_index == 0 and act == 0 and scene == 0
+                _scene(builder, rng, play_index, plant)
+                scenes_left -= 1
+            builder.close().newline()
+        builder.close().newline()  # PLAY
+    builder.close()
+    return GeneratedCorpus(name="shakespeare", xml=builder.result(), scale=scale, seed=seed)

@@ -1,0 +1,85 @@
+"""SwissProt-like protein database corpus.
+
+SwissProt is the paper's largest corpus (457 MB, 10.9M nodes, compressing
+to ~7-10%).  Records are rich but structurally repetitive: protein
+metadata, taxonomy lists, free-text comments grouped by topic, features and
+a sequence.  Variety comes from the *counts* of repeated sections, which is
+exactly the regime where subtree sharing plus multiplicity edges shine.
+
+Planted strings (Appendix A, SwissProt Q3-Q5): taxonomies containing
+"Eukaryota"; one record whose sequence contains "MMSARGDFLN" *and* whose
+protein is from "Rattus norvegicus"; records with a comment topic
+"TISSUE SPECIFICITY" followed by a sibling comment with topic
+"DEVELOPMENTAL STAGE".
+"""
+
+from __future__ import annotations
+
+from repro.corpora.base import GeneratedCorpus, XMLBuilder, check_scale, rng_for, sentence
+
+_TAXA = ("Bacteria", "Archaea", "Viridiplantae", "Metazoa", "Fungi", "Eukaryota")
+_ORGANISMS = ("Homo sapiens", "Mus musculus", "Escherichia coli", "Saccharomyces cerevisiae")
+_TOPICS = ("FUNCTION", "SUBUNIT", "SIMILARITY", "CATALYTIC ACTIVITY", "SUBCELLULAR LOCATION")
+_FEATURE_TYPES = ("DOMAIN", "CHAIN", "ACT_SITE", "BINDING", "TRANSMEM")
+_AMINO = "ACDEFGHIKLMNPQRSTVWY"
+
+
+def _sequence(rng, length: int) -> str:
+    return "".join(rng.choice(_AMINO) for _ in range(length))
+
+
+def _comment(builder: XMLBuilder, rng, topic: str) -> None:
+    builder.open("comment")
+    builder.leaf("topic", topic)
+    builder.leaf("text", sentence(rng, rng.randint(6, 14)))
+    builder.close()
+
+
+def _record(builder: XMLBuilder, rng, index: int, scale: int) -> None:
+    special_rat = index == min(11, scale - 1)
+    tissue_pair = scale > 2 and index % max(scale // 9, 1) == 2
+
+    builder.open("Record")
+    builder.leaf("accession", f"P{10000 + index}")
+    builder.open("protein")
+    builder.leaf("name", sentence(rng, 3).title())
+    builder.leaf("from", "Rattus norvegicus" if special_rat else rng.choice(_ORGANISMS))
+    taxa = rng.sample(_TAXA, rng.randint(1, 3))
+    if index % 5 == 0 and "Eukaryota" not in taxa:
+        taxa.append("Eukaryota")
+    for taxon in taxa:
+        builder.leaf("taxo", taxon)
+    builder.close()  # protein
+    for _ in range(rng.randint(0, 3)):
+        _comment(builder, rng, rng.choice(_TOPICS))
+    if tissue_pair:
+        _comment(builder, rng, "TISSUE SPECIFICITY")
+        _comment(builder, rng, "DEVELOPMENTAL STAGE")
+    builder.open("features")
+    for _ in range(rng.randint(1, 5)):
+        builder.open("feature")
+        builder.leaf("type", rng.choice(_FEATURE_TYPES))
+        start = rng.randint(1, 300)
+        builder.leaf("begin", str(start))
+        builder.leaf("end", str(start + rng.randint(5, 60)))
+        builder.close()
+    builder.close()  # features
+    builder.open("sequence")
+    payload = _sequence(rng, rng.randint(40, 120))
+    if special_rat:
+        payload = "MMSARGDFLN" + payload
+    builder.leaf("seq", payload)
+    builder.close()
+    builder.close().newline()  # Record
+
+
+def generate(scale: int = 900, seed: int = 0) -> GeneratedCorpus:
+    """Generate ``scale`` protein records (roughly 25 skeleton nodes each)."""
+    check_scale(scale)
+    rng = rng_for("swissprot", scale, seed)
+    builder = XMLBuilder()
+    builder.open("ROOT").newline()
+    for index in range(scale):
+        _record(builder, rng, index, scale)
+    builder.close()
+    return GeneratedCorpus(name="swissprot", xml=builder.result(), scale=scale, seed=seed)

@@ -1,0 +1,41 @@
+"""TPC-D-like XML-ised relational data.
+
+The paper includes TPC-D in the compression experiment only (footnote 10:
+"as purely XML-ised relational data, querying it with XPath is not very
+interesting") — it compresses to 15 vertices because every row has the
+identical column layout.  We emit a lineitem-style table.
+"""
+
+from __future__ import annotations
+
+from repro.corpora.base import GeneratedCorpus, XMLBuilder, check_scale, rng_for
+
+_COLUMNS = (
+    "orderkey",
+    "partkey",
+    "suppkey",
+    "linenumber",
+    "quantity",
+    "extendedprice",
+    "discount",
+    "tax",
+    "returnflag",
+    "shipdate",
+)
+
+
+def generate(scale: int = 1000, seed: int = 0) -> GeneratedCorpus:
+    """Generate a ``scale``-row lineitem table (fixed column layout)."""
+    check_scale(scale)
+    rng = rng_for("tpcd", scale, seed)
+    builder = XMLBuilder()
+    builder.open("table").newline()
+    for row in range(scale):
+        builder.open("row")
+        for column in _COLUMNS:
+            builder.leaf(column, str(rng.randint(0, 99999)))
+        builder.close()
+        if row % 50 == 49:
+            builder.newline()
+    builder.close()
+    return GeneratedCorpus(name="tpcd", xml=builder.result(), scale=scale, seed=seed)

@@ -1,0 +1,150 @@
+"""Penn-TreeBank-like parse tree corpus — the paper's compression outlier.
+
+TreeBank skeletons are deep, irregular recursive parse trees; the paper
+measures only 34.9% / 53.2% compression ("does not compress substantially
+better than randomly generated trees of similar shape").  We mimic that with
+a small probabilistic grammar over the usual phrase labels, deliberately
+injecting randomness in production choice and arity so that few subtrees
+coincide.
+
+Planted material (Appendix A, TreeBank queries): the exact chain
+``FILE/EMPTY/S/VP/S/VP/NP`` (Q1/Q2); ``NNS`` leaves containing "children"
+(Q3); a ``VP`` whose text contains "granting" with an ``NP`` descendant
+containing "access" (Q4); and a ``VP/NP/VP/NP`` chain followed (in document
+order) by an ``NP/VP/NP/PP`` chain (Q5).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.corpora.base import GeneratedCorpus, WORDS, XMLBuilder, check_scale, rng_for
+
+_TERMINALS = ("NN", "NNS", "VB", "VBD", "DT", "JJ", "IN", "RB", "PRP", "CC")
+_TERMINAL_WEIGHTS = (30, 12, 12, 8, 16, 8, 8, 3, 2, 1)
+
+# A small probabilistic grammar.  Lowercase-free symbols that appear as keys
+# are nonterminals; everything else is a POS leaf.  Real parse trees are
+# positionally regular (DT JJ NN, IN NP, ...) but combinatorially diverse —
+# exactly the mix that puts the labeled compression ratio in the paper's
+# ~35%/~53% band instead of "random tree" territory.
+_GRAMMAR: dict[str, list[tuple[tuple[str, ...], int]]] = {
+    "S": [(("NP", "VP"), 6), (("S", "CC", "S"), 1), (("VP",), 1)],
+    "NP": [
+        (("DT", "NN"), 5),
+        (("DT", "JJ", "NN"), 3),
+        (("NP", "PP"), 3),
+        (("DT", "NNS"), 2),
+        (("PRP",), 1),
+        (("NP", "SBAR"), 1),
+    ],
+    "VP": [
+        (("VB", "NP"), 5),
+        (("VBD", "NP"), 2),
+        (("VP", "PP"), 2),
+        (("VB", "S"), 1),
+        (("VB",), 1),
+        (("VB", "ADJP"), 1),
+    ],
+    "PP": [(("IN", "NP"), 1)],
+    "SBAR": [(("IN", "S"), 1)],
+    "ADJP": [(("RB", "JJ"), 1), (("JJ",), 1)],
+}
+
+
+def _leaf(builder: XMLBuilder, rng: random.Random, tag: str | None = None, word: str | None = None) -> None:
+    if tag is None:
+        tag = rng.choices(_TERMINALS, weights=_TERMINAL_WEIGHTS)[0]
+    builder.leaf(tag, word or rng.choice(WORDS))
+
+
+def _phrase(builder: XMLBuilder, rng: random.Random, depth: int, symbol: str = "NP") -> None:
+    """Expand one grammar symbol; depth-bounded recursion."""
+    productions = _GRAMMAR.get(symbol)
+    if productions is None or depth <= 0:
+        _leaf(builder, rng, symbol if productions is None else None)
+        return
+    bodies = [body for body, _ in productions]
+    weights = [weight for _, weight in productions]
+    body = list(rng.choices(bodies, weights=weights)[0])
+    # Adjunct noise: real sentences attach adverbials, appositions and
+    # punctuation-ish extras in essentially arbitrary positions; this is
+    # what keeps parse trees from compressing like database records.
+    while rng.random() < 0.35:
+        extra = rng.choices(
+            ("RB", "PP", "ADJP", "CC", "NP"), weights=(4, 3, 2, 2, 1)
+        )[0]
+        body.insert(rng.randint(0, len(body)), extra)
+    builder.open(symbol)
+    for child in body:
+        _phrase(builder, rng, depth - 1, child)
+    builder.close()
+
+
+def _sentence(builder: XMLBuilder, rng: random.Random) -> None:
+    builder.open("S")
+    _phrase(builder, rng, rng.randint(2, 7), "NP")
+    _phrase(builder, rng, rng.randint(2, 7), "VP")
+    builder.close()
+
+
+def _planted_q1_chain(builder: XMLBuilder, rng: random.Random) -> None:
+    # S/VP/S/VP/NP inside EMPTY (the FILE/EMPTY prefix is emitted around it).
+    builder.open("S").open("VP").open("S").open("VP").open("NP")
+    _leaf(builder, rng, "NN")
+    builder.close().close().close().close().close()
+
+
+def _planted_q3(builder: XMLBuilder, rng: random.Random) -> None:
+    builder.open("S").open("S").open("NP")
+    builder.leaf("NNS", "the children here")
+    builder.close().close().close()
+
+
+def _planted_q4(builder: XMLBuilder, rng: random.Random) -> None:
+    builder.open("VP")
+    builder.leaf("VB", "granting")
+    builder.open("NP")
+    builder.leaf("NN", "access")
+    builder.close()
+    builder.close()
+
+
+def _planted_q5(builder: XMLBuilder, rng: random.Random) -> None:
+    builder.open("S")
+    # First the VP/NP/VP/NP chain...
+    builder.open("VP").open("NP").open("VP").open("NP")
+    _leaf(builder, rng, "NN")
+    builder.close().close().close().close()
+    # ... then, following it in document order, an NP/VP/NP/PP chain.
+    builder.open("NP").open("VP").open("NP").open("PP")
+    _leaf(builder, rng, "IN")
+    builder.close().close().close().close()
+    builder.close()
+
+
+def generate(scale: int = 700, seed: int = 0) -> GeneratedCorpus:
+    """Generate ``scale`` sentences across a handful of FILE sections."""
+    check_scale(scale)
+    rng = rng_for("treebank", scale, seed)
+    builder = XMLBuilder()
+    builder.open("alltreebank").newline()
+    files = max(1, scale // 250)
+    per_file = max(1, scale // files)
+    emitted = 0
+    for file_index in range(files):
+        builder.open("FILE")
+        builder.open("EMPTY")
+        if file_index == 0:
+            _planted_q1_chain(builder, rng)
+            _planted_q3(builder, rng)
+            _planted_q4(builder, rng)
+            _planted_q5(builder, rng)
+        while emitted < min(scale, (file_index + 1) * per_file):
+            _sentence(builder, rng)
+            emitted += 1
+            if emitted % 25 == 0:
+                builder.newline()
+        builder.close().close().newline()
+    builder.close()
+    return GeneratedCorpus(name="treebank", xml=builder.result(), scale=scale, seed=seed)

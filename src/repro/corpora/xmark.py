@@ -1,0 +1,125 @@
+"""XMark-like auction corpus (the XML benchmark generator's schema).
+
+XMark documents describe an auction site: regional item listings, people,
+and open/closed auctions.  Structure is moderately regular (paper: 6.2%
+bare / 14.4% with tags — tags hurt because the region subtrees differ).
+
+Planted strings (Appendix A, XMark queries): items under ``africa`` for the
+Q1/Q2 path; payments containing "Creditcard"; africa items located in
+"United States" (Q4 checks ``parent::africa``); and description list items
+containing "cassio" immediately followed by a sibling containing "portia"
+(XMark's real text generator samples Shakespeare, hence those words).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.corpora.base import GeneratedCorpus, XMLBuilder, check_scale, person_name, rng_for, sentence
+
+_REGIONS = ("africa", "asia", "australia", "europe", "namerica", "samerica")
+_COUNTRIES = ("United States", "Germany", "Japan", "Kenya", "Brazil", "France")
+_PAYMENTS = ("Money order", "Creditcard", "Personal Check", "Cash")
+
+
+def _listitem(builder: XMLBuilder, rng: random.Random, payload: str) -> None:
+    # XMark wraps list item content in <text> elements; Q2's trailing step
+    # (.../listitem/text) selects exactly those.
+    builder.open("listitem")
+    builder.leaf("text", payload)
+    builder.close()
+
+
+def _description(builder: XMLBuilder, rng: random.Random, plant_pair: bool) -> None:
+    builder.open("description")
+    if plant_pair or rng.random() < 0.5:
+        builder.open("parlist")
+        if plant_pair:
+            _listitem(builder, rng, f"page {sentence(rng, 3)} cassio speaks")
+            _listitem(builder, rng, f"then portia replies {sentence(rng, 2)}")
+        for _ in range(rng.randint(1, 3)):
+            _listitem(builder, rng, sentence(rng, rng.randint(4, 10)))
+        builder.close()
+    else:
+        builder.leaf("text", sentence(rng, rng.randint(6, 16)))
+    builder.close()
+
+
+def _item(builder: XMLBuilder, rng: random.Random, region: str, index: int, plant_pair: bool) -> None:
+    builder.open("item")
+    if region == "africa" and index % 3 == 0:
+        builder.leaf("location", "United States")
+    else:
+        builder.leaf("location", rng.choice(_COUNTRIES))
+    builder.leaf("quantity", str(rng.randint(1, 5)))
+    builder.leaf("name", sentence(rng, 3).title())
+    builder.leaf("payment", rng.choice(_PAYMENTS) if index % 4 else "Creditcard")
+    _description(builder, rng, plant_pair)
+    builder.open("mailbox")
+    for _ in range(rng.randint(0, 2)):
+        builder.open("mail")
+        builder.leaf("from", person_name(rng))
+        builder.leaf("to", person_name(rng))
+        builder.leaf("date", f"{rng.randint(1, 12):02d}/{rng.randint(1, 28):02d}/1998")
+        builder.leaf("text", sentence(rng, rng.randint(4, 10)))
+        builder.close()
+    builder.close()
+    builder.close().newline()
+
+
+def _person(builder: XMLBuilder, rng: random.Random, index: int) -> None:
+    builder.open("person")
+    builder.leaf("name", person_name(rng))
+    builder.leaf("emailaddress", f"mailto:user{index}@example.net")
+    if rng.random() < 0.5:
+        builder.open("address")
+        builder.leaf("street", f"{rng.randint(1, 99)} {sentence(rng, 1).title()} St")
+        builder.leaf("city", sentence(rng, 1).title())
+        builder.leaf("country", rng.choice(_COUNTRIES))
+        builder.close()
+    builder.close()
+
+
+def _auction(builder: XMLBuilder, rng: random.Random, index: int) -> None:
+    builder.open("open_auction")
+    builder.leaf("initial", f"{rng.uniform(1, 200):.2f}")
+    for _ in range(rng.randint(0, 3)):
+        builder.open("bidder")
+        builder.leaf("date", f"{rng.randint(1, 12):02d}/{rng.randint(1, 28):02d}/1998")
+        builder.leaf("increase", f"{rng.uniform(1, 30):.2f}")
+        builder.close()
+    builder.leaf("current", f"{rng.uniform(10, 400):.2f}")
+    builder.leaf("itemref", f"item{index}")
+    builder.leaf("seller", f"person{rng.randint(0, 999)}")
+    builder.close()
+
+
+def generate(scale: int = 600, seed: int = 0) -> GeneratedCorpus:
+    """Generate an auction site with ``scale`` items (plus people/auctions)."""
+    check_scale(scale)
+    rng = rng_for("xmark", scale, seed)
+    builder = XMLBuilder()
+    builder.open("site").newline()
+    builder.open("regions").newline()
+    per_region = max(1, scale // len(_REGIONS))
+    for region in _REGIONS:
+        builder.open(region).newline()
+        for index in range(per_region):
+            plant_pair = region == "africa" and index == min(2, per_region - 1)
+            _item(builder, rng, region, index, plant_pair)
+        builder.close().newline()
+    builder.close().newline()  # regions
+    builder.open("people").newline()
+    for index in range(max(1, scale // 3)):
+        _person(builder, rng, index)
+        if index % 10 == 9:
+            builder.newline()
+    builder.close().newline()
+    builder.open("open_auctions").newline()
+    for index in range(max(1, scale // 4)):
+        _auction(builder, rng, index)
+        if index % 10 == 9:
+            builder.newline()
+    builder.close().newline()
+    builder.close()  # site
+    return GeneratedCorpus(name="xmark", xml=builder.result(), scale=scale, seed=seed)

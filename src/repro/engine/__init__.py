@@ -1,0 +1,26 @@
+"""Query engine: axes on compressed instances, evaluators, result decoding."""
+
+from repro.engine.axes_compressed import apply_axis
+from repro.engine.axes_inplace import downward_axis_inplace
+from repro.engine.axes_tree import TreeIndex, tree_axis
+from repro.engine.evaluator import CompressedEvaluator, evaluate
+from repro.engine.pipeline import Engine, load_for_query, load_instance, query
+from repro.engine.results import QueryResult
+from repro.engine.tree_evaluator import TreeEvaluator, TreeResult, evaluate_on_tree
+
+__all__ = [
+    "CompressedEvaluator",
+    "Engine",
+    "QueryResult",
+    "TreeEvaluator",
+    "TreeIndex",
+    "TreeResult",
+    "apply_axis",
+    "downward_axis_inplace",
+    "evaluate",
+    "evaluate_on_tree",
+    "load_for_query",
+    "load_instance",
+    "query",
+    "tree_axis",
+]

@@ -1,0 +1,227 @@
+"""Axis application directly on compressed instances (section 3.2).
+
+Upward axes (Proposition 3.3) never change the DAG: whether a vertex has a
+descendant in ``S`` is a property of its (shared) subtree, so one memoized
+bottom-up pass adds the new selection in place.
+
+Downward and sibling axes may need to *split* shared vertices, because the
+new selection of a tree node depends on its ancestors/left siblings, which
+differ between the tree nodes a shared vertex represents.  The implementation
+here is functional: the output instance is (a reachable part of) the product
+``V x {0,1}``, where the bit is the one piece of context the axis needs —
+"has an ancestor in S" for descendant axes, "parent is in S" for child,
+"has a preceding/following sibling in S" for the sibling axes.  Memoising on
+``(vertex, bit)`` makes the at-most-2x growth of Proposition 3.2 and
+Theorem 3.6 structurally evident.  (The paper's literal in-place splitting
+procedure of Figure 4 is in :mod:`repro.engine.axes_inplace`; both are
+property-tested equivalent.)
+
+Multiplicity edges: for downward axes the bit is constant along a run, so
+runs survive untouched.  For sibling axes a run ``(w, m)`` with ``w in S``
+is where multiplicities genuinely interact — occurrences after the first
+have a preceding sibling *inside the run* — so a run may split into
+``(w,1) + (w', m-1)``, and symmetrically for preceding-sibling.  Note the
+precise growth accounting: vertices and *expanded* edges at most double per
+operation, but run-length edge *entries* can reach 4x under sibling axes
+(run splitting on top of vertex splitting); the paper's "at most doubles"
+refers to the expanded counts.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EvaluationError
+from repro.model.instance import Edge, Instance, normalize_edges
+
+
+def apply_axis(instance: Instance, axis: str, source: str, target: str) -> Instance:
+    """Apply ``axis`` to set ``source``, adding the result as set ``target``.
+
+    Upward axes and ``self`` mutate ``instance`` in place and return it;
+    splitting axes return a *new* instance (all existing sets carried over).
+    ``target`` must not already exist.
+    """
+    if instance.has_set(target):
+        raise EvaluationError(f"target set {target!r} already exists")
+    source_bit = instance.bit_of(source)
+    if not any(mask >> source_bit & 1 for mask in map(instance.mask, instance.preorder())):
+        # chi(empty) = empty for every axis: add an empty target set without
+        # touching the structure (a common case for queries over tags the
+        # document does not use).
+        instance.ensure_set(target)
+        return instance
+    if axis == "self":
+        return _in_place(instance, target, lambda v, child_masks: instance.mask(v) >> source_bit & 1)
+    if axis == "parent":
+        return _parent(instance, source_bit, target)
+    if axis == "ancestor":
+        return _ancestor(instance, source_bit, target, or_self=False)
+    if axis == "ancestor-or-self":
+        return _ancestor(instance, source_bit, target, or_self=True)
+    if axis in ("child", "descendant", "descendant-or-self"):
+        return _downward(instance, axis, source_bit, target)
+    if axis == "following-sibling":
+        return _sibling(instance, source_bit, target, following=True)
+    if axis == "preceding-sibling":
+        return _sibling(instance, source_bit, target, following=False)
+    if axis == "following":
+        return _composite(instance, source, target, ("ancestor-or-self", "following-sibling", "descendant-or-self"))
+    if axis == "preceding":
+        return _composite(instance, source, target, ("ancestor-or-self", "preceding-sibling", "descendant-or-self"))
+    raise EvaluationError(f"unknown axis {axis!r}")
+
+
+def _composite(instance: Instance, source: str, target: str, chain) -> Instance:
+    """following/preceding via the section 3.2 composition, through temps."""
+    current = source
+    temps = []
+    for index, axis in enumerate(chain):
+        name = f"{target}~{index}" if index < len(chain) - 1 else target
+        instance = apply_axis(instance, axis, current, name)
+        if current != source:
+            temps.append(current)
+        current = name
+    for name in temps:
+        instance.drop_set(name)
+    return instance
+
+
+# ----------------------------------------------------------------------
+# Upward axes: in place, one pass, no splitting (Proposition 3.3)
+# ----------------------------------------------------------------------
+
+
+def _in_place(instance: Instance, target: str, rule) -> Instance:
+    bit = 1 << instance.ensure_set(target)
+    for vertex in instance.postorder():
+        if rule(vertex, None):
+            instance.set_mask(vertex, instance.mask(vertex) | bit)
+    return instance
+
+
+def _parent(instance: Instance, source_bit: int, target: str) -> Instance:
+    target_bit = 1 << instance.ensure_set(target)
+    for vertex in instance.preorder():
+        for child, _ in instance.children(vertex):
+            if instance.mask(child) >> source_bit & 1:
+                instance.set_mask(vertex, instance.mask(vertex) | target_bit)
+                break
+    return instance
+
+
+def _ancestor(instance: Instance, source_bit: int, target: str, or_self: bool) -> Instance:
+    target_bit_index = instance.ensure_set(target)
+    target_bit = 1 << target_bit_index
+    # Children before parents: selection flows upward.
+    for vertex in instance.postorder():
+        mask = instance.mask(vertex)
+        selected = bool(or_self and (mask >> source_bit & 1))
+        if not selected:
+            for child, _ in instance.children(vertex):
+                child_mask = instance.mask(child)
+                if child_mask >> source_bit & 1 or child_mask >> target_bit_index & 1:
+                    selected = True
+                    break
+        # ancestor-or-self additionally keeps S itself selected.
+        if selected:
+            instance.set_mask(vertex, mask | target_bit)
+    return instance
+
+
+# ----------------------------------------------------------------------
+# Downward axes: (vertex, bit) product rebuild (Proposition 3.2)
+# ----------------------------------------------------------------------
+
+
+def _downward(instance: Instance, axis: str, source_bit: int, target: str) -> Instance:
+    result = Instance(instance.schema)
+    target_bit = 1 << result.ensure_set(target)
+    descend = axis in ("descendant", "descendant-or-self")
+    or_self = axis == "descendant-or-self"
+
+    memo: dict[tuple[int, int], int] = {}
+    # Iterative postorder over (vertex, bit) product states.
+    stack: list[tuple[int, int, bool]] = [(instance.root, 0, False)]
+    while stack:
+        vertex, bit, expanded = stack.pop()
+        state = (vertex, bit)
+        if state in memo:
+            continue
+        in_source = instance.mask(vertex) >> source_bit & 1
+        child_bit = 1 if (in_source or (descend and bit)) else 0
+        if not expanded:
+            stack.append((vertex, bit, True))
+            for child, _ in instance.children(vertex):
+                if (child, child_bit) not in memo:
+                    stack.append((child, child_bit, False))
+            continue
+        edges = tuple(
+            (memo[(child, child_bit)], count) for child, count in instance.children(vertex)
+        )
+        selected = bit or (or_self and in_source)
+        mask = instance.mask(vertex) | (target_bit if selected else 0)
+        memo[state] = result.new_vertex_masked(mask, edges)
+    result.set_root(memo[(instance.root, 0)])
+    return result
+
+
+# ----------------------------------------------------------------------
+# Sibling axes: product rebuild with per-run splitting (Proposition 3.4)
+# ----------------------------------------------------------------------
+
+
+def _sibling(instance: Instance, source_bit: int, target: str, following: bool) -> Instance:
+    result = Instance(instance.schema)
+    target_bit = 1 << result.ensure_set(target)
+
+    # The bit a child state receives depends only on its parent's children
+    # (not on the parent's own bit), so compute each parent's child-state run
+    # list once.
+    child_states: dict[int, list[tuple[int, int, int]]] = {}
+
+    def states_of(vertex: int) -> list[tuple[int, int, int]]:
+        cached = child_states.get(vertex)
+        if cached is not None:
+            return cached
+        runs: list[tuple[int, int, int]] = []  # (child, bit, count)
+        edges = instance.children(vertex)
+        flag = 0
+        sequence = edges if following else tuple(reversed(edges))
+        for child, count in sequence:
+            in_source = instance.mask(child) >> source_bit & 1
+            inner = 1 if (flag or in_source) else 0
+            if count == 1:
+                part = [(child, flag, 1)]
+            elif following:
+                part = [(child, flag, 1), (child, inner, count - 1)]
+            else:
+                part = [(child, inner, count - 1), (child, flag, 1)]
+            if not following:
+                part.reverse()  # we are scanning right-to-left
+            runs.extend(part)
+            flag = 1 if (flag or in_source) else 0
+        if not following:
+            runs.reverse()
+        child_states[vertex] = runs
+        return runs
+
+    memo: dict[tuple[int, int], int] = {}
+    stack: list[tuple[int, int, bool]] = [(instance.root, 0, False)]
+    while stack:
+        vertex, bit, expanded = stack.pop()
+        state = (vertex, bit)
+        if state in memo:
+            continue
+        runs = states_of(vertex)
+        if not expanded:
+            stack.append((vertex, bit, True))
+            for child, child_bit, _ in runs:
+                if (child, child_bit) not in memo:
+                    stack.append((child, child_bit, False))
+            continue
+        edges = normalize_edges(
+            (memo[(child, child_bit)], count) for child, child_bit, count in runs
+        )
+        mask = instance.mask(vertex) | (target_bit if bit else 0)
+        memo[state] = result.new_vertex_masked(mask, edges)
+    result.set_root(memo[(instance.root, 0)])
+    return result

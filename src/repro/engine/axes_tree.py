@@ -1,0 +1,164 @@
+"""Axis semantics on uncompressed tree instances.
+
+This is the reference implementation of the twelve Core XPath axis
+*functions* (forward-image semantics: ``n in child(S)`` iff n's parent is in
+``S``), used both as the baseline query engine (the ``O(|Q| x |T|)``
+algorithm of [Gottlob-Koch-Pichler 2002] the paper builds on) and as the
+oracle the compressed-instance algorithms are tested against.
+
+All operations are linear in the tree via a precomputed :class:`TreeIndex`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EvaluationError
+from repro.model.instance import Instance
+
+
+class TreeIndex:
+    """Parent/children/document-order indexes of a tree instance."""
+
+    __slots__ = ("tree", "parent", "children", "order", "rank")
+
+    def __init__(self, tree: Instance):
+        if not tree.is_tree():
+            raise EvaluationError("TreeIndex requires a tree instance")
+        self.tree = tree
+        n = tree.num_vertices
+        self.parent: list[int] = [-1] * n
+        self.children: list[list[int]] = [[] for _ in range(n)]
+        for vertex in range(n):
+            expanded = list(tree.expanded_children(vertex))
+            self.children[vertex] = expanded
+            for child in expanded:
+                self.parent[child] = vertex
+        self.order: list[int] = tree.preorder()
+        self.rank: list[int] = [0] * n
+        for position, vertex in enumerate(self.order):
+            self.rank[vertex] = position
+
+    @property
+    def root(self) -> int:
+        return self.tree.root
+
+    @property
+    def vertices(self) -> set[int]:
+        return set(self.order)
+
+
+def tree_axis(index: TreeIndex, axis: str, selection: set[int]) -> set[int]:
+    """Apply an axis function to a node set on a tree."""
+    try:
+        handler = _HANDLERS[axis]
+    except KeyError:
+        raise EvaluationError(f"unknown axis {axis!r}") from None
+    return handler(index, selection)
+
+
+def _self(index: TreeIndex, s: set[int]) -> set[int]:
+    return set(s)
+
+
+def _child(index: TreeIndex, s: set[int]) -> set[int]:
+    out: set[int] = set()
+    for vertex in s:
+        out.update(index.children[vertex])
+    return out
+
+
+def _parent(index: TreeIndex, s: set[int]) -> set[int]:
+    return {index.parent[v] for v in s if index.parent[v] >= 0}
+
+
+def _descendant(index: TreeIndex, s: set[int]) -> set[int]:
+    # One preorder sweep with a counter of open S-ancestors.
+    out: set[int] = set()
+    stack: list[tuple[int, bool]] = [(index.root, False)]
+    active = 0
+    # Use explicit enter/exit events so `active` reflects open ancestors.
+    events: list[tuple[str, int]] = [("enter", index.root)]
+    while events:
+        kind, vertex = events.pop()
+        if kind == "exit":
+            if vertex in s:
+                active -= 1
+            continue
+        if active:
+            out.add(vertex)
+        events.append(("exit", vertex))
+        if vertex in s:
+            active += 1
+        for child in reversed(index.children[vertex]):
+            events.append(("enter", child))
+    return out
+
+
+def _ancestor(index: TreeIndex, s: set[int]) -> set[int]:
+    out: set[int] = set()
+    for vertex in s:
+        current = index.parent[vertex]
+        while current >= 0 and current not in out:
+            out.add(current)
+            current = index.parent[current]
+    return out
+
+
+def _descendant_or_self(index: TreeIndex, s: set[int]) -> set[int]:
+    return _descendant(index, s) | s
+
+
+def _ancestor_or_self(index: TreeIndex, s: set[int]) -> set[int]:
+    return _ancestor(index, s) | s
+
+
+def _following_sibling(index: TreeIndex, s: set[int]) -> set[int]:
+    out: set[int] = set()
+    for vertex in index.order:
+        seen = False
+        for child in index.children[vertex]:
+            if seen:
+                out.add(child)
+            if child in s:
+                seen = True
+    return out
+
+
+def _preceding_sibling(index: TreeIndex, s: set[int]) -> set[int]:
+    out: set[int] = set()
+    for vertex in index.order:
+        seen = False
+        for child in reversed(index.children[vertex]):
+            if seen:
+                out.add(child)
+            if child in s:
+                seen = True
+    return out
+
+
+def _following(index: TreeIndex, s: set[int]) -> set[int]:
+    # The paper's composition (section 3.2):
+    # following = descendant-or-self(following-sibling(ancestor-or-self(S))).
+    return _descendant_or_self(
+        index, _following_sibling(index, _ancestor_or_self(index, s))
+    )
+
+
+def _preceding(index: TreeIndex, s: set[int]) -> set[int]:
+    return _descendant_or_self(
+        index, _preceding_sibling(index, _ancestor_or_self(index, s))
+    )
+
+
+_HANDLERS = {
+    "self": _self,
+    "child": _child,
+    "parent": _parent,
+    "descendant": _descendant,
+    "ancestor": _ancestor,
+    "descendant-or-self": _descendant_or_self,
+    "ancestor-or-self": _ancestor_or_self,
+    "following-sibling": _following_sibling,
+    "preceding-sibling": _preceding_sibling,
+    "following": _following,
+    "preceding": _preceding,
+}

@@ -1,0 +1,183 @@
+"""Bottom-up evaluation of algebra expressions on compressed instances (3.3).
+
+The evaluator walks the query's algebra tree in postorder.  Every
+subexpression materialises as a *named selection* on the working instance
+(the paper's "always adding the resulting selection to the resulting
+instance for future use"); axis applications may partially decompress the
+instance, and because every existing set is carried through a rebuild,
+previously computed selections remain valid.
+
+Set operations and ``V|root`` are pure mask arithmetic; axes dispatch to
+:mod:`repro.engine.axes_compressed` (default) or the Figure 4 port in
+:mod:`repro.engine.axes_inplace`.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import EvaluationError
+from repro.model.instance import Instance
+from repro.model.schema import DOC_SET, is_temp, temp_set
+from repro.engine import axes_compressed, axes_inplace
+from repro.engine.results import QueryResult
+from repro.xpath.algebra import (
+    AlgebraExpr,
+    AllNodes,
+    AxisApply,
+    ContextSet,
+    Difference,
+    Intersect,
+    NamedSet,
+    RootFilter,
+    RootSet,
+    Union,
+)
+from repro.xpath.compiler import compile_query
+
+
+class CompressedEvaluator:
+    """Evaluates Core XPath algebra expressions over one compressed instance.
+
+    ``context`` names an existing set used for relative queries' starting
+    selection; it defaults to the root singleton.  ``axes`` selects the axis
+    implementation: ``"functional"`` (default) or ``"inplace"`` (Figure 4).
+    With ``copy=False`` the caller's instance is consumed/mutated.
+    """
+
+    def __init__(
+        self,
+        instance: Instance,
+        context: str | None = None,
+        axes: str = "functional",
+        copy: bool = True,
+    ):
+        if axes not in ("functional", "inplace"):
+            raise EvaluationError(f"unknown axes implementation {axes!r}")
+        self._instance = instance.copy() if copy else instance
+        self._context = context
+        self._axes = axes
+        self._counter = 0
+
+    @property
+    def instance(self) -> Instance:
+        """The working instance (inspect after evaluation to see splits)."""
+        return self._instance
+
+    def evaluate(self, query: str | AlgebraExpr, keep_temps: bool = False) -> QueryResult:
+        """Evaluate a query (string or compiled algebra) to a result selection."""
+        expr = compile_query(query) if isinstance(query, str) else query
+        before = (
+            len(self._instance.preorder()),
+            sum(len(self._instance.children(v)) for v in self._instance.preorder()),
+        )
+        started = time.perf_counter()
+        result_name = self._eval(expr)
+        elapsed = time.perf_counter() - started
+        if not keep_temps:
+            self._drop_temps(except_for=result_name)
+        return QueryResult(
+            instance=self._instance, set_name=result_name, before=before, seconds=elapsed
+        )
+
+    # ------------------------------------------------------------------
+
+    def _fresh(self) -> str:
+        self._counter += 1
+        return temp_set(self._counter)
+
+    def _drop_temps(self, except_for: str) -> None:
+        for name in list(self._instance.schema):
+            if is_temp(name) and name != except_for:
+                self._instance.drop_set(name)
+
+    def _eval(self, expr: AlgebraExpr) -> str:
+        instance = self._instance
+        if isinstance(expr, NamedSet):
+            if not instance.has_set(expr.name):
+                raise EvaluationError(
+                    f"set {expr.name!r} is not in the instance schema; "
+                    f"load the document with the tags/strings this query needs"
+                )
+            return expr.name
+        if isinstance(expr, RootSet):
+            name = self._fresh()
+            instance.add_to_set(instance.root, name)
+            return name
+        if isinstance(expr, AllNodes):
+            name = self._fresh()
+            bit = 1 << instance.ensure_set(name)
+            for vertex in instance.preorder():
+                instance.set_mask(vertex, instance.mask(vertex) | bit)
+            return name
+        if isinstance(expr, ContextSet):
+            if self._context is not None:
+                if not instance.has_set(self._context):
+                    raise EvaluationError(f"context set {self._context!r} missing")
+                return self._context
+            # Default context: the document root (the paper's experiments
+            # select the root as context, Figure 5 caption).
+            name = self._fresh()
+            instance.add_to_set(instance.root, name)
+            return name
+        if isinstance(expr, (Union, Intersect, Difference)):
+            left = self._eval(expr.left)
+            right = self._eval(expr.right)
+            return self._combine(expr, left, right)
+        if isinstance(expr, AxisApply):
+            source = self._eval(expr.operand)
+            target = self._fresh()
+            if self._axes == "inplace" and expr.axis in (
+                "child",
+                "descendant",
+                "descendant-or-self",
+            ):
+                self._instance = axes_inplace.downward_axis_inplace(
+                    self._instance, expr.axis, source, target
+                )
+            else:
+                self._instance = axes_compressed.apply_axis(
+                    self._instance, expr.axis, source, target
+                )
+            return target
+        if isinstance(expr, RootFilter):
+            source = self._eval(expr.operand)
+            instance = self._instance  # may have been rebuilt
+            name = self._fresh()
+            bit = 1 << instance.ensure_set(name)
+            if instance.in_set(instance.root, source):
+                for vertex in instance.preorder():
+                    instance.set_mask(vertex, instance.mask(vertex) | bit)
+            return name
+        raise EvaluationError(f"cannot evaluate algebra node {expr!r}")
+
+    def _combine(self, expr: AlgebraExpr, left: str, right: str) -> str:
+        instance = self._instance
+        name = self._fresh()
+        target_bit = 1 << instance.ensure_set(name)
+        left_bit = instance.bit_of(left)
+        right_bit = instance.bit_of(right)
+        for vertex in instance.preorder():
+            mask = instance.mask(vertex)
+            a = mask >> left_bit & 1
+            b = mask >> right_bit & 1
+            if isinstance(expr, Union):
+                value = a | b
+            elif isinstance(expr, Intersect):
+                value = a & b
+            else:
+                value = a & ~b & 1
+            if value:
+                instance.set_mask(vertex, mask | target_bit)
+        return name
+
+
+def evaluate(
+    instance: Instance,
+    query: str | AlgebraExpr,
+    context: str | None = None,
+    axes: str = "functional",
+    copy: bool = True,
+) -> QueryResult:
+    """One-shot convenience wrapper around :class:`CompressedEvaluator`."""
+    return CompressedEvaluator(instance, context=context, axes=axes, copy=copy).evaluate(query)

@@ -1,0 +1,104 @@
+"""The end-to-end pipeline of section 4: document + query -> result.
+
+Given a query, only the tags and string constraints it mentions are needed
+in the instance schema; :func:`load_for_query` performs the paper's one-scan
+extraction over exactly that schema, and :func:`query` runs the full
+pipeline.  :class:`Engine` caches per-schema instances for a document so
+repeated queries with the same leaf sets skip the parse (the paper re-parses
+per query; both behaviours are measurable in the benchmarks).
+"""
+
+from __future__ import annotations
+
+from repro.model.instance import Instance
+from repro.skeleton.loader import LoadResult, load
+from repro.engine.evaluator import CompressedEvaluator
+from repro.engine.results import QueryResult
+from repro.xpath.compiler import compile_query, required_strings, required_tags
+
+
+def load_for_query(text: str, query_text: str) -> LoadResult:
+    """One-scan load of exactly the schema ``query_text`` needs (section 4).
+
+    Queries with ``@name`` steps automatically switch the loader into
+    attribute-node mode (the extension of the paper's attribute-free model).
+    """
+    tags = sorted(required_tags(query_text))
+    strings = sorted(required_strings(query_text))
+    attributes = "nodes" if any(tag.startswith("@") for tag in tags) else "ignore"
+    return load(text, tags=tags, strings=strings, attributes=attributes)
+
+
+def query(
+    source: str | Instance,
+    query_text: str,
+    context: str | None = None,
+    axes: str = "functional",
+) -> QueryResult:
+    """Evaluate ``query_text`` against XML text or a pre-loaded instance.
+
+    When ``source`` is XML text, the document is parsed into a compressed
+    instance over the query's schema first (the measured pipeline of
+    Figure 7); when it is an :class:`Instance`, its schema must already
+    contain the sets the query mentions.
+    """
+    if isinstance(source, Instance):
+        instance = source
+    else:
+        instance = load_for_query(source, query_text).instance
+    evaluator = CompressedEvaluator(instance, context=context, axes=axes)
+    return evaluator.evaluate(query_text)
+
+
+class Engine:
+    """A document holder answering many queries.
+
+    ``reparse_per_query=True`` reproduces the paper's experimental setup
+    (re-extract a fresh minimal instance for each query's schema);
+    ``False`` caches instances per schema.
+    """
+
+    def __init__(self, text: str, reparse_per_query: bool = True, axes: str = "functional"):
+        self._text = text
+        self._reparse = reparse_per_query
+        self._axes = axes
+        self._cache: dict[tuple[tuple[str, ...], tuple[str, ...]], Instance] = {}
+        self.last_load: LoadResult | None = None
+
+    def instance_for(self, query_text: str) -> Instance:
+        """The compressed instance over the query's schema (maybe cached)."""
+        key = (
+            tuple(sorted(required_tags(query_text))),
+            tuple(sorted(required_strings(query_text))),
+        )
+        if not self._reparse and key in self._cache:
+            return self._cache[key]
+        attributes = "nodes" if any(tag.startswith("@") for tag in key[0]) else "ignore"
+        result = load(
+            self._text, tags=list(key[0]), strings=list(key[1]), attributes=attributes
+        )
+        self.last_load = result
+        if not self._reparse:
+            self._cache[key] = result.instance
+        return result.instance
+
+    def query(self, query_text: str, context: str | None = None) -> QueryResult:
+        instance = self.instance_for(query_text)
+        evaluator = CompressedEvaluator(instance, context=context, axes=self._axes)
+        return evaluator.evaluate(query_text)
+
+    def explain(self, query_text: str) -> str:
+        """Render the compiled algebra tree (the Figure 3 view of a query)."""
+        return compile_query(query_text).render()
+
+
+# Re-exported via the top-level package for the quick-start API.
+def load_instance(text: str, query_text: str | None = None, **kwargs) -> Instance:
+    """Load ``text`` as a compressed instance.
+
+    With ``query_text`` the schema is derived from the query (section 4);
+    otherwise pass ``tags=`` / ``strings=`` through to the skeleton loader.
+    """
+    if query_text is not None:
+        return load_for_query(text, query_text).instance
+    return load(text, **kwargs).instance

@@ -1,0 +1,91 @@
+"""Decoding query results from compressed instances (Figure 7 columns 5-8).
+
+A query result is a named selection on a (possibly partially decompressed)
+instance.  A selected DAG vertex represents all tree nodes that unfold from
+it, so the result offers both counts: selected DAG vertices (column 7) and
+the tree nodes they stand for (column 8, via path counting), plus bounded
+materialisation of the actual tree nodes as edge paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.model.instance import Instance
+from repro.model.paths import iter_edge_paths, tree_node_counts
+
+
+@dataclass
+class QueryResult:
+    """A selection ``set_name`` on the evaluation's final ``instance``."""
+
+    instance: Instance
+    set_name: str
+    #: Sizes of the instance before evaluation (vertices, edge entries).
+    before: tuple[int, int] = (0, 0)
+    #: Wall-clock seconds spent in evaluation (set by the evaluator).
+    seconds: float = 0.0
+
+    def vertices(self) -> set[int]:
+        """The selected DAG vertices."""
+        return self.instance.members(self.set_name)
+
+    def dag_count(self) -> int:
+        """Figure 7 column (7): #nodes selected in the compressed instance."""
+        return len(self.vertices() & set(self.instance.preorder()))
+
+    def tree_count(self) -> int:
+        """Figure 7 column (8): #tree nodes the selection represents."""
+        counts = tree_node_counts(self.instance)
+        bit = self.instance.bit_of(self.set_name)
+        return sum(
+            counts.get(v, 0)
+            for v in range(self.instance.num_vertices)
+            if self.instance.mask(v) >> bit & 1
+        )
+
+    @property
+    def after(self) -> tuple[int, int]:
+        """Instance size after evaluation (vertices, edge entries)."""
+        reachable = self.instance.preorder()
+        entries = sum(len(self.instance.children(v)) for v in reachable)
+        return (len(reachable), entries)
+
+    def is_empty(self) -> bool:
+        return self.dag_count() == 0
+
+    def tree_paths(self, limit: int = 1_000_000) -> list[tuple[int, ...]]:
+        """Edge paths of all selected tree nodes, in document order.
+
+        This is the "decode" step the paper describes for column (8): a
+        single depth-first traversal of the partially decompressed instance.
+        """
+        bit = self.instance.bit_of(self.set_name)
+        mask_of = self.instance.mask
+        return [
+            path
+            for vertex, path in iter_edge_paths(self.instance, limit=limit)
+            if mask_of(vertex) >> bit & 1
+        ]
+
+    def iter_tree_matches(self, limit: int = 1_000_000) -> Iterator[tuple[tuple[int, ...], int]]:
+        """Yield ``(edge_path, dag_vertex)`` for each selected tree node."""
+        bit = self.instance.bit_of(self.set_name)
+        for vertex, path in iter_edge_paths(self.instance, limit=limit):
+            if self.instance.mask(vertex) >> bit & 1:
+                yield path, vertex
+
+    def decompression_ratio(self) -> float:
+        """How much the instance grew during evaluation (1.0 = not at all)."""
+        if not self.before[0]:
+            return 1.0
+        return self.after[0] / self.before[0]
+
+    def summary(self) -> str:
+        after = self.after
+        return (
+            f"query time {self.seconds * 1000:8.2f} ms | instance "
+            f"{self.before[0]}v/{self.before[1]}e -> {after[0]}v/{after[1]}e | "
+            f"selected {self.dag_count()} dag / {self.tree_count()} tree nodes"
+        )

@@ -1,0 +1,93 @@
+"""The baseline: Core XPath evaluation on uncompressed trees.
+
+This is the ``O(|Q| x |T|)`` main-memory algorithm of [14] that the paper
+compares against (section 6 argues the compressed engine is competitive even
+on uncompressed data).  It evaluates the same algebra expressions, but over
+plain Python sets of tree vertices, using the axis functions of
+:mod:`repro.engine.axes_tree`.
+
+It doubles as the test oracle: results are compared against the compressed
+engine's decoded selections on the materialised tree.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.errors import EvaluationError
+from repro.model.instance import Instance
+from repro.engine.axes_tree import TreeIndex, tree_axis
+from repro.xpath.algebra import (
+    AlgebraExpr,
+    AllNodes,
+    AxisApply,
+    ContextSet,
+    Difference,
+    Intersect,
+    NamedSet,
+    RootFilter,
+    RootSet,
+    Union,
+)
+from repro.xpath.compiler import compile_query
+
+
+@dataclass
+class TreeResult:
+    """A baseline result: plain tree-vertex set plus timing."""
+
+    tree: Instance
+    vertices: set[int]
+    seconds: float
+
+    def count(self) -> int:
+        return len(self.vertices)
+
+
+class TreeEvaluator:
+    """Evaluates algebra expressions on a tree instance with native sets."""
+
+    def __init__(self, tree: Instance, context: set[int] | None = None):
+        self._index = TreeIndex(tree)
+        self._tree = tree
+        self._context = context
+
+    def evaluate(self, query: str | AlgebraExpr) -> TreeResult:
+        expr = compile_query(query) if isinstance(query, str) else query
+        started = time.perf_counter()
+        vertices = self._eval(expr)
+        elapsed = time.perf_counter() - started
+        return TreeResult(tree=self._tree, vertices=vertices, seconds=elapsed)
+
+    def _eval(self, expr: AlgebraExpr) -> set[int]:
+        tree = self._tree
+        if isinstance(expr, NamedSet):
+            if not tree.has_set(expr.name):
+                raise EvaluationError(f"set {expr.name!r} is not in the tree schema")
+            return tree.members(expr.name)
+        if isinstance(expr, RootSet):
+            return {tree.root}
+        if isinstance(expr, AllNodes):
+            return self._index.vertices
+        if isinstance(expr, ContextSet):
+            return set(self._context) if self._context is not None else {tree.root}
+        if isinstance(expr, Union):
+            return self._eval(expr.left) | self._eval(expr.right)
+        if isinstance(expr, Intersect):
+            return self._eval(expr.left) & self._eval(expr.right)
+        if isinstance(expr, Difference):
+            return self._eval(expr.left) - self._eval(expr.right)
+        if isinstance(expr, AxisApply):
+            return tree_axis(self._index, expr.axis, self._eval(expr.operand))
+        if isinstance(expr, RootFilter):
+            inner = self._eval(expr.operand)
+            return self._index.vertices if tree.root in inner else set()
+        raise EvaluationError(f"cannot evaluate algebra node {expr!r}")
+
+
+def evaluate_on_tree(
+    tree: Instance, query: str | AlgebraExpr, context: set[int] | None = None
+) -> TreeResult:
+    """One-shot convenience wrapper around :class:`TreeEvaluator`."""
+    return TreeEvaluator(tree, context=context).evaluate(query)

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the repro library.
+
+All errors raised by this library derive from :class:`ReproError`, so callers
+can catch one type at an API boundary.  Subsystems raise the most specific
+subclass available.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class InstanceError(ReproError):
+    """An instance violates a structural invariant (cycle, missing root, ...)."""
+
+
+class SchemaError(ReproError):
+    """A schema (set of unary relation names) is used inconsistently."""
+
+
+class IncompatibleInstancesError(ReproError):
+    """Two instances disagree on their shared reduct (section 2.3)."""
+
+
+class DecompressionLimitError(ReproError):
+    """Materialising the tree version of an instance would exceed a limit."""
+
+
+class XMLSyntaxError(ReproError):
+    """The XML substrate found malformed input.
+
+    Carries the byte/character offset and (line, column) of the offending
+    position when available.
+    """
+
+    def __init__(self, message: str, offset: int = -1, line: int = -1, column: int = -1):
+        location = ""
+        if line >= 1:
+            location = f" at line {line}, column {column}"
+        elif offset >= 0:
+            location = f" at offset {offset}"
+        super().__init__(message + location)
+        self.offset = offset
+        self.line = line
+        self.column = column
+
+
+class XPathSyntaxError(ReproError):
+    """The Core XPath parser rejected a query string."""
+
+    def __init__(self, message: str, position: int = -1):
+        location = f" at position {position}" if position >= 0 else ""
+        super().__init__(message + location)
+        self.position = position
+
+
+class XPathCompileError(ReproError):
+    """A parsed query cannot be compiled to the node-set algebra."""
+
+
+class EvaluationError(ReproError):
+    """The engine was asked to evaluate an ill-formed algebra expression."""
+
+
+class CorpusError(ReproError):
+    """A corpus generator was configured with invalid parameters."""

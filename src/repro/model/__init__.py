@@ -1,0 +1,51 @@
+"""Instance model: sigma-instances, edge paths, equivalence, bisimulation.
+
+This package implements section 2 of Buneman/Grohe/Koch (VLDB 2003): the
+data model shared by uncompressed XML skeletons (tree instances) and their
+compressed DAG versions.
+"""
+
+from repro.model.instance import Edge, Instance, expand_edges, normalize_edges, tree_instance
+from repro.model.schema import DOC_SET, string_set, tag_set, temp_set
+from repro.model.paths import (
+    selected_tree_count,
+    tree_edge_count,
+    tree_node_counts,
+    tree_size,
+)
+from repro.model.equivalence import compatible, equivalent, equivalent_by_paths
+from repro.model.bisimulation import (
+    coarsest_bisimulation,
+    identity_partition,
+    is_bisimilarity,
+    is_minimal,
+    join,
+    meet,
+    quotient,
+)
+
+__all__ = [
+    "DOC_SET",
+    "Edge",
+    "Instance",
+    "coarsest_bisimulation",
+    "compatible",
+    "equivalent",
+    "equivalent_by_paths",
+    "expand_edges",
+    "identity_partition",
+    "is_bisimilarity",
+    "is_minimal",
+    "join",
+    "meet",
+    "normalize_edges",
+    "quotient",
+    "selected_tree_count",
+    "string_set",
+    "tag_set",
+    "temp_set",
+    "tree_edge_count",
+    "tree_instance",
+    "tree_node_counts",
+    "tree_size",
+]

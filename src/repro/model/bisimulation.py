@@ -1,0 +1,126 @@
+"""Bisimilarity relations and their lattice (section 2.2).
+
+A bisimilarity relation on an instance is an equivalence relation ``~`` on
+vertices such that related vertices have identical set memberships and
+position-wise ``~``-related children.  Quotienting by a bisimilarity relation
+preserves equivalence (Proposition 2.3); the relations form a lattice whose
+maximum yields the fully compressed instance ``M(I)`` (Proposition 2.5).
+
+Partitions are represented as ``dict[vertex, class_id]`` over the reachable
+vertices.
+"""
+
+from __future__ import annotations
+
+from repro.model.canonical import canonical_ids
+from repro.model.instance import Instance, normalize_edges
+
+Partition = dict[int, int]
+
+
+def identity_partition(instance: Instance) -> Partition:
+    """The finest bisimilarity relation: every vertex in its own class."""
+    return {v: v for v in instance.preorder()}
+
+
+def _class_signature(instance: Instance, partition: Partition, vertex: int) -> tuple:
+    """The (mask, normalized child-class runs) signature a class must agree on."""
+    edges = normalize_edges(
+        (partition[child], count) for child, count in instance.children(vertex)
+    )
+    return instance.mask(vertex), edges
+
+
+def is_bisimilarity(instance: Instance, partition: Partition) -> bool:
+    """Check whether ``partition`` is a bisimilarity relation on ``instance``.
+
+    Two vertices may share a class only if they have the same set-membership
+    mask and their expanded child sequences are position-wise in the same
+    classes (equivalently: equal run-length-normalized class sequences).
+    """
+    reachable = instance.preorder()
+    if set(partition) != set(reachable):
+        return False
+    signatures: dict[int, tuple] = {}
+    for vertex in reachable:
+        cls = partition[vertex]
+        signature = _class_signature(instance, partition, vertex)
+        if signatures.setdefault(cls, signature) != signature:
+            return False
+    return True
+
+
+def quotient(instance: Instance, partition: Partition) -> Instance:
+    """``I/~``: identify all vertices within a class.
+
+    The caller must pass a genuine bisimilarity relation (checked cheaply by
+    signature agreement in :func:`is_bisimilarity`); members of a class then
+    agree on masks and child-class sequences, so any representative works.
+    """
+    order = instance.topological_order()
+    class_vertex: dict[int, int] = {}
+    result = Instance(instance.schema)
+    # Children before parents so child classes exist when a parent is built.
+    for vertex in reversed(order):
+        cls = partition[vertex]
+        if cls in class_vertex:
+            continue
+        edges = normalize_edges(
+            (class_vertex[partition[child]], count)
+            for child, count in instance.children(vertex)
+        )
+        class_vertex[cls] = result.new_vertex_masked(instance.mask(vertex), edges)
+    result.set_root(class_vertex[partition[instance.root]])
+    return result
+
+
+def coarsest_bisimulation(instance: Instance) -> Partition:
+    """The maximum of the bisimilarity lattice: vertex -> canonical id."""
+    return canonical_ids(instance)
+
+
+def is_minimal(instance: Instance) -> bool:
+    """True if equality is the only bisimilarity relation (section 2.2)."""
+    ids = coarsest_bisimulation(instance)
+    return len(set(ids.values())) == len(ids)
+
+
+def meet(p1: Partition, p2: Partition) -> Partition:
+    """Greatest lower bound: the intersection of the two equivalence relations."""
+    pairs: dict[tuple[int, int], int] = {}
+    out: Partition = {}
+    for vertex in p1:
+        key = (p1[vertex], p2[vertex])
+        out[vertex] = pairs.setdefault(key, len(pairs))
+    return out
+
+
+def join(p1: Partition, p2: Partition) -> Partition:
+    """Least upper bound: transitive closure of the union (via union-find)."""
+    parent: dict[int, int] = {}
+
+    def find(x: int) -> int:
+        root = x
+        while parent.setdefault(root, root) != root:
+            root = parent[root]
+        while parent[x] != root:  # path compression
+            parent[x], x = root, parent[x]
+        return root
+
+    def union(x: int, y: int) -> None:
+        rx, ry = find(x), find(y)
+        if rx != ry:
+            parent[rx] = ry
+
+    by_class: dict[tuple[str, int], int] = {}
+    for tag, partition in (("a", p1), ("b", p2)):
+        for vertex, cls in partition.items():
+            anchor = by_class.setdefault((tag, cls), vertex)
+            union(anchor, vertex)
+
+    renumber: dict[int, int] = {}
+    out: Partition = {}
+    for vertex in p1:
+        root = find(vertex)
+        out[vertex] = renumber.setdefault(root, len(renumber))
+    return out

@@ -1,0 +1,52 @@
+"""Instance equivalence (Definition 2.1).
+
+Two sigma-instances are equivalent when they have the same edge-path sets
+``Pi(V)`` and ``Pi(S)`` for every ``S`` in the schema — i.e. they unfold to
+the same labeled ordered tree.  Enumerating paths is exponential, so the
+practical decision procedure canonicalises both instances in a shared
+hash-cons table and compares root ids (``I == J  iff  M(I) ~ M(J)``,
+Propositions 2.3-2.5).  The brute-force path comparison is kept as
+:func:`equivalent_by_paths` and used by tests as an oracle on small inputs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchemaError
+from repro.model.canonical import ConsTable, canonical_ids, shared_name_order
+from repro.model.instance import Instance
+from repro.model.paths import edge_path_set, set_path_sets
+
+
+def equivalent(a: Instance, b: Instance) -> bool:
+    """Decide equivalence via shared canonicalisation (linear time).
+
+    Raises :class:`SchemaError` if the instances are over different schema
+    *sets* (equivalence is only defined for instances over the same schema;
+    use :meth:`Instance.reduct` first if needed).
+    """
+    order = shared_name_order(a, b)
+    table = ConsTable()
+    ids_a = canonical_ids(a, table, order)
+    ids_b = canonical_ids(b, table, order)
+    return ids_a[a.root] == ids_b[b.root]
+
+
+def equivalent_by_paths(a: Instance, b: Instance, limit: int = 100_000) -> bool:
+    """Decide equivalence by explicit edge-path enumeration (test oracle).
+
+    Exponential in the worst case; raises
+    :class:`repro.errors.DecompressionLimitError` beyond ``limit`` tree nodes.
+    """
+    if set(a.schema) != set(b.schema):
+        raise SchemaError("instances are over different schemas")
+    if edge_path_set(a, limit) != edge_path_set(b, limit):
+        return False
+    paths_a = set_path_sets(a, limit)
+    paths_b = set_path_sets(b, limit)
+    return all(paths_a[name] == paths_b[name] for name in a.schema)
+
+
+def compatible(a: Instance, b: Instance) -> bool:
+    """Section 2.3: compatible iff the reducts to the shared schema are equivalent."""
+    shared = sorted(set(a.schema) & set(b.schema))
+    return equivalent(a.reduct(shared), b.reduct(shared))

@@ -1,0 +1,478 @@
+"""The sigma-instance data structure (section 2.1 of the paper).
+
+An instance is a tuple ``(V, gamma, root, S_1 ... S_n)`` where ``gamma`` maps
+each vertex to the *ordered sequence* of its children, the induced directed
+graph is acyclic with a single root, and each ``S_i`` is a vertex subset named
+by the schema.  Both uncompressed XML skeletons (trees) and their compressed
+DAG versions are values of this one type.
+
+Representation choices (see DESIGN.md section 4):
+
+* vertices are dense integers ``0 .. num_vertices-1``;
+* child sequences are stored run-length encoded as ``(child, count)`` pairs —
+  the *edge multiplicities* of Figure 1(c); ``count >= 1`` and adjacent
+  entries with the same child are merged by :meth:`Instance.set_children`;
+* set membership is a per-vertex integer bitmask, with schema names mapped to
+  bit positions; this makes the hash-consing key of the compressor a cheap
+  ``(mask, children)`` tuple and set operations integer arithmetic.
+
+The structure is mutable: the query engine adds selections (new sets) and
+splits shared vertices during partial decompression.  Use :meth:`copy` when
+an evaluation must not disturb its input.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.errors import InstanceError, SchemaError
+
+#: A run-length encoded edge: ``(child vertex, multiplicity)``.
+Edge = tuple[int, int]
+
+
+def normalize_edges(edges: Iterable[Edge]) -> tuple[Edge, ...]:
+    """Merge adjacent runs with equal targets and validate multiplicities.
+
+    ``[(a, 2), (a, 3), (b, 1)]`` becomes ``((a, 5), (b, 1))``.  Entries with
+    ``count == 0`` are dropped; negative counts are rejected.
+    """
+    out: list[Edge] = []
+    for child, count in edges:
+        if count < 0:
+            raise InstanceError(f"negative edge multiplicity {count} to vertex {child}")
+        if count == 0:
+            continue
+        if out and out[-1][0] == child:
+            out[-1] = (child, out[-1][1] + count)
+        else:
+            out.append((child, count))
+    return tuple(out)
+
+
+def expand_edges(edges: Iterable[Edge]) -> Iterator[int]:
+    """Yield the child sequence with multiplicities expanded."""
+    for child, count in edges:
+        for _ in range(count):
+            yield child
+
+
+class Instance:
+    """A rooted, ordered, acyclic sigma-instance with multiplicity edges."""
+
+    __slots__ = ("_schema", "_bits", "_children", "_masks", "_root")
+
+    def __init__(self, schema: Iterable[str] = ()):
+        self._schema: list[str] = []
+        self._bits: dict[str, int] = {}
+        for name in schema:
+            self.ensure_set(name)
+        self._children: list[tuple[Edge, ...]] = []
+        self._masks: list[int] = []
+        self._root: int = -1
+
+    # ------------------------------------------------------------------
+    # Schema management
+    # ------------------------------------------------------------------
+
+    @property
+    def schema(self) -> tuple[str, ...]:
+        """The schema as an ordered tuple of set names (order = bit position)."""
+        return tuple(self._schema)
+
+    def has_set(self, name: str) -> bool:
+        """True if ``name`` is in the schema."""
+        return name in self._bits
+
+    def bit_of(self, name: str) -> int:
+        """Bit position of set ``name``; raises :class:`SchemaError` if absent."""
+        try:
+            return self._bits[name]
+        except KeyError:
+            raise SchemaError(f"set {name!r} is not in the schema {self._schema!r}") from None
+
+    def ensure_set(self, name: str) -> int:
+        """Add ``name`` to the schema if missing; return its bit position."""
+        if not name:
+            raise SchemaError("set names must be non-empty")
+        bit = self._bits.get(name)
+        if bit is None:
+            bit = len(self._schema)
+            self._schema.append(name)
+            self._bits[name] = bit
+        return bit
+
+    def drop_set(self, name: str) -> None:
+        """Remove set ``name`` from the schema, compacting vertex masks."""
+        bit = self.bit_of(name)
+        low = (1 << bit) - 1
+        self._masks = [(m & low) | ((m >> (bit + 1)) << bit) for m in self._masks]
+        del self._schema[bit]
+        self._bits = {n: i for i, n in enumerate(self._schema)}
+
+    # ------------------------------------------------------------------
+    # Vertices and edges
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``|V|``."""
+        return len(self._children)
+
+    @property
+    def root(self) -> int:
+        """The root vertex; raises if unset."""
+        if self._root < 0:
+            raise InstanceError("instance has no root (call set_root)")
+        return self._root
+
+    @property
+    def has_root(self) -> bool:
+        return self._root >= 0
+
+    def set_root(self, vertex: int) -> None:
+        self._check_vertex(vertex)
+        self._root = vertex
+
+    def new_vertex(self, sets: Iterable[str] = (), children: Iterable[Edge] = ()) -> int:
+        """Create a vertex, optionally with set memberships and children.
+
+        Children must already exist, which enforces acyclicity for instances
+        built bottom-up.  (Top-down construction can use
+        :meth:`set_children` later; :meth:`validate` re-checks acyclicity.)
+        """
+        mask = 0
+        for name in sets:
+            mask |= 1 << self.ensure_set(name)
+        vertex = len(self._children)
+        self._children.append(())
+        self._masks.append(mask)
+        if children:
+            self.set_children(vertex, children)
+        return vertex
+
+    def new_vertex_masked(self, mask: int, children: tuple[Edge, ...] = ()) -> int:
+        """Fast-path vertex creation from a precomputed mask and normalized edges."""
+        vertex = len(self._children)
+        self._children.append(children)
+        self._masks.append(mask)
+        return vertex
+
+    def set_children(self, vertex: int, edges: Iterable[Edge]) -> None:
+        """Replace the child sequence of ``vertex`` (normalizing runs)."""
+        self._check_vertex(vertex)
+        normalized = normalize_edges(edges)
+        for child, _ in normalized:
+            self._check_vertex(child)
+        self._children[vertex] = normalized
+
+    def children(self, vertex: int) -> tuple[Edge, ...]:
+        """The run-length encoded child sequence of ``vertex``."""
+        return self._children[vertex]
+
+    def expanded_children(self, vertex: int) -> Iterator[int]:
+        """The child sequence of ``vertex`` with multiplicities expanded."""
+        return expand_edges(self._children[vertex])
+
+    def out_degree(self, vertex: int) -> int:
+        """Number of children counting multiplicities."""
+        return sum(count for _, count in self._children[vertex])
+
+    @property
+    def num_edge_entries(self) -> int:
+        """Number of run-length edge entries (the paper's ``|E|`` for DAGs)."""
+        return sum(len(edges) for edges in self._children)
+
+    @property
+    def num_edges_expanded(self) -> int:
+        """Number of edges counting multiplicities (``|E|`` of the tree if a tree)."""
+        return sum(self.out_degree(v) for v in range(len(self._children)))
+
+    # ------------------------------------------------------------------
+    # Set membership
+    # ------------------------------------------------------------------
+
+    def mask(self, vertex: int) -> int:
+        """The set-membership bitmask of ``vertex``."""
+        return self._masks[vertex]
+
+    def set_mask(self, vertex: int, mask: int) -> None:
+        self._masks[vertex] = mask
+
+    def in_set(self, vertex: int, name: str) -> bool:
+        """True if ``vertex`` is a member of set ``name``."""
+        return bool(self._masks[vertex] >> self.bit_of(name) & 1)
+
+    def add_to_set(self, vertex: int, name: str) -> None:
+        """Add ``vertex`` to set ``name`` (creating the set if needed)."""
+        self._masks[vertex] |= 1 << self.ensure_set(name)
+
+    def remove_from_set(self, vertex: int, name: str) -> None:
+        self._masks[vertex] &= ~(1 << self.bit_of(name))
+
+    def members(self, name: str) -> set[int]:
+        """The vertex set named ``name`` as a Python set."""
+        bit = self.bit_of(name)
+        return {v for v, m in enumerate(self._masks) if m >> bit & 1}
+
+    def sets_at(self, vertex: int) -> tuple[str, ...]:
+        """Names of all sets containing ``vertex`` (in schema order)."""
+        mask = self._masks[vertex]
+        return tuple(name for i, name in enumerate(self._schema) if mask >> i & 1)
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+
+    def topological_order(self) -> list[int]:
+        """Vertices reachable from the root, every parent before its children.
+
+        Computed as reverse DFS postorder, iteratively (instances can be very
+        deep chains, e.g. compressed complete binary trees).
+        """
+        return list(reversed(self.postorder()))
+
+    def postorder(self) -> list[int]:
+        """Vertices reachable from the root in DFS postorder (children first)."""
+        root = self.root
+        order: list[int] = []
+        visited = bytearray(len(self._children))
+        # Stack entries: (vertex, index of next distinct child to expand).
+        stack: list[list[int]] = [[root, 0]]
+        visited[root] = 1
+        while stack:
+            top = stack[-1]
+            vertex, i = top
+            edges = self._children[vertex]
+            while i < len(edges) and visited[edges[i][0]]:
+                i += 1
+            top[1] = i + 1
+            if i < len(edges):
+                child = edges[i][0]
+                visited[child] = 1
+                stack.append([child, 0])
+            else:
+                order.append(vertex)
+                stack.pop()
+        return order
+
+    def preorder(self) -> list[int]:
+        """Vertices reachable from the root in DFS preorder (first visit)."""
+        root = self.root
+        order: list[int] = []
+        visited = bytearray(len(self._children))
+        stack = [root]
+        visited[root] = 1
+        while stack:
+            vertex = stack.pop()
+            order.append(vertex)
+            for child, _ in reversed(self._children[vertex]):
+                if not visited[child]:
+                    visited[child] = 1
+                    stack.append(child)
+        return order
+
+    def reachable(self) -> set[int]:
+        """Vertices reachable from the root."""
+        return set(self.preorder())
+
+    def parents(self) -> list[list[int]]:
+        """For each vertex, the list of distinct parents (reachable subgraph)."""
+        result: list[list[int]] = [[] for _ in range(len(self._children))]
+        for vertex in self.preorder():
+            seen: set[int] = set()
+            for child, _ in self._children[vertex]:
+                if child not in seen:
+                    seen.add(child)
+                    result[child].append(vertex)
+        return result
+
+    # ------------------------------------------------------------------
+    # Structure checks and transformations
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check all structural invariants; raise :class:`InstanceError` if violated.
+
+        Invariants: a root exists; the graph is acyclic; the root is the only
+        vertex without incoming edges; every vertex is reachable from the
+        root (implied by the former two, checked directly); multiplicities
+        are positive and runs are merged.
+        """
+        root = self.root
+        n = len(self._children)
+        in_degree = [0] * n
+        for edges in self._children:
+            previous = -1
+            for child, count in edges:
+                if not 0 <= child < n:
+                    raise InstanceError(f"edge target {child} out of range")
+                if count < 1:
+                    raise InstanceError(f"non-positive multiplicity {count}")
+                if child == previous:
+                    raise InstanceError(f"unmerged run of edges to vertex {child}")
+                previous = child
+                in_degree[child] += 1
+        if in_degree[root]:
+            raise InstanceError("root has incoming edges")
+        for vertex, degree in enumerate(in_degree):
+            if degree == 0 and vertex != root:
+                raise InstanceError(f"vertex {vertex} has no incoming edge and is not the root")
+        # Cycle check via iterative three-color DFS.
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = bytearray(n)
+        stack: list[list[int]] = [[root, 0]]
+        color[root] = GRAY
+        while stack:
+            top = stack[-1]
+            vertex, i = top
+            edges = self._children[vertex]
+            advanced = False
+            while i < len(edges):
+                child = edges[i][0]
+                i += 1
+                if color[child] == GRAY:
+                    raise InstanceError(f"cycle through vertex {child}")
+                if color[child] == WHITE:
+                    top[1] = i
+                    color[child] = GRAY
+                    stack.append([child, 0])
+                    advanced = True
+                    break
+            if not advanced:
+                color[vertex] = BLACK
+                stack.pop()
+        if any(c == WHITE for c in color):
+            unreachable = [v for v in range(n) if color[v] == WHITE]
+            raise InstanceError(f"vertices not reachable from root: {unreachable[:10]}")
+
+    def is_tree(self) -> bool:
+        """True if every vertex has in-degree at most 1 and all counts are 1."""
+        n = len(self._children)
+        in_degree = [0] * n
+        for edges in self._children:
+            for child, count in edges:
+                if count != 1:
+                    return False
+                in_degree[child] += 1
+                if in_degree[child] > 1:
+                    return False
+        return True
+
+    def copy(self) -> "Instance":
+        """An independent copy (vertex numbering preserved)."""
+        clone = Instance.__new__(Instance)
+        clone._schema = list(self._schema)
+        clone._bits = dict(self._bits)
+        clone._children = list(self._children)  # edge tuples are immutable
+        clone._masks = list(self._masks)
+        clone._root = self._root
+        return clone
+
+    def compact(self) -> "Instance":
+        """A copy with unreachable vertices dropped and ids renumbered.
+
+        Vertices are renumbered in topological (parent-before-child) order,
+        so the root becomes vertex 0.
+        """
+        order = self.topological_order()
+        renumber = {old: new for new, old in enumerate(order)}
+        clone = Instance(self._schema)
+        clone._children = [()] * len(order)
+        clone._masks = [0] * len(order)
+        for old in order:
+            new = renumber[old]
+            clone._children[new] = tuple(
+                (renumber[child], count) for child, count in self._children[old]
+            )
+            clone._masks[new] = self._masks[old]
+        clone._root = renumber[self.root]
+        return clone
+
+    def reduct(self, names: Iterable[str]) -> "Instance":
+        """The sigma'-reduct: same DAG, schema restricted to ``names`` (section 2.3)."""
+        keep = list(names)
+        for name in keep:
+            self.bit_of(name)  # raises if absent
+        clone = Instance(keep)
+        clone._children = list(self._children)
+        clone._root = self._root
+        masks = []
+        bits = [self.bit_of(name) for name in keep]
+        for m in self._masks:
+            masks.append(sum(((m >> b) & 1) << i for i, b in enumerate(bits)))
+        clone._masks = masks
+        return clone
+
+    # ------------------------------------------------------------------
+    # Debugging / rendering
+    # ------------------------------------------------------------------
+
+    def to_dot(self, highlight: str | None = None) -> str:
+        """Render the reachable subgraph in Graphviz dot syntax.
+
+        Vertices are labeled with their set memberships; if ``highlight``
+        names a set, its members are drawn with a double circle (used by the
+        examples to mirror Figure 5 of the paper).
+        """
+        lines = ["digraph instance {", "  node [shape=circle];"]
+        for vertex in self.preorder():
+            label = ",".join(self.sets_at(vertex)) or str(vertex)
+            shape = ""
+            if highlight is not None and self.in_set(vertex, highlight):
+                shape = ", shape=doublecircle"
+            lines.append(f'  v{vertex} [label="{label}"{shape}];')
+        for vertex in self.preorder():
+            for position, (child, count) in enumerate(self._children[vertex]):
+                attr = f' [label="x{count}"]' if count > 1 else ""
+                lines.append(f"  v{vertex} -> v{child}{attr};")
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        root = self._root if self._root >= 0 else None
+        return (
+            f"<Instance |V|={self.num_vertices} |E|={self.num_edge_entries} "
+            f"root={root} schema={self._schema!r}>"
+        )
+
+    # ------------------------------------------------------------------
+
+    def _check_vertex(self, vertex: int) -> None:
+        if not 0 <= vertex < len(self._children):
+            raise InstanceError(f"vertex {vertex} does not exist")
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors (used heavily by tests and examples)
+# ----------------------------------------------------------------------
+
+#: A nested tree spec: ``(sets, [children])`` where ``sets`` is a set name or
+#: a sequence of set names.
+TreeSpec = tuple
+
+
+def tree_instance(spec: TreeSpec, schema: Iterable[str] = ()) -> Instance:
+    """Build a tree-instance from a nested ``(sets, children)`` spec.
+
+    Example::
+
+        tree_instance(("bib", [("book", [("title", []), ("author", [])])]))
+
+    builds the Example 1.1 skeleton fragment.  ``sets`` may be a single name,
+    a tuple of names, or ``()`` for an unlabeled vertex.
+    """
+    instance = Instance(schema)
+
+    def build(node: TreeSpec) -> int:
+        sets, children = node
+        if isinstance(sets, str):
+            sets = (sets,)
+        child_edges = [(build(child), 1) for child in children]
+        return instance.new_vertex(sets, child_edges)
+
+    # Recursion depth equals tree depth; tests keep specs shallow.  Corpus
+    # generators use the streaming DagBuilder instead.
+    root = build(spec)
+    instance.set_root(root)
+    return instance

@@ -1,0 +1,114 @@
+"""Edge paths (section 2.1): the bridge between an instance and its tree.
+
+An *edge path* from the root to a vertex is the sequence of child positions
+``i1 ... in`` taken at each step.  The set of all edge paths of an instance is
+exactly the vertex set of its unique equivalent tree ``T(I)``
+(Proposition 2.2), so edge paths are how a selection on a compressed DAG is
+interpreted as a selection of tree nodes.
+
+Enumerating edge paths is exponential in general (that is the whole point of
+the compression), so this module offers:
+
+* :func:`tree_node_counts` — per-vertex counts ``|Pi(v)|`` by top-down
+  dynamic programming (linear in the DAG, used for Figure 7 column 8);
+* :func:`tree_size` — ``|V^{T(I)}|`` without materialising the tree;
+* :func:`iter_edge_paths` / :func:`edge_path_set` — bounded explicit
+  enumeration, used by tests as a brute-force equivalence oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import DecompressionLimitError
+from repro.model.instance import Instance
+
+
+def tree_node_counts(instance: Instance) -> dict[int, int]:
+    """For each reachable vertex ``v``, the number of edge paths root -> v.
+
+    ``counts[root] == 1``; an edge ``v -> w`` with multiplicity ``m``
+    contributes ``m * counts[v]`` paths to ``w``.  Exact big-integer
+    arithmetic — compressed instances can represent astronomically large
+    trees.
+    """
+    counts: dict[int, int] = {}
+    for vertex in instance.topological_order():
+        counts.setdefault(vertex, 0)
+        if vertex == instance.root:
+            counts[vertex] += 1
+        multiplier = counts[vertex]
+        for child, count in instance.children(vertex):
+            counts[child] = counts.get(child, 0) + multiplier * count
+    return counts
+
+
+def tree_size(instance: Instance) -> int:
+    """``|V^{T(I)}|``: the number of nodes of the equivalent tree."""
+    return sum(tree_node_counts(instance).values())
+
+
+def tree_edge_count(instance: Instance) -> int:
+    """``|E^{T(I)}|``, which is always ``tree_size - 1``."""
+    return tree_size(instance) - 1
+
+
+def selected_tree_count(instance: Instance, name: str) -> int:
+    """How many *tree* nodes the DAG selection ``name`` represents.
+
+    This is the paper's Figure 7 column (8): the sum of ``|Pi(v)|`` over the
+    selected DAG vertices ``v``.
+    """
+    counts = tree_node_counts(instance)
+    bit = instance.bit_of(name)
+    return sum(
+        counts.get(v, 0) for v in range(instance.num_vertices) if instance.mask(v) >> bit & 1
+    )
+
+
+def iter_edge_paths(
+    instance: Instance, target: int | None = None, limit: int = 1_000_000
+) -> Iterator[tuple[int, tuple[int, ...]]]:
+    """Yield ``(vertex, edge_path)`` pairs in depth-first document order.
+
+    Edge positions are 1-based as in the paper (``v -i-> w``).  If ``target``
+    is given, only paths ending at that vertex are yielded (but the whole
+    tree is still walked).  Raises :class:`DecompressionLimitError` after
+    ``limit`` tree nodes, since the tree may be exponentially larger than the
+    instance.
+    """
+    produced = 0
+    # Iterative DFS over (vertex, path) with explicit expansion of runs.
+    stack: list[tuple[int, tuple[int, ...]]] = [(instance.root, ())]
+    while stack:
+        vertex, path = stack.pop()
+        produced += 1
+        if produced > limit:
+            raise DecompressionLimitError(
+                f"edge-path enumeration exceeded limit of {limit} tree nodes"
+            )
+        if target is None or vertex == target:
+            yield vertex, path
+        position = instance.out_degree(vertex)
+        for child in reversed(list(instance.expanded_children(vertex))):
+            stack.append((child, path + (position,)))
+            position -= 1
+
+
+def edge_path_set(instance: Instance, limit: int = 100_000) -> frozenset[tuple[int, ...]]:
+    """``Pi(V)``: the set of all edge paths of the instance (bounded)."""
+    return frozenset(path for _, path in iter_edge_paths(instance, limit=limit))
+
+
+def set_path_sets(
+    instance: Instance, limit: int = 100_000
+) -> dict[str, frozenset[tuple[int, ...]]]:
+    """``Pi(S)`` for every set ``S`` of the schema (bounded enumeration)."""
+    collected: dict[str, set[tuple[int, ...]]] = {name: set() for name in instance.schema}
+    names = instance.schema
+    for vertex, path in iter_edge_paths(instance, limit=limit):
+        mask = instance.mask(vertex)
+        for i, name in enumerate(names):
+            if mask >> i & 1:
+                collected[name].add(path)
+    return {name: frozenset(paths) for name, paths in collected.items()}

@@ -1,0 +1,63 @@
+"""Schema conventions for instance node sets.
+
+A *schema* (section 2.1 of the paper) is a finite set of unary relation
+names; an instance carries one vertex subset per name.  This module fixes the
+naming conventions used across the library so that tag sets, string-constraint
+sets and engine temporaries never collide:
+
+* tag sets use the element tag itself (``"book"``),
+* the virtual document root vertex is in :data:`DOC_SET`,
+* the set of vertices whose string value contains ``s`` is
+  ``string_set(s)`` (``"#contains:s"``),
+* engine intermediates are ``temp_set(i)`` (``"#t<i>"``).
+
+``#`` cannot occur in an XML element name, so special sets can never collide
+with tag sets.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchemaError
+
+#: Name of the node set containing exactly the virtual document root.
+DOC_SET = "#document"
+
+#: Prefix of sets recording string-containment matches.
+_STRING_PREFIX = "#contains:"
+
+#: Prefix of engine-generated intermediate selections.
+_TEMP_PREFIX = "#t"
+
+
+def tag_set(tag: str) -> str:
+    """Return the set name holding all vertices labeled with ``tag``."""
+    if not tag or tag.startswith("#"):
+        raise SchemaError(f"invalid tag name: {tag!r}")
+    return tag
+
+
+def string_set(needle: str) -> str:
+    """Return the set name holding vertices whose string value contains ``needle``."""
+    return _STRING_PREFIX + needle
+
+
+def is_string_set(name: str) -> bool:
+    """True if ``name`` was produced by :func:`string_set`."""
+    return name.startswith(_STRING_PREFIX)
+
+
+def string_set_needle(name: str) -> str:
+    """Inverse of :func:`string_set`."""
+    if not is_string_set(name):
+        raise SchemaError(f"not a string-constraint set: {name!r}")
+    return name[len(_STRING_PREFIX):]
+
+
+def temp_set(index: int) -> str:
+    """Return the name of the ``index``-th engine temporary selection."""
+    return f"{_TEMP_PREFIX}{index}"
+
+
+def is_temp(name: str) -> bool:
+    """True if ``name`` is an engine temporary (droppable after evaluation)."""
+    return name.startswith(_TEMP_PREFIX) and name[len(_TEMP_PREFIX):].isdigit()

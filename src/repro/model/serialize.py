@@ -1,0 +1,124 @@
+"""Persistence of compressed instances.
+
+The paper's motivation is storing skeletons compactly ("how we represent the
+document in secondary storage"); this module provides a stable on-disk
+format so a compressed instance can be built once and queried many times
+without re-parsing the XML.
+
+Format (version 1, line-oriented UTF-8 text):
+
+    REPRO-DAG 1
+    schema <n>
+    <set name> x n            (one per line, order = bit position)
+    root <vertex>
+    vertices <n>
+    <mask-hex> <child>:<count> <child>:<count> ...   (one line per vertex)
+
+Masks are hexadecimal; edges are run-length pairs.  The format is
+deliberately human-inspectable — instances are small, that is the point of
+the paper.
+"""
+
+from __future__ import annotations
+
+from typing import IO
+
+from repro.errors import ReproError
+from repro.model.instance import Instance
+
+_MAGIC = "REPRO-DAG 1"
+
+
+def dump(instance: Instance, stream: IO[str]) -> None:
+    """Write ``instance`` to a text stream.
+
+    The compacted form is written (unreachable vertices dropped, ids
+    renumbered root-first), so files always round-trip through
+    :func:`load`'s validation.
+    """
+    instance = instance.compact()
+    stream.write(_MAGIC + "\n")
+    schema = instance.schema
+    stream.write(f"schema {len(schema)}\n")
+    for name in schema:
+        stream.write(name + "\n")
+    stream.write(f"root {instance.root}\n")
+    stream.write(f"vertices {instance.num_vertices}\n")
+    for vertex in range(instance.num_vertices):
+        edges = " ".join(
+            f"{child}:{count}" for child, count in instance.children(vertex)
+        )
+        mask = format(instance.mask(vertex), "x")
+        stream.write(f"{mask} {edges}".rstrip() + "\n")
+
+
+def dumps(instance: Instance) -> str:
+    """Serialise ``instance`` to a string."""
+    import io
+
+    buffer = io.StringIO()
+    dump(instance, buffer)
+    return buffer.getvalue()
+
+
+def load(stream: IO[str]) -> Instance:
+    """Read an instance written by :func:`dump` (validated)."""
+    lines = iter(stream)
+
+    def next_line() -> str:
+        try:
+            return next(lines).rstrip("\n")
+        except StopIteration:
+            raise ReproError("truncated instance file") from None
+
+    if next_line() != _MAGIC:
+        raise ReproError("not a REPRO-DAG file (bad magic line)")
+    header = next_line().split()
+    if len(header) != 2 or header[0] != "schema":
+        raise ReproError("malformed schema header")
+    schema = [next_line() for _ in range(int(header[1]))]
+    root_line = next_line().split()
+    if root_line[0] != "root":
+        raise ReproError("malformed root line")
+    root = int(root_line[1])
+    count_line = next_line().split()
+    if count_line[0] != "vertices":
+        raise ReproError("malformed vertex-count line")
+    total = int(count_line[1])
+
+    instance = Instance(schema)
+    # Two passes: create all vertices first, then wire edges (forward
+    # references are legal in the file).
+    rows = [next_line() for _ in range(total)]
+    for _ in range(total):
+        instance.new_vertex_masked(0)
+    for vertex, row in enumerate(rows):
+        parts = row.split()
+        if not parts:
+            raise ReproError(f"empty vertex row {vertex}")
+        instance.set_mask(vertex, int(parts[0], 16))
+        edges = []
+        for pair in parts[1:]:
+            child_text, _, count_text = pair.partition(":")
+            edges.append((int(child_text), int(count_text)))
+        instance.set_children(vertex, edges)
+    instance.set_root(root)
+    instance.validate()
+    return instance
+
+
+def loads(text: str) -> Instance:
+    """Deserialise an instance from a string."""
+    import io
+
+    return load(io.StringIO(text))
+
+
+def save_file(instance: Instance, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        dump(instance, handle)
+
+
+def load_file(path: str) -> Instance:
+    with open(path, "r", encoding="utf-8") as handle:
+        return load(handle)

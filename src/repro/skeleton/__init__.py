@@ -1,0 +1,25 @@
+"""Skeleton extraction, reassembly and property distillation.
+
+One-scan XML -> compressed-instance loading (section 4), the lossless
+XMILL-style decomposition (skeleton + containers + layout), document
+reassembly, and the distill-and-merge workflow for adding string properties
+to stored instances without re-reading the XML.
+"""
+
+from repro.skeleton.distill import add_string_sets, distill_string_instance
+from repro.skeleton.layout import LayoutTracker, TextLayout
+from repro.skeleton.loader import LoadResult, load, load_file, load_instance
+from repro.skeleton.reassemble import reassemble, reassemble_element
+
+__all__ = [
+    "LayoutTracker",
+    "LoadResult",
+    "TextLayout",
+    "add_string_sets",
+    "distill_string_instance",
+    "load",
+    "load_file",
+    "load_instance",
+    "reassemble",
+    "reassemble_element",
+]

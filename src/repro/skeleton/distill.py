@@ -1,0 +1,117 @@
+"""Distill-and-merge: add string-constraint sets without re-reading the XML.
+
+Section 4 of the paper describes the intended production workflow:
+
+    "Whenever a property P is required that is not yet represented in the
+    instance, we can search the (uncompressed) representation of the XML
+    document on disk, distill a compressed instance over schema {P}, and
+    merge it with the instance that holds our current intermediate result
+    using the common extensions algorithm of Section 2.3."
+
+Here the "representation on disk" is our lossless decomposition (skeleton +
+containers + layout), so distilling never touches the original XML: the
+element/text event stream is *replayed* from the decomposition — markup
+boundaries from the decompressed skeleton, character data from the
+containers — through the same stream matcher and DAG builder the loader
+uses, producing a minimal instance over exactly the new string sets, which
+the product construction of Lemma 2.7 then merges into the base instance.
+
+Replaying skips all XML tokenisation/entity work, so this is markedly
+faster than a re-parse (benchmarked in ``bench_distill_merge.py``).
+"""
+
+from __future__ import annotations
+
+from repro.compress.builder import DagBuilder
+from repro.compress.common_extension import common_extension
+from repro.compress.decompress import decompress
+from repro.errors import ReproError
+from repro.model.instance import Instance
+from repro.model.schema import DOC_SET, string_set
+from repro.skeleton.layout import TextLayout
+from repro.strings.containers import ContainerStore
+from repro.strings.matcher import StreamMatcher
+
+
+def distill_string_instance(
+    skeleton: Instance,
+    containers: ContainerStore,
+    layout: TextLayout,
+    needles: list[str],
+    matcher_strategy: str = "auto",
+) -> Instance:
+    """A minimal instance over ``{DOC_SET} + string sets`` for ``needles``.
+
+    The instance unfolds to the same tree as ``skeleton`` (they are
+    *compatible* in the section 2.3 sense), with each vertex labeled by the
+    string constraints its string value satisfies.
+    """
+    patterns = list(dict.fromkeys(needles))
+    decompression = decompress(skeleton)
+    tree = decompression.tree
+    order = tree.preorder()
+    ordinal_of = {vertex: index - 1 for index, vertex in enumerate(order)}
+    chunks = containers.in_document_order()
+    per_element = layout.by_element()
+
+    builder = DagBuilder()
+    matcher = StreamMatcher(patterns, strategy=matcher_strategy)
+    string_bits = [1 << builder.ensure_set(string_set(p)) for p in patterns]
+    doc_mask = 1 << builder.ensure_set(DOC_SET)
+
+    def translate(match_mask: int) -> int:
+        out = 0
+        index = 0
+        while match_mask:
+            if match_mask & 1:
+                out |= string_bits[index]
+            match_mask >>= 1
+            index += 1
+        return out
+
+    # Replay the event stream: iterative document-order walk emitting text
+    # chunks at their recorded slots.  Frames: [vertex, next_child, text_ptr].
+    stack: list[list[int]] = [[tree.root, 0, 0]]
+    builder.start_node()
+    matcher.open_node()
+    while stack:
+        frame = stack[-1]
+        vertex, child_index, text_ptr = frame
+        texts = per_element.get(ordinal_of[vertex], ())
+        children = tree.children(vertex)
+        # Emit the text chunks scheduled at this slot.
+        while text_ptr < len(texts) and texts[text_ptr][0] == child_index:
+            matcher.text(chunks[texts[text_ptr][1]])
+            text_ptr += 1
+        frame[2] = text_ptr
+        if child_index < len(children):
+            frame[1] = child_index + 1
+            stack.append([children[child_index][0], 0, 0])
+            builder.start_node()
+            matcher.open_node()
+        else:
+            stack.pop()
+            mask = translate(matcher.close_node())
+            if vertex == tree.root:
+                mask |= doc_mask
+            builder.end_node_masked(mask)
+    return builder.finish()
+
+
+def add_string_sets(
+    base: Instance,
+    containers: ContainerStore,
+    layout: TextLayout,
+    needles: list[str],
+) -> Instance:
+    """The full section 4 workflow: distill new string sets, then merge.
+
+    Returns a common extension of ``base`` and the distilled instance — the
+    base's schema plus one ``#contains:`` set per needle.  Raises if a
+    needle's set already exists in ``base``.
+    """
+    for needle in needles:
+        if base.has_set(string_set(needle)):
+            raise ReproError(f"string set for {needle!r} already present")
+    distilled = distill_string_instance(base, containers, layout, needles)
+    return common_extension(base, distilled)

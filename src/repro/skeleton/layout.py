@@ -1,0 +1,72 @@
+"""Text layout: the glue between a compressed skeleton and its containers.
+
+XMILL-style decomposition (section 1) splits a document into the skeleton
+(compressed here into a DAG) and string containers.  To be a *lossless*
+decomposition — and to support the paper's section 4 workflow of labeling a
+stored skeleton with new string constraints without re-reading the XML —
+we must remember where each text chunk sat relative to the markup.
+
+A :class:`TextLayout` records, for every text chunk in document order::
+
+    (element_ordinal, slot)
+
+where ``element_ordinal`` numbers elements in document order (0 = the root
+element; the virtual document root is -1) and ``slot`` is how many child
+*elements* of that element had already been closed when the chunk appeared
+(so mixed content interleaves correctly on reassembly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TextLayout:
+    """Placement records for all text chunks, in document order."""
+
+    placements: list[tuple[int, int]] = field(default_factory=list)
+
+    def record(self, element_ordinal: int, slot: int) -> None:
+        self.placements.append((element_ordinal, slot))
+
+    def __len__(self) -> int:
+        return len(self.placements)
+
+    def by_element(self) -> dict[int, list[tuple[int, int]]]:
+        """Group placements per element: ordinal -> [(slot, chunk_index)].
+
+        ``chunk_index`` indexes the document-order chunk list (which is also
+        the order of :meth:`repro.strings.containers.ContainerStore.in_document_order`).
+        """
+        grouped: dict[int, list[tuple[int, int]]] = {}
+        for chunk_index, (ordinal, slot) in enumerate(self.placements):
+            grouped.setdefault(ordinal, []).append((slot, chunk_index))
+        return grouped
+
+
+class LayoutTracker:
+    """Streaming helper the loader drives to build a :class:`TextLayout`."""
+
+    __slots__ = ("layout", "_ordinals", "_closed_children", "_next_ordinal")
+
+    def __init__(self) -> None:
+        self.layout = TextLayout()
+        self._ordinals: list[int] = [-1]  # the virtual document root
+        self._closed_children: list[int] = [0]
+        self._next_ordinal = 0
+
+    def open_element(self) -> int:
+        ordinal = self._next_ordinal
+        self._next_ordinal += 1
+        self._ordinals.append(ordinal)
+        self._closed_children.append(0)
+        return ordinal
+
+    def close_element(self) -> None:
+        self._ordinals.pop()
+        self._closed_children.pop()
+        self._closed_children[-1] += 1
+
+    def text(self) -> None:
+        self.layout.record(self._ordinals[-1], self._closed_children[-1])

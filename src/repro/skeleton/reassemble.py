@@ -1,0 +1,102 @@
+"""Lossless document reassembly: skeleton + containers + layout -> XML.
+
+This completes the XMILL-style decomposition (section 1): a document loaded
+with ``collect_containers=True`` can be reconstructed exactly — structure
+from the compressed skeleton, character data from the containers, and the
+interleaving of the two from the :class:`repro.skeleton.layout.TextLayout`.
+Reassembly is *canonical*: comments, processing instructions, the DOCTYPE
+and insignificant whitespace outside the root are not part of the skeleton
+model and are not restored.
+
+Attribute handling mirrors the loader: documents loaded with
+``attributes="nodes"`` have their ``@name`` child vertices folded back into
+real attributes, so the round trip is lossless in that mode too; with the
+default ``attributes="ignore"`` the reassembled document simply lacks them.
+"""
+
+from __future__ import annotations
+
+from repro.compress.decompress import decompress
+from repro.errors import ReproError
+from repro.model.instance import Instance
+from repro.model.schema import DOC_SET
+from repro.skeleton.layout import TextLayout
+from repro.strings.containers import ContainerStore
+from repro.xmlio.dom import Element
+from repro.xmlio.writer import serialize
+
+
+def element_tag(instance: Instance, vertex: int) -> str:
+    """The tag of a skeleton vertex: its unique non-special set name."""
+    tags = [name for name in instance.sets_at(vertex) if not name.startswith("#")]
+    if len(tags) != 1:
+        raise ReproError(
+            "reassembly needs an instance loaded with tags=None (all tags); "
+            f"vertex {vertex} carries tag sets {tags!r}"
+        )
+    return tags[0]
+
+
+def reassemble_element(
+    instance: Instance, containers: ContainerStore, layout: TextLayout
+) -> Element:
+    """Rebuild the root element as a DOM tree (see module doc for caveats)."""
+    decompression = decompress(instance)
+    tree = decompression.tree
+    order = tree.preorder()
+    if not instance.has_set(DOC_SET) or not instance.in_set(instance.root, DOC_SET):
+        raise ReproError("reassembly expects a loader-produced instance (document root)")
+
+    # Document order (preorder) matches the loader's element ordinals; the
+    # first vertex is the virtual document root (ordinal -1).
+    ordinal_of = {vertex: index - 1 for index, vertex in enumerate(order)}
+    chunks = containers.in_document_order()
+    per_element = layout.by_element()
+
+    elements: dict[int, Element] = {}
+    for vertex in order[1:]:
+        elements[vertex] = Element(element_tag(tree, vertex))
+
+    # Children before parents so each parent assembles finished children.
+    for vertex in reversed(order):
+        if vertex == tree.root:
+            continue
+        element = elements[vertex]
+        kids = [elements[child] for child, _ in tree.children(vertex)]
+        texts = sorted(per_element.get(ordinal_of[vertex], []))
+        sequence: list[Element | str] = []
+        text_cursor = 0
+        for slot in range(len(kids) + 1):
+            while text_cursor < len(texts) and texts[text_cursor][0] == slot:
+                sequence.append(chunks[texts[text_cursor][1]])
+                text_cursor += 1
+            if slot < len(kids):
+                kid = kids[slot]
+                if kid.tag.startswith("@"):
+                    # Fold an attribute node back into a real attribute.
+                    element.attributes[kid.tag[1:]] = "".join(
+                        part for part in kid.children if isinstance(part, str)
+                    )
+                else:
+                    sequence.append(kid)
+        # Any text recorded past the last slot (possible only if the loader
+        # and layout disagree) would be silently lost; check instead.
+        if text_cursor != len(texts):
+            raise ReproError(f"layout/slot mismatch at element ordinal {ordinal_of[vertex]}")
+        element.children = sequence
+
+    root_children = tree.children(tree.root)
+    if len(root_children) != 1:
+        raise ReproError("document root must have exactly one element child")
+    return elements[root_children[0][0]]
+
+
+def reassemble(
+    instance: Instance,
+    containers: ContainerStore,
+    layout: TextLayout,
+    declaration: bool = True,
+) -> str:
+    """Rebuild the full document text."""
+    element = reassemble_element(instance, containers, layout)
+    return serialize(element, declaration=declaration)

@@ -1,0 +1,6 @@
+"""Secondary storage: shredding compressed instances into chunks (section 6)."""
+
+from repro.storage.chunked import ChunkedStore, extract_subdag
+from repro.storage.prune import prunable_top_tags
+
+__all__ = ["ChunkedStore", "extract_subdag", "prunable_top_tags"]

@@ -1,0 +1,178 @@
+"""Shredded secondary storage for compressed instances (section 6).
+
+A loader-produced instance (virtual document root above one root element)
+is *shredded* into chunks: one serialized sub-DAG per **distinct** top-level
+subtree of the root element.  Because top-level subtrees of regular
+documents repeat heavily, distinct chunks are few (one per record shape for
+DBLP-like data) and the manifest's run-length child list carries the
+repetition — the same trick as multiplicity edges, one level up.
+
+Queries load only the chunks they can observe
+(:func:`repro.storage.prune.prunable_top_tags`); the assembled partial
+instance behaves exactly like the full one for such queries, which the test
+suite verifies against unshredded evaluation.
+
+Layout on disk::
+
+    <dir>/manifest.json        schema, masks, ordered (chunk, count) list
+    <dir>/chunk-<n>.dag        one REPRO-DAG file per distinct subtree
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.errors import ReproError
+from repro.model.instance import Instance, normalize_edges
+from repro.model.serialize import load_file as load_dag, save_file as save_dag
+from repro.storage.prune import prunable_top_tags
+
+_MANIFEST = "manifest.json"
+
+
+def extract_subdag(instance: Instance, vertex: int) -> Instance:
+    """The sub-instance reachable from ``vertex`` (same schema, new ids)."""
+    sub = Instance(instance.schema)
+    built: dict[int, int] = {}
+    stack: list[tuple[int, bool]] = [(vertex, False)]
+    while stack:
+        current, expanded = stack.pop()
+        if current in built:
+            continue
+        if not expanded:
+            stack.append((current, True))
+            stack.extend(
+                (child, False)
+                for child, _ in instance.children(current)
+                if child not in built
+            )
+            continue
+        edges = tuple((built[child], count) for child, count in instance.children(current))
+        built[current] = sub.new_vertex_masked(instance.mask(current), edges)
+    sub.set_root(built[vertex])
+    return sub
+
+
+class ChunkedStore:
+    """A shredded instance on disk; open lazily, load partially."""
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        with open(os.path.join(directory, _MANIFEST), "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        if manifest.get("format") != "repro-chunks-1":
+            raise ReproError(f"not a chunk store: {directory}")
+        self.schema: list[str] = manifest["schema"]
+        self._doc_mask: int = manifest["doc_mask"]
+        self._root_mask: int = manifest["root_mask"]
+        #: Ordered top-level children: (chunk id, multiplicity).
+        self._top: list[tuple[int, int]] = [tuple(e) for e in manifest["top"]]
+        #: Tags (plain set names) of each chunk's top vertex, for pruning.
+        self._chunk_tags: list[list[str]] = manifest["chunk_tags"]
+        self._cache: dict[int, Instance] = {}
+
+    # -- construction ---------------------------------------------------
+
+    @staticmethod
+    def save(instance: Instance, directory: str) -> "ChunkedStore":
+        """Shred ``instance`` (a loader-produced document) into ``directory``."""
+        os.makedirs(directory, exist_ok=True)
+        document = instance.root
+        root_children = instance.children(document)
+        if len(root_children) != 1 or root_children[0][1] != 1:
+            raise ReproError("shredding expects a document instance (one root element)")
+        root_element = root_children[0][0]
+
+        chunk_ids: dict[int, int] = {}
+        chunk_tags: list[list[str]] = []
+        top: list[tuple[int, int]] = []
+        for child, count in instance.children(root_element):
+            chunk = chunk_ids.get(child)
+            if chunk is None:
+                chunk = len(chunk_ids)
+                chunk_ids[child] = chunk
+                save_dag(
+                    extract_subdag(instance, child),
+                    os.path.join(directory, f"chunk-{chunk}.dag"),
+                )
+                chunk_tags.append(
+                    [name for name in instance.sets_at(child) if not name.startswith("#")]
+                )
+            top.append((chunk, count))
+
+        manifest = {
+            "format": "repro-chunks-1",
+            "schema": list(instance.schema),
+            "doc_mask": instance.mask(document),
+            "root_mask": instance.mask(root_element),
+            "top": top,
+            "chunk_tags": chunk_tags,
+        }
+        with open(os.path.join(directory, _MANIFEST), "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle)
+        return ChunkedStore(directory)
+
+    # -- loading ---------------------------------------------------------
+
+    @property
+    def num_chunks(self) -> int:
+        return len(self._chunk_tags)
+
+    def chunk(self, chunk_id: int) -> Instance:
+        """Load (and cache) one chunk's sub-instance."""
+        cached = self._cache.get(chunk_id)
+        if cached is None:
+            cached = load_dag(os.path.join(self.directory, f"chunk-{chunk_id}.dag"))
+            self._cache[chunk_id] = cached
+        return cached
+
+    def chunks_with_tags(self, tags: set[str] | None) -> list[int]:
+        """Chunk ids whose top vertex carries one of ``tags`` (None = all)."""
+        if tags is None:
+            return list(range(self.num_chunks))
+        return [
+            chunk_id
+            for chunk_id, chunk_tag_list in enumerate(self._chunk_tags)
+            if set(chunk_tag_list) & tags
+        ]
+
+    def assemble(self, chunk_ids: list[int] | None = None) -> Instance:
+        """Rebuild an instance from selected chunks (None = all, lossless).
+
+        The result is a document instance with the same schema; omitted
+        top-level subtrees are absent (the partial-residency model of
+        section 6: queries that cannot observe them run unchanged).
+        """
+        selected = set(chunk_ids if chunk_ids is not None else range(self.num_chunks))
+        combined = Instance(self.schema)
+        roots: dict[int, int] = {}
+        for chunk_id in sorted(selected):
+            chunk = self.chunk(chunk_id)
+            offset_map: dict[int, int] = {}
+            for vertex in chunk.postorder():
+                edges = tuple(
+                    (offset_map[child], count) for child, count in chunk.children(vertex)
+                )
+                offset_map[vertex] = combined.new_vertex_masked(chunk.mask(vertex), edges)
+            roots[chunk_id] = offset_map[chunk.root]
+        top_edges = normalize_edges(
+            (roots[chunk_id], count)
+            for chunk_id, count in self._top
+            if chunk_id in selected
+        )
+        root_element = combined.new_vertex_masked(self._root_mask, top_edges)
+        document = combined.new_vertex_masked(self._doc_mask, ((root_element, 1),))
+        combined.set_root(document)
+        return combined
+
+    def instance_for_query(self, query: str) -> tuple[Instance, int]:
+        """Assemble just enough chunks to answer ``query``.
+
+        Returns ``(instance, chunks_loaded)``.  Correct for every query:
+        the pruning analysis falls back to loading everything whenever the
+        query could observe other chunks.
+        """
+        tags = prunable_top_tags(query)
+        chunk_ids = self.chunks_with_tags(tags)
+        return self.assemble(chunk_ids), len(chunk_ids)

@@ -1,0 +1,68 @@
+"""Conservative chunk-pruning analysis for shredded instances.
+
+Section 6: "we want to be able to apply some shredding and cache chunks of
+compressed instances in secondary storage ... Of course these chunks should
+be as large as they can be to fit into main memory."
+
+A store shredded at the top level (one chunk per distinct subtree under the
+root element) can answer a query from a *subset* of chunks only when the
+query provably cannot observe the pruned ones.  The analysis here is
+deliberately conservative — it prunes only when all of the following hold:
+
+* the query is an absolute path whose first two steps are plain ``child``
+  steps with concrete tags (``/bib/article/...``); the first step carries
+  no predicates (a predicate on the root element could inspect siblings in
+  other chunks);
+* no sibling-family axis (following/preceding/following-sibling/
+  preceding-sibling) occurs anywhere — pruned top-level elements are
+  siblings of loaded ones;
+* no absolute path occurs inside a predicate — ``V|root`` conditions
+  quantify over the whole document.
+
+Everything else answers ``None`` ("load all chunks"), which is always
+correct.  Top-level path unions prune to the union of their branches.
+"""
+
+from __future__ import annotations
+
+from repro.xpath.ast import LocationPath, PathUnion, walk
+from repro.xpath.parser import parse_query
+
+_SIBLING_FAMILY = {
+    "following",
+    "preceding",
+    "following-sibling",
+    "preceding-sibling",
+}
+
+
+def prunable_top_tags(query: str | LocationPath | PathUnion) -> set[str] | None:
+    """Top-level child tags sufficient to answer ``query``, or ``None`` for all."""
+    ast = parse_query(query) if isinstance(query, str) else query
+    if isinstance(ast, PathUnion):
+        tags: set[str] = set()
+        for path in ast.paths:
+            branch = prunable_top_tags(path)
+            if branch is None:
+                return None
+            tags |= branch
+        return tags
+    return _analyse_path(ast)
+
+
+def _analyse_path(path: LocationPath) -> set[str] | None:
+    if not path.absolute or len(path.steps) < 2:
+        return None
+    first, second = path.steps[0], path.steps[1]
+    if first.axis != "child" or first.test == "*" or first.predicates:
+        return None
+    if second.axis != "child" or second.test == "*":
+        return None
+    for node in walk(path):
+        if isinstance(node, LocationPath):
+            if node.absolute and node is not path:
+                return None  # absolute condition: whole-document semantics
+            for step in node.steps:
+                if step.axis in _SIBLING_FAMILY:
+                    return None
+    return {second.test}

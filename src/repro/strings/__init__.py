@@ -1,0 +1,7 @@
+"""String subsystem: multi-pattern matching and XMILL-style containers."""
+
+from repro.strings.aho_corasick import AhoCorasick
+from repro.strings.containers import Container, ContainerStore
+from repro.strings.matcher import StreamMatcher
+
+__all__ = ["AhoCorasick", "Container", "ContainerStore", "StreamMatcher"]

@@ -1,0 +1,122 @@
+"""Aho-Corasick multi-pattern string matching.
+
+The paper (section 4) matches string constraints "to nodes on the stack on
+the fly during parsing using automata-based techniques"; this module is that
+automaton.  It reports, for a streamed text, every occurrence of every
+pattern as ``(end_position, pattern_index)`` — the stream matcher in
+:mod:`repro.strings.matcher` turns those into node-set memberships.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+from repro.errors import ReproError
+
+
+class AhoCorasick:
+    """An Aho-Corasick automaton over a fixed pattern set.
+
+    States are dense integers; ``goto`` is a list of per-state dicts, fail
+    links are precomputed, and each state carries the bitmask of patterns
+    ending there (including via suffix links), so stepping is one dict lookup
+    plus an integer OR.
+    """
+
+    __slots__ = ("patterns", "_goto", "_fail", "_output")
+
+    def __init__(self, patterns: Sequence[str]):
+        if any(not pattern for pattern in patterns):
+            raise ReproError("empty string patterns are not allowed")
+        self.patterns = tuple(patterns)
+        self._goto: list[dict[str, int]] = [{}]
+        self._output: list[int] = [0]
+        self._build_trie()
+        self._fail: list[int] = [0] * len(self._goto)
+        self._build_links()
+
+    def _build_trie(self) -> None:
+        for index, pattern in enumerate(self.patterns):
+            state = 0
+            for char in pattern:
+                nxt = self._goto[state].get(char)
+                if nxt is None:
+                    nxt = len(self._goto)
+                    self._goto[state][char] = nxt
+                    self._goto.append({})
+                    self._output.append(0)
+                state = nxt
+            self._output[state] |= 1 << index
+
+    def _build_links(self) -> None:
+        queue: deque[int] = deque()
+        for state in self._goto[0].values():
+            queue.append(state)
+        while queue:
+            state = queue.popleft()
+            for char, nxt in self._goto[state].items():
+                queue.append(nxt)
+                fail = self._fail[state]
+                while fail and char not in self._goto[fail]:
+                    fail = self._fail[fail]
+                self._fail[nxt] = self._goto[fail].get(char, 0)
+                if self._fail[nxt] == nxt:
+                    self._fail[nxt] = 0
+                self._output[nxt] |= self._output[self._fail[nxt]]
+
+    @property
+    def num_states(self) -> int:
+        return len(self._goto)
+
+    def step(self, state: int, char: str) -> int:
+        """Advance one character (the classic goto/fail loop)."""
+        goto = self._goto
+        fail = self._fail
+        while True:
+            nxt = goto[state].get(char)
+            if nxt is not None:
+                return nxt
+            if state == 0:
+                return 0
+            state = fail[state]
+
+    def resume(self, state: int, chunk: str) -> tuple[int, list[tuple[int, int]]]:
+        """Stream ``chunk``; return ``(final_state, [(offset, mask), ...])``."""
+        matches: list[tuple[int, int]] = []
+        output = self._output
+        for offset, char in enumerate(chunk):
+            state = self.step(state, char)
+            if output[state]:
+                matches.append((offset, output[state]))
+        return state, matches
+
+    def contains_mask(self, text: str) -> int:
+        """Bitmask of all patterns occurring anywhere in ``text``."""
+        mask = 0
+        state = 0
+        everything = (1 << len(self.patterns)) - 1
+        output = self._output
+        for char in text:
+            state = self.step(state, char)
+            mask |= output[state]
+            if mask == everything:
+                break
+        return mask
+
+    def occurrences(self, text: str) -> list[tuple[int, int]]:
+        """All matches as ``(start, pattern_index)`` pairs, sorted by start."""
+        found: list[tuple[int, int]] = []
+        state = 0
+        output = self._output
+        for end, char in enumerate(text):
+            state = self.step(state, char)
+            mask = output[state]
+            index = 0
+            while mask:
+                if mask & 1:
+                    found.append((end - len(self.patterns[index]) + 1, index))
+                mask >>= 1
+                index += 1
+        found.sort()
+        return found

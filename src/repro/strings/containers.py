@@ -1,0 +1,83 @@
+"""XMILL-style string containers (section 1's skeleton/text separation).
+
+The paper stores character data separately from the skeleton, grouped into
+containers, XMILL-style [15]; queries touch the skeleton globally but string
+data only locally.  ``ContainerStore`` groups text chunks by the tag of
+their parent element (XMILL's default heuristic) while remembering enough
+ordering information to reassemble the document losslessly: skeleton +
+containers is a faithful decomposition, not just a compressor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Container:
+    """All text chunks that share a container key, in document order."""
+
+    key: str
+    chunks: list[str] = field(default_factory=list)
+
+    def append(self, chunk: str) -> int:
+        self.chunks.append(chunk)
+        return len(self.chunks) - 1
+
+    @property
+    def total_characters(self) -> int:
+        return sum(len(chunk) for chunk in self.chunks)
+
+
+class ContainerStore:
+    """A set of containers plus the global text-event order.
+
+    ``add(key, chunk)`` returns a ``(key, index)`` reference; the loader
+    records these references in document order so the original interleaving
+    of text and markup can be replayed.
+    """
+
+    def __init__(self) -> None:
+        self._containers: dict[str, Container] = {}
+        self._order: list[tuple[str, int]] = []
+
+    def add(self, key: str, chunk: str) -> tuple[str, int]:
+        container = self._containers.get(key)
+        if container is None:
+            container = Container(key)
+            self._containers[key] = container
+        reference = (key, container.append(chunk))
+        self._order.append(reference)
+        return reference
+
+    def get(self, reference: tuple[str, int]) -> str:
+        key, index = reference
+        return self._containers[key].chunks[index]
+
+    def container(self, key: str) -> Container | None:
+        return self._containers.get(key)
+
+    def keys(self) -> list[str]:
+        return sorted(self._containers)
+
+    def in_document_order(self) -> list[str]:
+        """All text chunks replayed in original document order."""
+        return [self.get(reference) for reference in self._order]
+
+    @property
+    def num_containers(self) -> int:
+        return len(self._containers)
+
+    @property
+    def total_characters(self) -> int:
+        return sum(c.total_characters for c in self._containers.values())
+
+    def summary(self) -> str:
+        lines = [f"{self.num_containers} containers, {self.total_characters} chars"]
+        for key in self.keys():
+            container = self._containers[key]
+            lines.append(
+                f"  {key}: {len(container.chunks)} chunks, "
+                f"{container.total_characters} chars"
+            )
+        return "\n".join(lines)

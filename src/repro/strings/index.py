@@ -1,0 +1,74 @@
+"""A trigram substring index over string containers.
+
+Section 4 (footnote 9): "it seems interesting but not difficult to modify
+the creation of compressed instances to exploit string indexes."  This is
+that index: container chunks are indexed by character trigrams, so point
+lookups ("which chunks can contain this needle?") avoid scanning all text.
+Candidates are verified with ``in``; needles shorter than three characters
+fall back to a scan.
+
+The index finds *intra-chunk* occurrences; matches spanning chunk
+boundaries (rare, but legal XPath string-value semantics) are the stream
+matcher's job — :func:`repro.skeleton.distill.distill_string_instance`
+remains the complete implementation, and can use this index as a prefilter.
+"""
+
+from __future__ import annotations
+
+from repro.strings.containers import ContainerStore
+
+
+def trigrams(text: str):
+    """The set of character trigrams of ``text``."""
+    return {text[i : i + 3] for i in range(len(text) - 2)}
+
+
+class TrigramIndex:
+    """Trigram -> chunk-id posting lists over a container store.
+
+    Chunk ids index the store's document-order chunk list (the same ids the
+    text layout refers to).
+    """
+
+    def __init__(self, store: ContainerStore):
+        self._chunks = store.in_document_order()
+        self._postings: dict[str, set[int]] = {}
+        for chunk_id, chunk in enumerate(self._chunks):
+            for gram in trigrams(chunk):
+                self._postings.setdefault(gram, set()).add(chunk_id)
+
+    @property
+    def num_chunks(self) -> int:
+        return len(self._chunks)
+
+    @property
+    def num_trigrams(self) -> int:
+        return len(self._postings)
+
+    def candidates(self, needle: str) -> set[int]:
+        """Chunk ids that *may* contain ``needle`` (superset of the truth)."""
+        grams = trigrams(needle)
+        if not grams:
+            # Too short for trigram filtering: every chunk is a candidate.
+            return set(range(len(self._chunks)))
+        postings = [self._postings.get(gram, set()) for gram in grams]
+        smallest = min(postings, key=len)
+        out = set(smallest)
+        for posting in postings:
+            if posting is not smallest:
+                out &= posting
+            if not out:
+                break
+        return out
+
+    def lookup(self, needle: str) -> list[int]:
+        """Chunk ids that contain ``needle``, verified, in document order."""
+        return sorted(
+            chunk_id
+            for chunk_id in self.candidates(needle)
+            if needle in self._chunks[chunk_id]
+        )
+
+    def contains_anywhere(self, needle: str) -> bool:
+        """True if some single chunk contains ``needle`` (no cross-chunk check)."""
+        return bool(self.lookup(needle))

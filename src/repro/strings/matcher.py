@@ -1,0 +1,153 @@
+"""Attributing substring matches to skeleton nodes during a single scan.
+
+XPath's *string value* of a node is the concatenation of all character data
+in its subtree, so a string constraint ``["Codd"]`` can match across text
+chunks and even across element boundaries (``<a>Co<b/>dd</a>`` has string
+value ``"Codd"``).  Running one matcher per open element would cost
+O(depth x text).  Instead we observe:
+
+* the character data of the document, in order, forms one global stream;
+* the string value of a node is the contiguous slice of that stream between
+  the node's open and close times;
+* hence a match with stream span ``[s, e]`` belongs to exactly the open
+  nodes whose open position is ``<= s`` — a *prefix* of the element stack —
+  and to every ancestor of those (string values are nested).
+
+So it suffices to mark the *deepest* open node with ``open_position <= s``
+(found by binary search on the stack, whose open positions are sorted) and
+to OR masks into the parent when a node closes.  One automaton pass over the
+text, O(log depth) per match, exact XPath semantics.
+
+Two interchangeable scanners are provided: the Aho-Corasick automaton
+(general) and a ``str.find`` based scanner with an overlap buffer (faster in
+CPython for few patterns).  ``StreamMatcher`` picks one automatically.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Sequence
+
+from repro.errors import ReproError
+from repro.strings.aho_corasick import AhoCorasick
+
+
+class _AutomatonScanner:
+    """Cross-chunk scanning via Aho-Corasick; yields (global_start, mask)."""
+
+    __slots__ = ("_automaton", "_state", "_lengths")
+
+    def __init__(self, patterns: Sequence[str]):
+        self._automaton = AhoCorasick(patterns)
+        self._state = 0
+        self._lengths = [len(p) for p in patterns]
+
+    def scan(self, chunk: str, base: int) -> list[tuple[int, int]]:
+        self._state, matches = self._automaton.resume(self._state, chunk)
+        out: list[tuple[int, int]] = []
+        for offset, mask in matches:
+            end = base + offset
+            remaining = mask
+            index = 0
+            while remaining:
+                if remaining & 1:
+                    out.append((end - self._lengths[index] + 1, 1 << index))
+                remaining >>= 1
+                index += 1
+        return out
+
+
+class _FindScanner:
+    """Cross-chunk scanning via str.find with an overlap tail buffer."""
+
+    __slots__ = ("_patterns", "_tail", "_tail_len", "_max_overlap")
+
+    def __init__(self, patterns: Sequence[str]):
+        if any(not p for p in patterns):
+            raise ReproError("empty string patterns are not allowed")
+        self._patterns = list(enumerate(patterns))
+        self._max_overlap = max(len(p) for p in patterns) - 1
+        self._tail = ""
+
+    def scan(self, chunk: str, base: int) -> list[tuple[int, int]]:
+        tail = self._tail
+        haystack = tail + chunk if tail else chunk
+        tail_len = len(tail)
+        out: list[tuple[int, int]] = []
+        for index, pattern in self._patterns:
+            start = 0
+            # Matches entirely inside the old tail were already reported.
+            minimum_end = tail_len
+            while True:
+                hit = haystack.find(pattern, start)
+                if hit < 0:
+                    break
+                if hit + len(pattern) > minimum_end:
+                    out.append((base - tail_len + hit, 1 << index))
+                start = hit + 1
+        if self._max_overlap:
+            self._tail = haystack[-self._max_overlap:]
+        out.sort()
+        return out
+
+
+class StreamMatcher:
+    """Match string constraints against node string values in one pass.
+
+    Drive it with :meth:`open_node` / :meth:`text` / :meth:`close_node` in
+    document order; :meth:`close_node` returns the bitmask of patterns
+    occurring in the closing node's string value (bit ``i`` = pattern ``i``).
+    """
+
+    __slots__ = ("_scanner", "_position", "_open_positions", "_masks", "patterns")
+
+    def __init__(self, patterns: Sequence[str], strategy: str = "auto"):
+        self.patterns = tuple(patterns)
+        if strategy == "auto":
+            strategy = "find" if 0 < len(patterns) <= 8 else "automaton"
+        if not patterns:
+            self._scanner = None
+        elif strategy == "find":
+            self._scanner = _FindScanner(patterns)
+        elif strategy == "automaton":
+            self._scanner = _AutomatonScanner(patterns)
+        else:
+            raise ReproError(f"unknown matcher strategy {strategy!r}")
+        self._position = 0
+        self._open_positions: list[int] = []
+        self._masks: list[int] = []
+
+    @property
+    def depth(self) -> int:
+        return len(self._open_positions)
+
+    def open_node(self) -> None:
+        self._open_positions.append(self._position)
+        self._masks.append(0)
+
+    def text(self, data: str) -> None:
+        if self._scanner is None or not data:
+            self._position += len(data)
+            return
+        if not self._open_positions:
+            raise ReproError("text outside any open node")
+        matches = self._scanner.scan(data, self._position)
+        self._position += len(data)
+        if not matches:
+            return
+        opens = self._open_positions
+        masks = self._masks
+        for start, bit in matches:
+            # Deepest open node whose span covers the whole match.
+            slot = bisect_right(opens, start) - 1
+            if slot >= 0:
+                masks[slot] |= bit
+
+    def close_node(self) -> int:
+        if not self._open_positions:
+            raise ReproError("close_node without open_node")
+        self._open_positions.pop()
+        mask = self._masks.pop()
+        if self._masks:
+            self._masks[-1] |= mask  # ancestors contain this string value
+        return mask

@@ -1,0 +1,42 @@
+"""XML substrate: tokenizer, SAX-like parser, DOM, writer.
+
+Built from scratch (section 4 of the paper describes the system's own
+SAX-like parser as part of the contribution, so no XML library is used).
+"""
+
+from repro.xmlio.dom import Document, Element, parse_document
+from repro.xmlio.escape import escape_attribute, escape_text, unescape
+from repro.xmlio.events import (
+    Comment,
+    Doctype,
+    EndElement,
+    Event,
+    ProcessingInstruction,
+    StartElement,
+    Text,
+)
+from repro.xmlio.parser import Handler, parse_events, sax_parse
+from repro.xmlio.tokenizer import tokenize
+from repro.xmlio.writer import serialize, write_document
+
+__all__ = [
+    "Comment",
+    "Doctype",
+    "Document",
+    "Element",
+    "EndElement",
+    "Event",
+    "Handler",
+    "ProcessingInstruction",
+    "StartElement",
+    "Text",
+    "escape_attribute",
+    "escape_text",
+    "parse_document",
+    "parse_events",
+    "sax_parse",
+    "serialize",
+    "tokenize",
+    "unescape",
+    "write_document",
+]

@@ -1,0 +1,117 @@
+"""A small in-memory XML document object model.
+
+The library's data path never materialises a DOM (the loader streams SAX
+events straight into the compressed builder); this model exists for tests,
+examples and the corpus generators' convenience, and mirrors the skeleton
+notion of the paper: elements with ordered children, text kept separate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.xmlio.parser import parse_events
+
+
+class Element:
+    """An element node: tag, attributes, ordered children (Element or str)."""
+
+    __slots__ = ("tag", "attributes", "children")
+
+    def __init__(self, tag: str, attributes: dict[str, str] | None = None):
+        self.tag = tag
+        self.attributes = attributes if attributes is not None else {}
+        self.children: list[Element | str] = []
+
+    def append(self, child: "Element | str") -> "Element | str":
+        self.children.append(child)
+        return child
+
+    def element(self, tag: str, text: str | None = None) -> "Element":
+        """Append and return a new child element, optionally with text."""
+        child = Element(tag)
+        if text is not None:
+            child.children.append(text)
+        self.children.append(child)
+        return child
+
+    def elements(self, tag: str | None = None) -> Iterator["Element"]:
+        """Child elements, optionally filtered by tag."""
+        for child in self.children:
+            if isinstance(child, Element) and (tag is None or child.tag == tag):
+                yield child
+
+    def first(self, tag: str) -> "Element | None":
+        """The first child element with the given tag, if any."""
+        return next(self.elements(tag), None)
+
+    def string_value(self) -> str:
+        """Concatenated character data of the whole subtree (XPath semantics)."""
+        parts: list[str] = []
+        stack: list[Element | str] = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, str):
+                parts.append(node)
+            else:
+                stack.extend(reversed(node.children))
+        return "".join(parts)
+
+    def descendants(self) -> Iterator["Element"]:
+        """All element descendants including self, in document order."""
+        stack: list[Element] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(
+                child for child in reversed(node.children) if isinstance(child, Element)
+            )
+
+    def skeleton_size(self) -> int:
+        """Number of element nodes in the subtree (the skeleton |V|)."""
+        return sum(1 for _ in self.descendants())
+
+    def __repr__(self) -> str:
+        return f"<Element {self.tag} children={len(self.children)}>"
+
+
+class Document:
+    """A parsed document: the root element plus prolog scraps."""
+
+    __slots__ = ("root", "comments", "processing_instructions")
+
+    def __init__(self, root: Element):
+        self.root = root
+        self.comments: list[str] = []
+        self.processing_instructions: list[tuple[str, str]] = []
+
+
+def parse_document(text: str) -> Document:
+    """Parse ``text`` into a :class:`Document` (well-formedness enforced)."""
+    root: Element | None = None
+    stack: list[Element] = []
+    comments: list[str] = []
+    instructions: list[tuple[str, str]] = []
+    for event in parse_events(text):
+        kind = event.kind
+        if kind == "start":
+            element = Element(event.name, event.attributes)
+            if stack:
+                stack[-1].children.append(element)
+            else:
+                root = element
+            stack.append(element)
+        elif kind == "end":
+            stack.pop()
+        elif kind == "text":
+            if stack:
+                stack[-1].children.append(event.data)
+        elif kind == "comment":
+            comments.append(event.data)
+        elif kind == "pi":
+            instructions.append((event.target, event.data))
+    assert root is not None  # parse_events guarantees a root
+    document = Document(root)
+    document.comments = comments
+    document.processing_instructions = instructions
+    return document

@@ -1,0 +1,54 @@
+"""Character and entity escaping for the XML substrate.
+
+Supports the five predefined XML entities plus decimal and hexadecimal
+character references.  Unescaping is only attempted when an ampersand is
+present, so the common no-entity path is a no-op.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import XMLSyntaxError
+
+PREDEFINED = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "apos": "'",
+    "quot": '"',
+}
+
+_ENTITY_RE = re.compile(r"&(#x[0-9A-Fa-f]+|#[0-9]+|[A-Za-z][A-Za-z0-9]*);")
+
+
+def _entity_value(body: str) -> str:
+    if body.startswith("#x"):
+        return chr(int(body[2:], 16))
+    if body.startswith("#"):
+        return chr(int(body[1:]))
+    try:
+        return PREDEFINED[body]
+    except KeyError:
+        raise XMLSyntaxError(f"unknown entity &{body};") from None
+
+
+def unescape(text: str) -> str:
+    """Resolve entity and character references in ``text``."""
+    if "&" not in text:
+        return text
+    out = _ENTITY_RE.sub(lambda m: _entity_value(m.group(1)), text)
+    if "&" in out and _ENTITY_RE.sub("", text).count("&"):
+        # A bare ampersand survived that was not part of any reference.
+        raise XMLSyntaxError("bare '&' in character data (use &amp;)")
+    return out
+
+
+def escape_text(text: str) -> str:
+    """Escape character data for element content."""
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def escape_attribute(text: str) -> str:
+    """Escape character data for a double-quoted attribute value."""
+    return escape_text(text).replace('"', "&quot;").replace("\n", "&#10;")

@@ -1,0 +1,99 @@
+"""SAX-like event objects produced by the XML tokenizer and parser."""
+
+from __future__ import annotations
+
+
+class Event:
+    """Base class for parse events.  ``kind`` is a cheap dispatch tag."""
+
+    __slots__ = ("offset",)
+    kind = "event"
+
+    def __init__(self, offset: int = -1):
+        self.offset = offset
+
+
+class StartElement(Event):
+    """``<tag attr="value" ...>`` (also emitted for the open half of ``<tag/>``)."""
+
+    __slots__ = ("name", "attributes")
+    kind = "start"
+
+    def __init__(self, name: str, attributes: dict[str, str] | None = None, offset: int = -1):
+        super().__init__(offset)
+        self.name = name
+        self.attributes = attributes if attributes is not None else {}
+
+    def __repr__(self) -> str:
+        return f"StartElement({self.name!r}, {self.attributes!r})"
+
+
+class EndElement(Event):
+    """``</tag>`` (also emitted for the close half of ``<tag/>``)."""
+
+    __slots__ = ("name",)
+    kind = "end"
+
+    def __init__(self, name: str, offset: int = -1):
+        super().__init__(offset)
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"EndElement({self.name!r})"
+
+
+class Text(Event):
+    """Character data (entity references already resolved; CDATA merged in)."""
+
+    __slots__ = ("data",)
+    kind = "text"
+
+    def __init__(self, data: str, offset: int = -1):
+        super().__init__(offset)
+        self.data = data
+
+    def __repr__(self) -> str:
+        return f"Text({self.data!r})"
+
+
+class Comment(Event):
+    """``<!-- ... -->``"""
+
+    __slots__ = ("data",)
+    kind = "comment"
+
+    def __init__(self, data: str, offset: int = -1):
+        super().__init__(offset)
+        self.data = data
+
+    def __repr__(self) -> str:
+        return f"Comment({self.data!r})"
+
+
+class ProcessingInstruction(Event):
+    """``<?target data?>`` (the XML declaration is reported here too)."""
+
+    __slots__ = ("target", "data")
+    kind = "pi"
+
+    def __init__(self, target: str, data: str, offset: int = -1):
+        super().__init__(offset)
+        self.target = target
+        self.data = data
+
+    def __repr__(self) -> str:
+        return f"ProcessingInstruction({self.target!r}, {self.data!r})"
+
+
+class Doctype(Event):
+    """``<!DOCTYPE ...>`` — preserved verbatim, never interpreted."""
+
+    __slots__ = ("data",)
+    kind = "doctype"
+
+    def __init__(self, data: str, offset: int = -1):
+        super().__init__(offset)
+        self.data = data
+
+    def __repr__(self) -> str:
+        return f"Doctype({self.data!r})"

@@ -1,0 +1,67 @@
+"""Serialisation of the DOM back to XML text.
+
+The element walk is iterative (explicit stack), so arbitrarily deep
+documents — TreeBank-like parse trees can nest hundreds of levels — never
+hit Python's recursion limit.
+"""
+
+from __future__ import annotations
+
+from typing import IO
+
+from repro.xmlio.dom import Document, Element
+from repro.xmlio.escape import escape_attribute, escape_text
+
+
+def write_element(element: Element, out: list[str], indent: int | None = None, depth: int = 0) -> None:
+    """Append the serialisation of ``element`` to ``out`` (a string list)."""
+    # Stack actions: ("open", Element), ("close", Element), ("text", str);
+    # the int is the nesting level used for pretty-printing.
+    stack: list[tuple[str, object, int]] = [("open", element, depth)]
+    while stack:
+        action, node, level = stack.pop()
+        if action == "text":
+            out.append(escape_text(node))
+            continue
+        if action == "close":
+            only_text = all(isinstance(child, str) for child in node.children)
+            if indent is not None and not only_text:
+                out.append("\n" + " " * (indent * level))
+            out.append(f"</{node.tag}>")
+            continue
+        pad = "" if indent is None else "\n" + " " * (indent * level)
+        attrs = "".join(
+            f' {name}="{escape_attribute(value)}"'
+            for name, value in node.attributes.items()
+        )
+        if not node.children:
+            out.append(f"{pad}<{node.tag}{attrs}/>")
+            continue
+        out.append(f"{pad}<{node.tag}{attrs}>")
+        stack.append(("close", node, level))
+        for child in reversed(node.children):
+            if isinstance(child, str):
+                stack.append(("text", child, level + 1))
+            else:
+                stack.append(("open", child, level + 1))
+
+
+def serialize(root: Element | Document, indent: int | None = None, declaration: bool = True) -> str:
+    """Serialise an element (or document) to XML text.
+
+    ``indent`` pretty-prints with that many spaces per level; ``None`` emits
+    the most compact form.  Round-trips with :func:`repro.xmlio.dom.parse_document`
+    up to insignificant whitespace.
+    """
+    element = root.root if isinstance(root, Document) else root
+    out: list[str] = []
+    if declaration:
+        out.append('<?xml version="1.0" encoding="UTF-8"?>')
+    write_element(element, out, indent)
+    return "".join(out).lstrip("\n") if indent is not None else "".join(out)
+
+
+def write_document(root: Element | Document, stream: IO[str], indent: int | None = None) -> None:
+    """Serialise to a text stream (used by the corpus CLI)."""
+    stream.write(serialize(root, indent=indent))
+    stream.write("\n")

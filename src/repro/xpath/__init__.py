@@ -1,0 +1,41 @@
+"""Core XPath: lexer, parser, AST, node-set algebra and compiler."""
+
+from repro.xpath.algebra import (
+    AlgebraExpr,
+    AllNodes,
+    AxisApply,
+    ContextSet,
+    Difference,
+    Intersect,
+    NamedSet,
+    RootFilter,
+    RootSet,
+    Union,
+    uses_only_upward_axes,
+)
+from repro.xpath.ast import AXES, INVERSE_AXIS, UPWARD_AXES, LocationPath, Step
+from repro.xpath.compiler import compile_query, required_strings, required_tags
+from repro.xpath.parser import parse_query
+
+__all__ = [
+    "AXES",
+    "AlgebraExpr",
+    "AllNodes",
+    "AxisApply",
+    "ContextSet",
+    "Difference",
+    "INVERSE_AXIS",
+    "Intersect",
+    "LocationPath",
+    "NamedSet",
+    "RootFilter",
+    "RootSet",
+    "Step",
+    "UPWARD_AXES",
+    "Union",
+    "compile_query",
+    "parse_query",
+    "required_strings",
+    "required_tags",
+    "uses_only_upward_axes",
+]

@@ -1,0 +1,147 @@
+"""Abstract syntax of the Core XPath fragment (section 3.1).
+
+The fragment covers everything appearing in the paper's Appendix A:
+
+* absolute and relative location paths with ``/`` and ``//`` separators,
+* all eleven node-selecting axes (plus ``self``),
+* name and ``*`` node tests,
+* predicates combining relative paths, absolute paths, string-containment
+  constraints (``["abc"]``) with ``and`` / ``or`` / ``not(...)``.
+
+``//`` is desugared by the parser into an explicit
+``descendant-or-self::*`` step, and re-fused to a ``descendant`` axis by
+:func:`repro.xpath.compiler.simplify_steps`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: The axes of Core XPath, paper section 3.1.
+AXES = frozenset(
+    {
+        "self",
+        "child",
+        "parent",
+        "descendant",
+        "descendant-or-self",
+        "ancestor",
+        "ancestor-or-self",
+        "following-sibling",
+        "preceding-sibling",
+        "following",
+        "preceding",
+    }
+)
+
+#: chi <-> chi^-1, used to reverse predicate paths (Fig. 3).
+INVERSE_AXIS = {
+    "self": "self",
+    "child": "parent",
+    "parent": "child",
+    "descendant": "ancestor",
+    "ancestor": "descendant",
+    "descendant-or-self": "ancestor-or-self",
+    "ancestor-or-self": "descendant-or-self",
+    "following-sibling": "preceding-sibling",
+    "preceding-sibling": "following-sibling",
+    "following": "preceding",
+    "preceding": "following",
+}
+
+#: Axes whose application never splits DAG vertices (Proposition 3.3).
+UPWARD_AXES = frozenset({"self", "parent", "ancestor", "ancestor-or-self"})
+
+
+class Expr:
+    """Base class of predicate expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Step:
+    """One location step: ``axis::test[pred]*``."""
+
+    axis: str
+    test: str  # tag name or "*"
+    predicates: tuple[Expr, ...] = ()
+
+    def __str__(self) -> str:
+        out = f"{self.axis}::{self.test}"
+        for predicate in self.predicates:
+            out += f"[{predicate}]"
+        return out
+
+
+@dataclass(frozen=True)
+class LocationPath(Expr):
+    """A path; absolute paths start at the (virtual) document root."""
+
+    absolute: bool
+    steps: tuple[Step, ...]
+
+    def __str__(self) -> str:
+        body = "/".join(str(step) for step in self.steps)
+        return ("/" + body) if self.absolute else body
+
+
+@dataclass(frozen=True)
+class PathUnion(Expr):
+    """``path1 | path2``: the union of several location paths' selections."""
+
+    paths: tuple["LocationPath", ...]
+
+    def __str__(self) -> str:
+        return " | ".join(str(path) for path in self.paths)
+
+
+@dataclass(frozen=True)
+class OrExpr(Expr):
+    parts: tuple[Expr, ...]
+
+    def __str__(self) -> str:
+        return " or ".join(f"({part})" for part in self.parts)
+
+
+@dataclass(frozen=True)
+class AndExpr(Expr):
+    parts: tuple[Expr, ...]
+
+    def __str__(self) -> str:
+        return " and ".join(f"({part})" for part in self.parts)
+
+
+@dataclass(frozen=True)
+class NotExpr(Expr):
+    part: Expr
+
+    def __str__(self) -> str:
+        return f"not({self.part})"
+
+
+@dataclass(frozen=True)
+class StringExpr(Expr):
+    """``["needle"]`` — the node's string value contains the needle."""
+
+    needle: str
+
+    def __str__(self) -> str:
+        return f'"{self.needle}"'
+
+
+def walk(expr: Expr):
+    """Yield every AST node under ``expr`` (including itself)."""
+    yield expr
+    if isinstance(expr, PathUnion):
+        for path in expr.paths:
+            yield from walk(path)
+    elif isinstance(expr, LocationPath):
+        for step in expr.steps:
+            for predicate in step.predicates:
+                yield from walk(predicate)
+    elif isinstance(expr, (OrExpr, AndExpr)):
+        for part in expr.parts:
+            yield from walk(part)
+    elif isinstance(expr, NotExpr):
+        yield from walk(expr.part)

@@ -1,0 +1,58 @@
+"""Tokenizer for the Core XPath fragment."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import XPathSyntaxError
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<DSLASH>//)
+  | (?P<SLASH>/)
+  | (?P<AXISSEP>::)
+  | (?P<LBRACKET>\[)
+  | (?P<RBRACKET>\])
+  | (?P<LPAREN>\()
+  | (?P<RPAREN>\))
+  | (?P<PIPE>\|)
+  | (?P<STAR>\*)
+  | (?P<STRING>"[^"]*"|'[^']*')
+  | (?P<NAME>@?[A-Za-z_][A-Za-z0-9_.\-]*)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: str
+    position: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}@{self.position})"
+
+
+def lex(query: str) -> list[Token]:
+    """Tokenize ``query``; raises :class:`XPathSyntaxError` on stray characters."""
+    tokens: list[Token] = []
+    position = 0
+    length = len(query)
+    while position < length:
+        match = _TOKEN_RE.match(query, position)
+        if not match:
+            raise XPathSyntaxError(
+                f"unexpected character {query[position]!r}", position=position
+            )
+        kind = match.lastgroup
+        value = match.group()
+        if kind != "WS":
+            if kind == "STRING":
+                value = value[1:-1]
+            tokens.append(Token(kind, value, position))
+        position = match.end()
+    tokens.append(Token("EOF", "", length))
+    return tokens

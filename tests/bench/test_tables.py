@@ -1,0 +1,50 @@
+"""Tests for the benchmark table formatting and harness rows."""
+
+from repro.bench.harness import figure6_row, figure7_row
+from repro.bench.queries import QUERIES, QUERY_IDS, queries_for
+from repro.bench.tables import fmt_int, fmt_pct, fmt_seconds, format_table
+from repro.corpora import generate
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["name", "count"], [["alpha", "1,000"], ["b", "22"]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("name")
+        # Numeric column right-aligned.
+        assert lines[3].endswith("1,000")
+        assert lines[4].endswith("   22")
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+    def test_fmt_helpers(self):
+        assert fmt_int(1234567) == "1,234,567"
+        assert fmt_pct(0.0525) == "5.2%"
+        assert fmt_seconds(0.0012) == "1.20ms"
+        assert fmt_seconds(1.5) == "1.500s"
+
+
+class TestHarnessRows:
+    def test_figure6_row_fields(self):
+        xml = generate("tpcd", 20).xml
+        row = figure6_row("tpcd", xml)
+        assert row.corpus == "tpcd"
+        # document root + table + 20 rows + 20 * 10 column leaves.
+        assert row.tree_vertices == 2 + 20 + 20 * 10
+        assert 0 < row.ratio_minus <= row.ratio_plus
+
+    def test_figure7_row_fields(self):
+        xml = generate("baseball", 6).xml
+        row = figure7_row("baseball", xml, "Q2")
+        assert row.query == queries_for("baseball")["Q2"]
+        assert row.parse_seconds > 0
+        assert row.selected_tree >= row.selected_dag >= 1
+
+    def test_queries_table_complete(self):
+        for corpus, queries in QUERIES.items():
+            assert sorted(queries) == sorted(QUERY_IDS), corpus

@@ -1,0 +1,131 @@
+"""Tests for the streaming DagBuilder (section 4's one-scan construction)."""
+
+import pytest
+
+from repro.compress.builder import DagBuilder
+from repro.compress.minimize import is_compressed, minimize
+from repro.errors import InstanceError
+from repro.model.equivalence import equivalent
+from repro.model.instance import tree_instance
+
+
+def build_from_spec(builder: DagBuilder, spec) -> int:
+    sets, children = spec
+    if isinstance(sets, str):
+        sets = (sets,)
+    builder.start_node()
+    for child in children:
+        build_from_spec(builder, child)
+    return builder.end_node(sets)
+
+
+class TestDagBuilder:
+    def test_builds_minimal_bib(self, bib_tree):
+        from tests.conftest import BIB_SPEC
+
+        builder = DagBuilder()
+        build_from_spec(builder, BIB_SPEC)
+        instance = builder.finish()
+        instance.validate()
+        assert instance.num_vertices == 5
+        assert is_compressed(instance)
+        assert equivalent(instance, minimize(bib_tree))
+
+    def test_equal_subtrees_get_equal_ids(self):
+        builder = DagBuilder()
+        builder.start_node()
+        first = builder.leaf(("x",))
+        second = builder.leaf(("x",))
+        other = builder.leaf(("y",))
+        builder.end_node(("root",))
+        builder.finish()
+        assert first == second
+        assert first != other
+
+    def test_sibling_runs_compressed_incrementally(self):
+        builder = DagBuilder()
+        builder.start_node()
+        for _ in range(1000):
+            builder.leaf(("x",))
+        root = builder.end_node(("root",))
+        instance = builder.finish()
+        assert instance.children(root) == ((0, 1000),)
+
+    def test_repeat_last(self):
+        builder = DagBuilder()
+        builder.start_node()
+        builder.leaf(("x",))
+        builder.repeat_last(999)
+        root = builder.end_node(("root",))
+        instance = builder.finish()
+        assert instance.children(root)[0][1] == 1000
+
+    def test_repeat_last_without_sibling_raises(self):
+        builder = DagBuilder()
+        builder.start_node()
+        with pytest.raises(InstanceError):
+            builder.repeat_last(5)
+
+    def test_end_without_start_raises(self):
+        builder = DagBuilder()
+        with pytest.raises(InstanceError):
+            builder.end_node()
+
+    def test_finish_with_open_nodes_raises(self):
+        builder = DagBuilder()
+        builder.start_node()
+        with pytest.raises(InstanceError, match="still open"):
+            builder.finish()
+
+    def test_finish_with_two_roots_raises(self):
+        builder = DagBuilder()
+        builder.leaf(("a",))
+        builder.leaf(("b",))
+        with pytest.raises(InstanceError, match="exactly one root"):
+            builder.finish()
+
+    def test_finish_with_no_root_raises(self):
+        with pytest.raises(InstanceError):
+            DagBuilder().finish()
+
+    def test_depth_tracks_open_nodes(self):
+        builder = DagBuilder()
+        assert builder.depth == 0
+        builder.start_node()
+        builder.start_node()
+        assert builder.depth == 2
+        builder.end_node()
+        assert builder.depth == 1
+
+    def test_masked_fast_path_matches_named_path(self):
+        named = DagBuilder()
+        named.start_node()
+        named.leaf(("x",))
+        named.end_node(("r",))
+        named_instance = named.finish()
+
+        masked = DagBuilder()
+        mask_x = masked.mask_of(("x",))
+        mask_r = masked.mask_of(("r",))
+        masked.start_node()
+        masked.leaf_masked(mask_x)
+        masked.end_node_masked(mask_r)
+        masked_instance = masked.finish()
+        assert equivalent(named_instance, masked_instance)
+
+    def test_streaming_equals_batch_compression(self):
+        # Build the same random-ish document both ways.
+        spec = (
+            "r",
+            [
+                ("a", [("b", []), ("b", [])]),
+                ("a", [("b", []), ("b", [])]),
+                ("c", [("a", [("b", []), ("b", [])])]),
+            ],
+        )
+        builder = DagBuilder()
+        build_from_spec(builder, spec)
+        streamed = builder.finish()
+        batch = minimize(tree_instance(spec))
+        assert streamed.num_vertices == batch.num_vertices
+        assert equivalent(streamed, batch)

@@ -1,0 +1,119 @@
+"""Tests for common extensions (section 2.3, Lemma 2.7)."""
+
+import pytest
+
+from repro.compress.common_extension import common_extension
+from repro.compress.minimize import minimize
+from repro.errors import IncompatibleInstancesError
+from repro.model.equivalence import equivalent
+from repro.model.instance import Instance, tree_instance
+
+
+def labeled_bib(extra_set: str, select_leaves_under: str):
+    """The Example 1.1 tree with `extra_set` marking leaves under a tag."""
+    from tests.conftest import BIB_SPEC
+
+    tree = tree_instance(BIB_SPEC)
+    tree.ensure_set(extra_set)
+    for parent in tree.members(select_leaves_under):
+        for child, _ in tree.children(parent):
+            tree.add_to_set(child, extra_set)
+    return tree
+
+
+class TestCommonExtension:
+    def test_merges_disjoint_labelings(self):
+        a = minimize(labeled_bib("under_book", "book"))
+        b = minimize(labeled_bib("under_paper", "paper"))
+        merged = common_extension(a, b)
+        merged.validate()
+        assert set(merged.schema) == set(a.schema) | set(b.schema)
+        assert equivalent(merged.reduct(a.schema), a)
+        assert equivalent(merged.reduct(b.schema), b)
+
+    def test_merge_of_identical_instances_is_equivalent(self, figure2_compressed):
+        merged = common_extension(figure2_compressed, figure2_compressed)
+        assert equivalent(merged, figure2_compressed)
+
+    def test_merge_may_decompress(self):
+        # A fully shared instance merged with a labeling that distinguishes
+        # the two subtrees must split the shared vertex (the "Vardi paper"
+        # situation of Figure 2(b)).
+        spec = ("r", [("p", [("x", [])]), ("p", [("x", [])])])
+        plain = minimize(tree_instance(spec))
+        assert plain.num_vertices == 3
+
+        labeled = tree_instance(spec)
+        labeled.ensure_set("special")
+        second_p = sorted(labeled.members("p"))[1]
+        labeled.add_to_set(second_p, "special")
+        labeled_min = minimize(labeled)
+        assert labeled_min.num_vertices == 4  # the two p's now differ
+
+        merged = common_extension(plain, labeled_min)
+        assert equivalent(merged.reduct(plain.schema), plain)
+        assert len(merged.members("special")) == 1
+        assert merged.num_vertices == 4
+
+    def test_merge_is_least_upper_bound(self):
+        # Merging two partially compressed versions of one tree yields an
+        # instance no larger than the tree and at least as large as each.
+        spec = ("r", [("a", []), ("a", []), ("a", [])])
+        tree = tree_instance(spec)
+        left = tree.copy()
+        left.ensure_set("first")
+        left.add_to_set(sorted(left.members("a"))[0], "first")
+        right = tree.copy()
+        right.ensure_set("last")
+        right.add_to_set(sorted(right.members("a"))[2], "last")
+        merged = common_extension(minimize(left), minimize(right))
+        # first a, middle a, last a are now all distinguishable.
+        assert len(merged.preorder()) == 4
+
+    def test_incompatible_structures_raise(self):
+        a = tree_instance(("r", [("x", []), ("x", [])]), schema=["r", "x"])
+        b = tree_instance(("r", [("x", [])]), schema=["r", "x"])
+        with pytest.raises(IncompatibleInstancesError):
+            common_extension(a, b)
+
+    def test_disagreeing_shared_set_raises(self):
+        a = tree_instance(("r", [("x", [])]), schema=["r", "x"])
+        b = tree_instance(("r", [("x", [])]), schema=["r", "x"])
+        b.remove_from_set(next(iter(b.members("x"))), "x")
+        with pytest.raises(IncompatibleInstancesError):
+            common_extension(a, b)
+
+    def test_multiplicity_runs_aligned(self):
+        # One side has (leaf,4); the other splits the run with a label on a
+        # prefix; merged must produce aligned runs.
+        a = Instance(["l"])
+        leaf = a.new_vertex(["l"])
+        a.set_root(a.new_vertex(children=[(leaf, 4)]))
+
+        b = Instance(["l", "head"])
+        head = b.new_vertex(["l", "head"])
+        tail = b.new_vertex(["l"])
+        b.set_root(b.new_vertex(children=[(head, 1), (tail, 3)]))
+
+        merged = common_extension(a, b)
+        assert len(merged.members("head")) == 1
+        assert equivalent(merged.reduct(["l"]), a)
+
+    def test_output_linear_in_tree_at_worst(self):
+        # Two orthogonal labelings that shatter all sharing: output size is
+        # bounded by the tree size.
+        leaves = 16
+        spec = ("r", [("x", [])] * leaves)
+        tree = tree_instance(spec)
+        odd = tree.copy()
+        odd.ensure_set("odd")
+        even = tree.copy()
+        even.ensure_set("even")
+        for index, leaf in enumerate(sorted(odd.members("x"))):
+            if index % 2:
+                odd.add_to_set(leaf, "odd")
+        for index, leaf in enumerate(sorted(even.members("x"))):
+            if index % 3 == 0:
+                even.add_to_set(leaf, "even")
+        merged = common_extension(minimize(odd), minimize(even))
+        assert len(merged.preorder()) <= tree.num_vertices

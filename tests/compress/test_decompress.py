@@ -1,0 +1,68 @@
+"""Tests for tree materialisation T(I) (Proposition 2.2)."""
+
+import pytest
+
+from repro.compress.decompress import decompress, document_order
+from repro.errors import DecompressionLimitError
+from repro.model.equivalence import equivalent
+from repro.model.instance import Instance
+from repro.model.paths import tree_size
+
+
+class TestDecompress:
+    def test_figure2_unfolds_to_12_nodes(self, figure2_compressed):
+        result = decompress(figure2_compressed)
+        assert result.tree.num_vertices == 12
+        assert result.tree.is_tree()
+        result.tree.validate()
+
+    def test_unfolding_is_equivalent(self, figure2_compressed):
+        result = decompress(figure2_compressed)
+        assert equivalent(result.tree, figure2_compressed)
+
+    def test_tree_decompresses_to_itself(self, bib_tree):
+        result = decompress(bib_tree)
+        assert result.tree.num_vertices == bib_tree.num_vertices
+        assert equivalent(result.tree, bib_tree)
+
+    def test_origin_mapping(self, figure2_compressed):
+        instance = figure2_compressed
+        result = decompress(instance)
+        author = next(iter(instance.members("author")))
+        unfolded = result.vertices_from(author)
+        assert len(unfolded) == 5
+        for tree_vertex in unfolded:
+            assert result.tree.in_set(tree_vertex, "author")
+
+    def test_origin_of_root(self, figure2_compressed):
+        result = decompress(figure2_compressed)
+        assert result.origin[result.tree.root] == figure2_compressed.root
+
+    def test_paths_match_model_paths(self, figure2_compressed):
+        from repro.model.paths import edge_path_set
+
+        result = decompress(figure2_compressed)
+        tree_paths = set(result.paths())
+        assert tree_paths == set(edge_path_set(figure2_compressed))
+
+    def test_limit_enforced_before_allocation(self):
+        instance = Instance()
+        vertex = instance.new_vertex()
+        for _ in range(60):
+            vertex = instance.new_vertex(children=[(vertex, 2)])
+        instance.set_root(vertex)
+        assert tree_size(instance) > 10**18
+        with pytest.raises(DecompressionLimitError):
+            decompress(instance, limit=10_000)
+
+    def test_document_order_is_preorder(self, bib_tree):
+        order = document_order(bib_tree)
+        assert order[0] == bib_tree.root
+        assert sorted(order) == sorted(bib_tree.reachable())
+
+    def test_sibling_ids_consecutive(self, figure2_compressed):
+        result = decompress(figure2_compressed)
+        for vertex in result.tree.preorder():
+            children = [child for child, _ in result.tree.children(vertex)]
+            if len(children) > 1:
+                assert children == list(range(children[0], children[0] + len(children)))

@@ -1,0 +1,69 @@
+"""Tests for the compressor M(I) (Propositions 2.5-2.6)."""
+
+from repro.compress.minimize import is_compressed, minimize
+from repro.model.equivalence import equivalent
+from repro.model.instance import Instance, tree_instance
+
+
+class TestMinimize:
+    def test_bib_tree_compresses_to_figure1b(self, bib_tree, figure2_compressed):
+        minimal = minimize(bib_tree)
+        assert minimal.num_vertices == 5
+        assert equivalent(minimal, bib_tree)
+        # Align schemas before comparing with the hand-built Figure 2(a).
+        assert equivalent(minimal, figure2_compressed.reduct(minimal.schema))
+
+    def test_multiplicity_edges_created(self, bib_tree):
+        minimal = minimize(bib_tree)
+        book = next(iter(minimal.members("book")))
+        counts = sorted(count for _, count in minimal.children(book))
+        assert counts == [1, 3]  # title x1, author x3
+
+    def test_minimal_fixed_point(self, figure2_compressed):
+        once = minimize(figure2_compressed)
+        twice = minimize(once)
+        assert once.num_vertices == twice.num_vertices
+        assert equivalent(once, twice)
+
+    def test_relational_table_compresses_to_c_plus_r(self):
+        # Section 1: an R-row, C-column relational table compresses from
+        # O(C*R) to O(C+R); with multiplicity edges the row fan-out is one
+        # entry, so the vertex count is exactly 3 (cell, row, table).
+        rows, cols = 50, 8
+        spec = ("table", [("row", [("col", [])] * cols)] * rows)
+        tree = tree_instance(spec)
+        assert tree.num_vertices == 1 + rows + rows * cols
+        minimal = minimize(tree)
+        assert minimal.num_vertices == 3
+        assert minimal.num_edge_entries == 2
+
+    def test_unreachable_vertices_ignored(self):
+        instance = Instance(["a"])
+        instance.new_vertex(["a"])  # unreachable
+        root = instance.new_vertex(["a"])
+        instance.set_root(root)
+        minimal = minimize(instance)
+        assert minimal.num_vertices == 1
+
+    def test_is_compressed(self, bib_tree, figure2_compressed):
+        assert not is_compressed(bib_tree)
+        assert is_compressed(figure2_compressed)
+        assert is_compressed(minimize(bib_tree))
+
+    def test_empty_labels_share(self):
+        # Unlabeled leaves are all identical.
+        spec = ((), [((), []), ((), []), ((), [])])
+        minimal = minimize(tree_instance(spec))
+        assert minimal.num_vertices == 2
+        assert minimal.children(minimal.root)[0][1] == 3
+
+    def test_deep_chain(self):
+        instance = Instance()
+        vertex = instance.new_vertex()
+        for _ in range(30_000):
+            vertex = instance.new_vertex(children=[(vertex, 1)])
+        instance.set_root(vertex)
+        minimal = minimize(instance)
+        # A chain of unlabeled vertices is already minimal (each vertex has a
+        # distinct unfolding depth).
+        assert minimal.num_vertices == 30_001

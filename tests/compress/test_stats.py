@@ -1,0 +1,41 @@
+"""Tests for instance statistics (Figure 6 quantities)."""
+
+from repro.compress.minimize import minimize
+from repro.compress.stats import instance_stats
+from repro.model.instance import tree_instance
+
+
+class TestInstanceStats:
+    def test_tree_stats(self, bib_tree):
+        stats = instance_stats(bib_tree)
+        assert stats.vertices == 12
+        assert stats.tree_vertices == 12
+        assert stats.edge_entries == 11
+        assert stats.tree_edges == 11
+        assert stats.edge_ratio == 1.0
+
+    def test_compressed_stats(self, figure2_compressed):
+        stats = instance_stats(figure2_compressed)
+        assert stats.vertices == 5
+        assert stats.tree_vertices == 12
+        assert stats.edge_entries == 6
+        # DAG edges with multiplicities: bib->book(1)+paper(2), book->title(1)
+        # +author(3), paper->title(1)+author(1) = 9 (tree has 11; sharing
+        # keeps the book/paper subtrees single).
+        assert stats.edges_expanded == 9
+        assert abs(stats.edge_ratio - 6 / 11) < 1e-12
+
+    def test_ratio_improves_with_compression(self, bib_tree):
+        before = instance_stats(bib_tree)
+        after = instance_stats(minimize(bib_tree))
+        assert after.edge_ratio < before.edge_ratio
+        assert after.tree_vertices == before.tree_vertices
+
+    def test_row_formatting(self, figure2_compressed):
+        row = instance_stats(figure2_compressed).row()
+        assert "|V^T|=" in row and "%" in row
+
+    def test_single_vertex_ratio(self):
+        stats = instance_stats(tree_instance(("only", [])))
+        assert stats.tree_edges == 0
+        assert stats.edge_ratio == 1.0

@@ -1,0 +1,110 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.model.instance import Instance, tree_instance
+
+
+# ----------------------------------------------------------------------
+# Canonical paper examples
+# ----------------------------------------------------------------------
+
+#: The Example 1.1 bibliography skeleton as a nested spec.
+BIB_SPEC = (
+    "bib",
+    [
+        ("book", [("title", []), ("author", []), ("author", []), ("author", [])]),
+        ("paper", [("title", []), ("author", [])]),
+        ("paper", [("title", []), ("author", [])]),
+    ],
+)
+
+
+@pytest.fixture
+def bib_tree() -> Instance:
+    """The uncompressed Example 1.1 skeleton (12 nodes)."""
+    return tree_instance(BIB_SPEC)
+
+
+@pytest.fixture
+def figure2_compressed() -> Instance:
+    """Figure 2(a): the compressed bibliography instance, built by hand.
+
+    v3 = title leaf, v5 = author leaf, v2 = book, v4 = paper,
+    v1 = bib root with children (book, paper, paper).
+    """
+    instance = Instance(["bib", "book", "paper", "title", "author"])
+    v3 = instance.new_vertex(["title"])
+    v5 = instance.new_vertex(["author"])
+    v2 = instance.new_vertex(["book"], [(v3, 1), (v5, 3)])
+    v4 = instance.new_vertex(["paper"], [(v3, 1), (v5, 1)])
+    v1 = instance.new_vertex(["bib"], [(v2, 1), (v4, 2)])
+    instance.set_root(v1)
+    return instance
+
+
+# ----------------------------------------------------------------------
+# Hypothesis strategies
+# ----------------------------------------------------------------------
+
+LABELS = ("a", "b", "c")
+
+
+def tree_specs(max_depth: int = 4, max_children: int = 4):
+    """Strategy generating nested (label, children) tree specs."""
+    labels = st.sampled_from(LABELS)
+    return st.recursive(
+        labels.map(lambda l: (l, [])),
+        lambda children: st.tuples(labels, st.lists(children, max_size=max_children)),
+        max_leaves=24,
+    )
+
+
+@st.composite
+def random_tree_instances(draw) -> Instance:
+    """Strategy generating small random labeled tree instances."""
+    spec = draw(tree_specs())
+    return tree_instance(spec, schema=LABELS)
+
+
+@st.composite
+def random_dag_instances(draw) -> Instance:
+    """Strategy generating random *compressed-ish* DAG instances.
+
+    Built bottom-up in layers: each new vertex picks children (with small
+    multiplicities) among previously created vertices, which guarantees
+    acyclicity; the final vertex adopts all roots of the partial forest so
+    the instance is rooted and fully reachable.
+    """
+    instance = Instance(LABELS)
+    n = draw(st.integers(min_value=1, max_value=12))
+    has_parent: set[int] = set()
+    for index in range(n):
+        sets = draw(st.sets(st.sampled_from(LABELS), max_size=2))
+        if index == 0:
+            children: list[tuple[int, int]] = []
+        else:
+            targets = draw(
+                st.lists(st.integers(min_value=0, max_value=index - 1), max_size=4)
+            )
+            counts = draw(
+                st.lists(
+                    st.integers(min_value=1, max_value=3),
+                    min_size=len(targets),
+                    max_size=len(targets),
+                )
+            )
+            children = list(zip(targets, counts))
+        vertex = instance.new_vertex(sets, children)
+        for child, _ in children:
+            has_parent.add(child)
+    orphans = [v for v in range(n) if v not in has_parent and v != n - 1]
+    if orphans:
+        extra = [(v, 1) for v in orphans]
+        instance.set_children(n - 1, list(instance.children(n - 1)) + extra)
+    instance.set_root(n - 1)
+    instance.validate()
+    return instance

@@ -1,0 +1,153 @@
+"""Tests for the synthetic corpus generators."""
+
+import pytest
+
+from repro.corpora import CORPORA, QUERY_CORPORA, generate
+from repro.corpora.binary_tree import compressed_instance, generate_xml
+from repro.corpora.relational import direct_instance, generate_xml as relational_xml
+from repro.errors import CorpusError
+from repro.model.paths import tree_size
+from repro.skeleton.loader import load_instance
+from repro.xmlio.dom import parse_document
+
+#: Small scales for fast tests; queries must still select >= 1 node.
+TEST_SCALES = {
+    "swissprot": 60,
+    "dblp": 120,
+    "treebank": 60,
+    "omim": 60,
+    "xmark": 60,
+    "shakespeare": 12,
+    "baseball": 6,
+    "tpcd": 40,
+}
+
+
+@pytest.fixture(scope="module")
+def generated():
+    return {name: generate(name, TEST_SCALES[name], seed=1) for name in CORPORA}
+
+
+class TestAllCorpora:
+    @pytest.mark.parametrize("name", sorted(CORPORA))
+    def test_well_formed(self, generated, name):
+        document = parse_document(generated[name].xml)
+        assert document.root.skeleton_size() > 50
+
+    @pytest.mark.parametrize("name", sorted(CORPORA))
+    def test_deterministic(self, name):
+        first = generate(name, TEST_SCALES[name], seed=7)
+        second = generate(name, TEST_SCALES[name], seed=7)
+        assert first.xml == second.xml
+
+    @pytest.mark.parametrize("name", sorted(CORPORA))
+    def test_seeds_differ(self, name):
+        first = generate(name, TEST_SCALES[name], seed=1)
+        second = generate(name, TEST_SCALES[name], seed=2)
+        if name in ("tpcd",):
+            return  # text-only differences are fine but tags are fixed
+        assert first.xml != second.xml
+
+    @pytest.mark.parametrize("name", sorted(CORPORA))
+    def test_scales_monotone(self, name):
+        small = generate(name, TEST_SCALES[name], seed=0)
+        large = generate(name, TEST_SCALES[name] * 2, seed=0)
+        assert len(large.xml) > len(small.xml)
+
+    def test_unknown_corpus_rejected(self):
+        with pytest.raises(CorpusError, match="unknown corpus"):
+            generate("enron")
+
+
+class TestCompressionCharacter:
+    """The corpora must reproduce Figure 6's *ordering* of compressibility."""
+
+    def ratio(self, generated, name, with_tags):
+        xml = generated[name].xml
+        instance = load_instance(xml, tags=None if with_tags else ())
+        edges = instance.num_edge_entries
+        tree_edges = tree_size(instance) - 1
+        return edges / tree_edges
+
+    def test_treebank_is_the_outlier(self, generated):
+        treebank = self.ratio(generated, "treebank", True)
+        for other in ("dblp", "baseball", "tpcd", "omim", "swissprot"):
+            assert treebank > 2 * self.ratio(generated, other, True)
+
+    def test_relational_corpora_compress_best(self, generated):
+        for name in ("baseball", "tpcd"):
+            assert self.ratio(generated, name, True) < 0.06
+
+    def test_dblp_vertex_count_stays_small(self, generated):
+        instance = load_instance(generated["dblp"].xml)
+        assert instance.num_vertices < 400
+
+    def test_tags_never_improve_compression(self, generated):
+        for name in CORPORA:
+            bare = self.ratio(generated, name, False)
+            tagged = self.ratio(generated, name, True)
+            assert bare <= tagged + 1e-9
+
+
+class TestQueryMatches:
+    @pytest.mark.parametrize("name", QUERY_CORPORA)
+    def test_every_benchmark_query_selects_something(self, generated, name):
+        from repro.bench.queries import QUERY_IDS, queries_for
+        from repro.engine.pipeline import query
+
+        for query_id in QUERY_IDS:
+            text = queries_for(name)[query_id]
+            result = query(generated[name].xml, text)
+            assert result.tree_count() >= 1, f"{name} {query_id} selected nothing"
+
+
+class TestBinaryTree:
+    def test_compressed_instance_shape(self):
+        instance = compressed_instance(5)
+        instance.validate()
+        assert instance.num_vertices == 11  # 2*5 + 1
+        assert tree_size(instance) == 2**6 - 1
+
+    def test_depth_zero(self):
+        instance = compressed_instance(0)
+        assert instance.num_vertices == 1
+
+    def test_xml_matches_instance(self):
+        from repro.compress.minimize import minimize
+        from repro.model.equivalence import equivalent
+
+        xml = generate_xml(4).xml
+        loaded = load_instance(xml)
+        # Strip the virtual document root for comparison.
+        direct = compressed_instance(4)
+        root_child = loaded.children(loaded.root)[0][0]
+        assert tree_size(loaded) - 1 == tree_size(direct)
+        assert loaded.num_vertices == direct.num_vertices + 1
+
+    def test_labels_left_a_right_b(self):
+        doc = parse_document(generate_xml(2).xml)
+        assert doc.root.tag == "a"
+        children = list(doc.root.elements())
+        assert [c.tag for c in children] == ["a", "b"]
+
+
+class TestRelational:
+    def test_direct_instance_is_constant_in_rows(self):
+        # O(C) vertices regardless of R: C column leaves + row + table.
+        small = direct_instance(10, 4)
+        large = direct_instance(10_000, 4)
+        assert small.num_vertices == large.num_vertices == 6
+        assert small.num_edge_entries == large.num_edge_entries == 5
+        assert tree_size(large) == 1 + 10_000 + 40_000
+
+    def test_xml_round_trip(self):
+        from repro.compress.minimize import is_compressed
+
+        instance = load_instance(relational_xml(20, 3).xml)
+        assert is_compressed(instance)
+        # document root, table, row, col leaf (3 distinct col tags).
+        assert instance.num_vertices <= 7
+
+    def test_distinct_texts_flag(self):
+        xml = relational_xml(3, 2, distinct_texts=True).xml
+        assert "r2c1" in xml

@@ -1,0 +1,212 @@
+"""Tests for axis application on compressed instances (Propositions 3.2-3.4)."""
+
+import pytest
+
+from repro.compress.minimize import minimize
+from repro.engine.axes_compressed import apply_axis
+from repro.errors import EvaluationError
+from repro.model.instance import Instance, tree_instance
+from repro.xpath.algebra import AxisApply, NamedSet
+
+from tests.engine.util import assert_engines_agree, engine_paths, oracle_paths
+
+ALL_AXES = [
+    "self",
+    "child",
+    "parent",
+    "descendant",
+    "ancestor",
+    "descendant-or-self",
+    "ancestor-or-self",
+    "following-sibling",
+    "preceding-sibling",
+    "following",
+    "preceding",
+]
+
+
+class TestUpwardAxesInPlace:
+    """Proposition 3.3: upward axes never change the instance DAG."""
+
+    @pytest.mark.parametrize("axis", ["self", "parent", "ancestor", "ancestor-or-self"])
+    def test_no_structural_change(self, figure2_compressed, axis):
+        instance = figure2_compressed.copy()
+        before = (instance.num_vertices, instance.num_edge_entries)
+        result = apply_axis(instance, axis, "author", "out")
+        assert result is instance  # mutated in place
+        assert (instance.num_vertices, instance.num_edge_entries) == before
+
+    def test_parent_selection(self, figure2_compressed):
+        instance = figure2_compressed.copy()
+        apply_axis(instance, "parent", "title", "out")
+        assert instance.members("out") == (
+            instance.members("book") | instance.members("paper")
+        )
+
+    def test_ancestor_selection(self, figure2_compressed):
+        instance = figure2_compressed.copy()
+        apply_axis(instance, "ancestor", "author", "out")
+        expected = (
+            instance.members("book")
+            | instance.members("paper")
+            | instance.members("bib")
+        )
+        assert instance.members("out") == expected
+
+    def test_ancestor_or_self_includes_sources(self, figure2_compressed):
+        instance = figure2_compressed.copy()
+        apply_axis(instance, "ancestor-or-self", "author", "out")
+        assert instance.members("author") <= instance.members("out")
+
+    def test_self_copies_selection(self, figure2_compressed):
+        instance = figure2_compressed.copy()
+        apply_axis(instance, "self", "paper", "out")
+        assert instance.members("out") == instance.members("paper")
+
+
+class TestDownwardAxesSplit:
+    def test_child_of_root_no_split(self, figure2_compressed):
+        instance = apply_axis(figure2_compressed.copy(), "child", "bib", "out")
+        # All children of bib (book + papers) selected; sharing preserved.
+        assert len(instance.preorder()) == 5
+        assert instance.members("out") == (
+            instance.members("book") | instance.members("paper")
+        )
+
+    def test_child_splits_shared_vertex(self):
+        # r -> a -> x ; r -> b -> x : child(a) must select only a's x.
+        instance = Instance(["r", "a", "b"])
+        x = instance.new_vertex()
+        a = instance.new_vertex(["a"], [(x, 1)])
+        b = instance.new_vertex(["b"], [(x, 1)])
+        instance.set_root(instance.new_vertex(["r"], [(a, 1), (b, 1)]))
+        result = apply_axis(instance, "child", "a", "out")
+        # x split in two: one selected (under a), one not (under b).
+        assert len(result.preorder()) == 5
+        assert len(result.members("out")) == 1
+
+    def test_growth_at_most_doubles(self, figure2_compressed):
+        # Proposition 3.2: each downward axis at most doubles the instance.
+        for axis in ("child", "descendant", "descendant-or-self"):
+            for source in ("bib", "book", "paper", "title", "author"):
+                instance = figure2_compressed.copy()
+                before_v = len(instance.preorder())
+                before_e = sum(len(instance.children(v)) for v in instance.preorder())
+                result = apply_axis(instance, axis, source, "out")
+                assert len(result.preorder()) <= 2 * before_v
+                after_e = sum(len(result.children(v)) for v in result.preorder())
+                assert after_e <= 2 * before_e
+
+    def test_descendant_reaches_whole_subtree(self, figure2_compressed):
+        result = apply_axis(figure2_compressed.copy(), "descendant", "book", "out")
+        # book's title and author leaves must be selected; decoded: 4 nodes.
+        paths = engine_paths(
+            figure2_compressed,
+            AxisApply("descendant", NamedSet("book")),
+        )
+        assert paths == {(1, 1), (1, 2), (1, 3), (1, 4)}
+        assert len(result.members("out")) >= 2
+
+    def test_descendant_or_self_includes_source(self, figure2_compressed):
+        paths = engine_paths(
+            figure2_compressed, AxisApply("descendant-or-self", NamedSet("paper"))
+        )
+        assert (2,) in paths and (3,) in paths  # the papers themselves
+        assert (2, 1) in paths and (3, 2) in paths  # their subtrees
+
+    def test_multiplicity_runs_survive_downward(self):
+        # A run (leaf, 1000) under a selected parent stays one entry.
+        instance = Instance(["r"])
+        leaf = instance.new_vertex()
+        root = instance.new_vertex(["r"], [(leaf, 1000)])
+        instance.set_root(root)
+        result = apply_axis(instance, "child", "r", "out")
+        assert result.num_edge_entries == 1
+        assert len(result.preorder()) == 2
+
+
+class TestSiblingAxes:
+    def test_multiplicity_run_splits(self):
+        # root -> (x, 3) with x selected: following-sibling(x) = occurrences
+        # 2 and 3, so the run must split into (x,1)(x',2).
+        instance = Instance(["r", "x"])
+        x = instance.new_vertex(["x"])
+        instance.set_root(instance.new_vertex(["r"], [(x, 3)]))
+        result = apply_axis(instance, "following-sibling", "x", "out")
+        root_edges = result.children(result.root)
+        assert [count for _, count in root_edges] == [1, 2]
+        paths = engine_paths(instance, AxisApply("following-sibling", NamedSet("x")))
+        assert paths == {(2,), (3,)}
+
+    def test_preceding_sibling_multiplicity(self):
+        instance = Instance(["r", "x"])
+        x = instance.new_vertex(["x"])
+        instance.set_root(instance.new_vertex(["r"], [(x, 3)]))
+        paths = engine_paths(instance, AxisApply("preceding-sibling", NamedSet("x")))
+        assert paths == {(1,), (2,)}
+
+    def test_siblings_do_not_cross_parents(self, figure2_compressed):
+        # title precedes author within book and within paper, never across.
+        paths = engine_paths(
+            figure2_compressed, AxisApply("following-sibling", NamedSet("title"))
+        )
+        assert paths == {(1, 2), (1, 3), (1, 4), (2, 2), (3, 2)}
+
+    def test_following_composition(self, figure2_compressed):
+        assert_engines_agree(
+            figure2_compressed, AxisApply("following", NamedSet("book"))
+        )
+
+    def test_preceding_composition(self, figure2_compressed):
+        assert_engines_agree(
+            figure2_compressed, AxisApply("preceding", NamedSet("author"))
+        )
+
+    def test_composite_drops_temporaries(self, figure2_compressed):
+        from repro.engine.evaluator import evaluate
+
+        result = evaluate(
+            figure2_compressed, AxisApply("following", NamedSet("book"))
+        )
+        leftovers = [name for name in result.instance.schema if "~" in name]
+        assert leftovers == []
+
+
+class TestAllAxesAgainstOracle:
+    @pytest.mark.parametrize("axis", ALL_AXES)
+    @pytest.mark.parametrize("source", ["bib", "book", "paper", "title", "author"])
+    def test_figure2(self, figure2_compressed, axis, source):
+        assert_engines_agree(
+            figure2_compressed, AxisApply(axis, NamedSet(source))
+        )
+
+    @pytest.mark.parametrize("axis", ALL_AXES)
+    def test_deeper_shared_instance(self, axis):
+        # Two levels of sharing with multiplicities.
+        spec = (
+            "r",
+            [
+                ("s", [("a", [("x", [])]), ("a", [("x", [])]), ("b", [])]),
+                ("s", [("a", [("x", [])]), ("a", [("x", [])]), ("b", [])]),
+                ("b", []),
+            ],
+        )
+        instance = minimize(tree_instance(spec, schema=["r", "s", "a", "b", "x"]))
+        for source in ("a", "b", "x", "s"):
+            assert_engines_agree(instance, AxisApply(axis, NamedSet(source)))
+
+
+class TestErrors:
+    def test_unknown_axis(self, figure2_compressed):
+        with pytest.raises(EvaluationError, match="unknown axis"):
+            apply_axis(figure2_compressed.copy(), "up-and-left", "bib", "out")
+
+    def test_existing_target_rejected(self, figure2_compressed):
+        with pytest.raises(EvaluationError, match="already exists"):
+            apply_axis(figure2_compressed.copy(), "child", "bib", "author")
+
+    def test_missing_source_rejected(self, figure2_compressed):
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            apply_axis(figure2_compressed.copy(), "child", "nope", "out")

@@ -1,0 +1,135 @@
+"""Tests for the reference tree axis functions (forward-image semantics)."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.engine.axes_tree import TreeIndex, tree_axis
+from repro.model.instance import tree_instance
+
+
+@pytest.fixture
+def small_tree():
+    #        r
+    #      / | \
+    #     a  b  a
+    #    /|     |
+    #   c d     c
+    return tree_instance(
+        ("r", [("a", [("c", []), ("d", [])]), ("b", []), ("a", [("c", [])])]),
+        schema=["r", "a", "b", "c", "d"],
+    )
+
+
+@pytest.fixture
+def index(small_tree):
+    return TreeIndex(small_tree)
+
+
+def members(tree, name):
+    return tree.members(name)
+
+
+class TestTreeAxes:
+    def test_child(self, small_tree, index):
+        result = tree_axis(index, "child", members(small_tree, "a"))
+        assert result == members(small_tree, "c") | members(small_tree, "d")
+
+    def test_parent(self, small_tree, index):
+        result = tree_axis(index, "parent", members(small_tree, "c"))
+        assert result == members(small_tree, "a")
+
+    def test_parent_of_root_is_empty(self, small_tree, index):
+        assert tree_axis(index, "parent", {small_tree.root}) == set()
+
+    def test_descendant(self, small_tree, index):
+        result = tree_axis(index, "descendant", {small_tree.root})
+        assert result == set(index.order) - {small_tree.root}
+
+    def test_descendant_not_reflexive(self, small_tree, index):
+        result = tree_axis(index, "descendant", members(small_tree, "a"))
+        assert result == members(small_tree, "c") | members(small_tree, "d")
+
+    def test_descendant_or_self(self, small_tree, index):
+        a_nodes = members(small_tree, "a")
+        result = tree_axis(index, "descendant-or-self", a_nodes)
+        assert a_nodes <= result
+        assert members(small_tree, "c") <= result
+
+    def test_ancestor(self, small_tree, index):
+        result = tree_axis(index, "ancestor", members(small_tree, "c"))
+        assert result == members(small_tree, "a") | {small_tree.root}
+
+    def test_ancestor_or_self(self, small_tree, index):
+        c_nodes = members(small_tree, "c")
+        result = tree_axis(index, "ancestor-or-self", c_nodes)
+        assert c_nodes <= result
+        assert small_tree.root in result
+
+    def test_self(self, small_tree, index):
+        selection = members(small_tree, "b")
+        assert tree_axis(index, "self", selection) == selection
+
+    def test_following_sibling(self, small_tree, index):
+        first_a = min(members(small_tree, "a"))
+        result = tree_axis(index, "following-sibling", {first_a})
+        b = members(small_tree, "b")
+        last_a = {max(members(small_tree, "a"))}
+        assert result == b | last_a
+
+    def test_preceding_sibling(self, small_tree, index):
+        result = tree_axis(index, "preceding-sibling", members(small_tree, "b"))
+        assert result == {min(members(small_tree, "a"))}
+
+    def test_sibling_axes_within_one_parent_only(self, small_tree, index):
+        # c and d are siblings under the first a; the other c has no siblings.
+        result = tree_axis(index, "following-sibling", members(small_tree, "c"))
+        assert result == members(small_tree, "d")
+
+    def test_following(self, small_tree, index):
+        # following(first c) = d (its following sibling), b, second a, second c.
+        first_c = min(members(small_tree, "c"))
+        result = tree_axis(index, "following", {first_c})
+        expected = (
+            members(small_tree, "d")
+            | members(small_tree, "b")
+            | {max(members(small_tree, "a")), max(members(small_tree, "c"))}
+        )
+        assert result == expected
+
+    def test_preceding(self, small_tree, index):
+        # preceding(b) = first a subtree (a, c, d) — not the root (ancestor).
+        result = tree_axis(index, "preceding", members(small_tree, "b"))
+        first_a = min(members(small_tree, "a"))
+        assert result == {first_a} | members(small_tree, "c") - {
+            max(members(small_tree, "c"))
+        } | members(small_tree, "d")
+
+    def test_following_excludes_descendants_and_ancestors(self, small_tree, index):
+        first_a = min(members(small_tree, "a"))
+        result = tree_axis(index, "following", {first_a})
+        assert small_tree.root not in result
+        assert members(small_tree, "d") & result == set()  # d is a descendant
+
+    def test_unknown_axis_raises(self, index):
+        with pytest.raises(EvaluationError, match="unknown axis"):
+            tree_axis(index, "diagonal", set())
+
+    def test_index_requires_tree(self, figure2_compressed):
+        with pytest.raises(EvaluationError, match="requires a tree"):
+            TreeIndex(figure2_compressed)
+
+    def test_empty_selection_maps_to_empty(self, index):
+        for axis in (
+            "self",
+            "child",
+            "parent",
+            "descendant",
+            "ancestor",
+            "descendant-or-self",
+            "ancestor-or-self",
+            "following-sibling",
+            "preceding-sibling",
+            "following",
+            "preceding",
+        ):
+            assert tree_axis(index, axis, set()) == set()

@@ -1,0 +1,64 @@
+"""Tests for query-result decoding (Figure 7 columns 5-8)."""
+
+import pytest
+
+from repro.engine.evaluator import evaluate
+from repro.engine.pipeline import query
+from repro.errors import DecompressionLimitError
+
+from tests.skeleton.test_loader import BIB_XML
+
+
+class TestQueryResult:
+    def test_counts_consistent(self):
+        result = query(BIB_XML, "//author")
+        assert result.dag_count() == 1
+        assert result.tree_count() == 5
+        assert len(result.tree_paths()) == 5
+
+    def test_vertices_accessor(self):
+        result = query(BIB_XML, "//paper")
+        assert result.vertices() <= set(result.instance.preorder())
+
+    def test_before_after_sizes(self):
+        result = query(BIB_XML, "/bib/book/author")
+        before_v, before_e = result.before
+        after_v, after_e = result.after
+        assert after_v >= before_v
+        assert after_e >= before_e
+        assert result.decompression_ratio() >= 1.0
+
+    def test_iter_tree_matches_pairs_paths_with_vertices(self):
+        result = query(BIB_XML, "//title")
+        matches = list(result.iter_tree_matches())
+        assert len(matches) == 3
+        for path, vertex in matches:
+            assert result.instance.in_set(vertex, result.set_name)
+            assert len(path) == 3  # doc -> bib -> record -> title
+
+    def test_paths_in_document_order(self):
+        result = query(BIB_XML, "//author")
+        paths = result.tree_paths()
+        assert paths == sorted(paths)
+
+    def test_empty_result(self):
+        result = query(BIB_XML, "//nonexistent")
+        assert result.is_empty()
+        assert result.tree_paths() == []
+        assert result.tree_count() == 0
+
+    def test_path_limit_enforced(self):
+        from repro.corpora.binary_tree import compressed_instance
+
+        result = evaluate(compressed_instance(40), "//a")
+        with pytest.raises(DecompressionLimitError):
+            result.tree_paths(limit=1000)
+
+    def test_summary_contains_counts(self):
+        result = query(BIB_XML, "//author")
+        text = result.summary()
+        assert "5 tree" in text
+
+    def test_timing_recorded(self):
+        result = query(BIB_XML, "//author")
+        assert result.seconds > 0

@@ -1,0 +1,28 @@
+"""Shared helpers for engine tests: oracle comparison on decoded selections."""
+
+from __future__ import annotations
+
+from repro.compress.decompress import decompress
+from repro.engine.evaluator import evaluate
+from repro.engine.tree_evaluator import evaluate_on_tree
+from repro.model.instance import Instance
+
+
+def oracle_paths(instance: Instance, query, context_vertices=None) -> set[tuple]:
+    """Evaluate on the fully decompressed tree; return selected edge paths."""
+    result = decompress(instance)
+    baseline = evaluate_on_tree(result.tree, query, context=context_vertices)
+    paths = result.paths()
+    return {paths[v] for v in baseline.vertices}
+
+
+def engine_paths(instance: Instance, query, axes: str = "functional") -> set[tuple]:
+    """Evaluate on the compressed instance; return selected edge paths."""
+    return set(evaluate(instance, query, axes=axes).tree_paths())
+
+
+def assert_engines_agree(instance: Instance, query) -> None:
+    """Both compressed engines must decode to the tree oracle's selection."""
+    expected = oracle_paths(instance, query)
+    assert engine_paths(instance, query, "functional") == expected
+    assert engine_paths(instance, query, "inplace") == expected

@@ -1,0 +1,76 @@
+"""Stress tests: deep nesting and scale must never hit recursion limits.
+
+Every production code path (tokenizer, parser, builder, matcher, minimiser,
+decompressor, axes, writer, reassembly) is iterative; these tests prove it
+with documents far deeper than Python's default recursion limit.
+"""
+
+import sys
+
+import pytest
+
+from repro.compress.decompress import decompress
+from repro.engine.evaluator import evaluate
+from repro.engine.pipeline import query
+from repro.skeleton.loader import load
+from repro.skeleton.reassemble import reassemble
+
+DEPTH = 5000  # default recursion limit is 1000
+
+
+@pytest.fixture(scope="module")
+def deep_xml():
+    parts = ["<n>" for _ in range(DEPTH)]
+    parts.append("payload")
+    parts.extend("</n>" for _ in range(DEPTH))
+    return "".join(parts)
+
+
+class TestDeepDocuments:
+    def test_load_deep_document(self, deep_xml):
+        result = load(deep_xml, strings=["payload"])
+        assert result.skeleton_nodes == DEPTH + 1
+        # A uniform chain with the payload at the bottom: every vertex
+        # distinct (different depths below), so no compression.
+        assert result.instance.num_vertices == DEPTH + 1
+
+    def test_query_deep_document(self, deep_xml):
+        result = query(deep_xml, '//n["payload"]')
+        assert result.tree_count() == DEPTH  # every n contains it
+
+    def test_upward_axis_on_deep_document(self, deep_xml):
+        from repro.skeleton.loader import load_instance
+        from repro.xpath.algebra import AxisApply, NamedSet
+
+        instance = load_instance(deep_xml)
+        result = evaluate(instance, AxisApply("ancestor", NamedSet("n")))
+        assert result.tree_count() == DEPTH  # doc root + all but deepest n
+
+    def test_decompress_and_reassemble_deep(self, deep_xml):
+        result = load(deep_xml, collect_containers=True)
+        assert decompress(result.instance).tree.num_vertices == DEPTH + 1
+        text = reassemble(result.instance, result.containers, result.layout)
+        assert text.count("<n>") == DEPTH
+        assert "payload" in text
+
+    def test_recursion_limit_untouched(self, deep_xml):
+        before = sys.getrecursionlimit()
+        load(deep_xml)
+        assert sys.getrecursionlimit() == before
+
+
+class TestWideDocuments:
+    def test_million_identical_children_via_multiplicity(self):
+        # 100k identical siblings: one edge entry, constant vertices.
+        xml = "<r>" + "<x/>" * 100_000 + "</r>"
+        result = load(xml)
+        assert result.instance.num_vertices == 3
+        assert result.instance.num_edge_entries == 2
+        answer = query(xml, "//x")
+        assert answer.tree_count() == 100_000
+        assert answer.dag_count() == 1
+
+    def test_sibling_axis_on_wide_run(self):
+        xml = "<r>" + "<x/>" * 10_000 + "</r>"
+        answer = query(xml, "//x/following-sibling::x")
+        assert answer.tree_count() == 9_999

@@ -1,0 +1,120 @@
+"""Tests for bisimilarity relations, quotients and the lattice (section 2.2)."""
+
+from repro.model.bisimulation import (
+    coarsest_bisimulation,
+    identity_partition,
+    is_bisimilarity,
+    is_minimal,
+    join,
+    meet,
+    quotient,
+)
+from repro.model.equivalence import equivalent
+from repro.model.instance import tree_instance
+
+
+def classes(partition):
+    """Group a partition dict into frozensets for easy comparison."""
+    groups = {}
+    for vertex, cls in partition.items():
+        groups.setdefault(cls, set()).add(vertex)
+    return {frozenset(members) for members in groups.values()}
+
+
+class TestIsBisimilarity:
+    def test_identity_always_valid(self, figure2_compressed):
+        assert is_bisimilarity(figure2_compressed, identity_partition(figure2_compressed))
+
+    def test_coarsest_is_valid(self, bib_tree):
+        assert is_bisimilarity(bib_tree, coarsest_bisimulation(bib_tree))
+
+    def test_merging_different_labels_is_invalid(self):
+        tree = tree_instance(("r", [("x", []), ("y", [])]), schema=["r", "x", "y"])
+        partition = identity_partition(tree)
+        children = [v for v in partition if v != tree.root]
+        partition[children[0]] = partition[children[1]]
+        assert not is_bisimilarity(tree, partition)
+
+    def test_merging_equal_leaves_is_valid(self):
+        tree = tree_instance(("r", [("x", []), ("x", [])]), schema=["r", "x"])
+        partition = identity_partition(tree)
+        leaves = sorted(tree.members("x"))
+        partition[leaves[0]] = partition[leaves[1]]
+        assert is_bisimilarity(tree, partition)
+
+    def test_partition_must_cover_reachable(self, bib_tree):
+        partition = identity_partition(bib_tree)
+        partition.pop(bib_tree.root)
+        assert not is_bisimilarity(bib_tree, partition)
+
+    def test_parents_with_different_arity_not_bisimilar(self):
+        tree = tree_instance(
+            ("r", [("p", [("x", [])]), ("p", [("x", []), ("x", [])])]),
+            schema=["r", "p", "x"],
+        )
+        coarsest = coarsest_bisimulation(tree)
+        parents = sorted(tree.members("p"))
+        assert coarsest[parents[0]] != coarsest[parents[1]]
+
+
+class TestQuotient:
+    def test_quotient_by_identity_is_equivalent_same_size(self, bib_tree):
+        result = quotient(bib_tree, identity_partition(bib_tree))
+        assert result.num_vertices == bib_tree.num_vertices
+        assert equivalent(result, bib_tree)
+
+    def test_quotient_by_coarsest_is_minimal(self, bib_tree):
+        result = quotient(bib_tree, coarsest_bisimulation(bib_tree))
+        assert is_minimal(result)
+        assert equivalent(result, bib_tree)
+        assert result.num_vertices == 5  # Figure 1(b)
+
+    def test_quotient_preserves_equivalence(self, figure2_compressed):
+        result = quotient(figure2_compressed, coarsest_bisimulation(figure2_compressed))
+        assert equivalent(result, figure2_compressed)
+
+
+class TestMinimality:
+    def test_figure2_is_minimal(self, figure2_compressed):
+        assert is_minimal(figure2_compressed)
+
+    def test_tree_with_shared_subtrees_is_not_minimal(self, bib_tree):
+        assert not is_minimal(bib_tree)
+
+    def test_no_smaller_equivalent_instance(self, bib_tree):
+        # Proposition 2.5: M(I) has the fewest vertices; the coarsest
+        # partition of the 12-node tree has exactly 5 classes.
+        coarsest = coarsest_bisimulation(bib_tree)
+        assert len(classes(coarsest)) == 5
+
+
+class TestLattice:
+    def test_meet_refines_both(self, bib_tree):
+        coarsest = coarsest_bisimulation(bib_tree)
+        fine = identity_partition(bib_tree)
+        met = meet(coarsest, fine)
+        assert classes(met) == classes(fine)
+
+    def test_join_coarsens_both(self, bib_tree):
+        coarsest = coarsest_bisimulation(bib_tree)
+        fine = identity_partition(bib_tree)
+        joined = join(coarsest, fine)
+        assert classes(joined) == classes(coarsest)
+
+    def test_meet_is_glb(self, bib_tree):
+        p = coarsest_bisimulation(bib_tree)
+        met = meet(p, p)
+        assert classes(met) == classes(p)
+
+    def test_join_merges_overlapping_classes(self):
+        # p1 merges {0,1}; p2 merges {1,2}; join must merge {0,1,2}.
+        p1 = {0: 0, 1: 0, 2: 2}
+        p2 = {0: 0, 1: 1, 2: 1}
+        joined = join(p1, p2)
+        assert classes(joined) == {frozenset({0, 1, 2})}
+
+    def test_meet_of_valid_bisimulations_is_valid(self, bib_tree):
+        # Intersection of bisimilarity relations is one (glb of the lattice).
+        coarsest = coarsest_bisimulation(bib_tree)
+        met = meet(coarsest, identity_partition(bib_tree))
+        assert is_bisimilarity(bib_tree, met)

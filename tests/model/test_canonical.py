@@ -1,0 +1,75 @@
+"""Tests for the hash-consing canonicaliser underlying M(I) and equivalence."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.model.canonical import ConsTable, canonical_ids, remap_mask, shared_name_order
+from repro.model.instance import Instance, tree_instance
+
+
+class TestConsTable:
+    def test_interning_is_stable(self):
+        table = ConsTable()
+        first = table.intern((0, ()))
+        second = table.intern((0, ()))
+        assert first == second
+        assert len(table) == 1
+
+    def test_distinct_keys_distinct_ids(self):
+        table = ConsTable()
+        assert table.intern((0, ())) != table.intern((1, ()))
+
+
+class TestCanonicalIds:
+    def test_equal_subtrees_get_equal_ids(self, bib_tree):
+        ids = canonical_ids(bib_tree)
+        papers = sorted(bib_tree.members("paper"))
+        assert ids[papers[0]] == ids[papers[1]]
+        authors = sorted(bib_tree.members("author"))
+        assert len({ids[a] for a in authors}) == 1
+
+    def test_shared_table_makes_instances_comparable(self, bib_tree, figure2_compressed):
+        table = ConsTable()
+        order = sorted(set(bib_tree.schema) & set(figure2_compressed.schema))
+        ids_tree = canonical_ids(bib_tree, table, order)
+        ids_dag = canonical_ids(figure2_compressed, table, order)
+        assert ids_tree[bib_tree.root] == ids_dag[figure2_compressed.root]
+
+    def test_multiplicity_runs_normalised(self):
+        # (leaf,2)+(leaf,1) on one vertex vs (leaf,3) on another: same id.
+        instance = Instance(["l"])
+        leaf = instance.new_vertex(["l"])
+        a = instance.new_vertex(children=[(leaf, 3)])
+        b = instance.new_vertex(children=[(leaf, 2), (leaf, 1)])
+        root = instance.new_vertex(children=[(a, 1), (b, 1)])
+        instance.set_root(root)
+        ids = canonical_ids(instance)
+        assert ids[a] == ids[b]
+
+    def test_unreachable_vertices_skipped(self):
+        instance = Instance()
+        instance.new_vertex()  # unreachable after root choice below
+        root = instance.new_vertex()
+        instance.set_root(root)
+        ids = canonical_ids(instance)
+        assert set(ids) == {root}
+
+
+class TestMaskRemap:
+    def test_remap_reorders_bits(self):
+        instance = tree_instance((("x", "y"), []), schema=["x", "y"])
+        vertex = instance.root
+        assert remap_mask(instance, vertex, ["y", "x"]) == 0b11
+        only_x = tree_instance(("x", []), schema=["x", "y"])
+        assert remap_mask(only_x, only_x.root, ["y", "x"]) == 0b10
+
+    def test_shared_name_order_requires_equal_sets(self):
+        a = tree_instance(("x", []))
+        b = tree_instance(("x", []), schema=["x", "extra"])
+        with pytest.raises(SchemaError, match="different schemas"):
+            shared_name_order(a, b)
+
+    def test_shared_name_order_is_sorted(self):
+        a = tree_instance(("x", [("y", [])]), schema=["y", "x"])
+        b = tree_instance(("x", [("y", [])]), schema=["x", "y"])
+        assert shared_name_order(a, b) == ["x", "y"]

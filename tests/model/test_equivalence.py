@@ -1,0 +1,77 @@
+"""Tests for instance equivalence (Definition 2.1, Propositions 2.2-2.5)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.model.equivalence import compatible, equivalent, equivalent_by_paths
+from repro.model.instance import Instance, tree_instance
+
+
+class TestEquivalent:
+    def test_tree_equivalent_to_compressed(self, bib_tree, figure2_compressed):
+        assert equivalent(bib_tree, figure2_compressed)
+        assert equivalent_by_paths(bib_tree, figure2_compressed)
+
+    def test_reflexive(self, figure2_compressed):
+        assert equivalent(figure2_compressed, figure2_compressed)
+
+    def test_schema_order_is_irrelevant(self):
+        a = tree_instance(("x", [("y", [])]), schema=["x", "y"])
+        b = tree_instance(("x", [("y", [])]), schema=["y", "x"])
+        assert equivalent(a, b)
+
+    def test_different_structure_not_equivalent(self):
+        a = tree_instance(("x", [("y", []), ("y", [])]))
+        b = tree_instance(("x", [("y", [])]))
+        b.ensure_set("x")  # align schemas
+        a.ensure_set("x")
+        assert not equivalent(a, b)
+        assert not equivalent_by_paths(a, b)
+
+    def test_different_labeling_not_equivalent(self):
+        a = tree_instance(("x", [("y", [])]), schema=["x", "y"])
+        b = tree_instance(("y", [("x", [])]), schema=["x", "y"])
+        assert not equivalent(a, b)
+
+    def test_order_matters(self):
+        a = tree_instance(("r", [("x", []), ("y", [])]), schema=["r", "x", "y"])
+        b = tree_instance(("r", [("y", []), ("x", [])]), schema=["r", "x", "y"])
+        assert not equivalent(a, b)
+        assert not equivalent_by_paths(a, b)
+
+    def test_multiplicity_representation_is_irrelevant(self):
+        # (leaf,3) versus (leaf,1),(leaf,2) on separate vertices.
+        a = Instance(["l"])
+        leaf_a = a.new_vertex(["l"])
+        a.set_root(a.new_vertex(children=[(leaf_a, 3)]))
+
+        b = Instance(["l"])
+        leaf_b1 = b.new_vertex(["l"])
+        leaf_b2 = b.new_vertex(["l"])
+        b.set_root(b.new_vertex(children=[(leaf_b1, 1), (leaf_b2, 2)]))
+        assert equivalent(a, b)
+
+    def test_disjoint_schemas_raise(self):
+        a = tree_instance(("x", []))
+        b = tree_instance(("y", []))
+        with pytest.raises(SchemaError):
+            equivalent(a, b)
+
+
+class TestCompatible:
+    def test_same_dag_different_labelings_are_compatible(self, bib_tree):
+        a = bib_tree.copy()
+        a.ensure_set("extra_a")
+        a.add_to_set(a.root, "extra_a")
+        b = bib_tree.copy()
+        b.ensure_set("extra_b")
+        assert compatible(a, b)
+
+    def test_incompatible_on_shared_set(self, bib_tree):
+        a = bib_tree.copy()
+        b = bib_tree.copy()
+        b.remove_from_set(next(iter(b.members("author"))), "author")
+        assert not compatible(a, b)
+
+    def test_compressed_and_tree_compatible(self, bib_tree, figure2_compressed):
+        assert compatible(bib_tree, figure2_compressed)

@@ -1,0 +1,95 @@
+"""Tests for edge paths and tree-node counting."""
+
+import pytest
+
+from repro.errors import DecompressionLimitError
+from repro.model.instance import Instance
+from repro.model.paths import (
+    edge_path_set,
+    iter_edge_paths,
+    selected_tree_count,
+    set_path_sets,
+    tree_edge_count,
+    tree_node_counts,
+    tree_size,
+)
+
+
+class TestTreeNodeCounts:
+    def test_tree_counts_are_all_one(self, bib_tree):
+        counts = tree_node_counts(bib_tree)
+        assert all(count == 1 for count in counts.values())
+        assert tree_size(bib_tree) == 12
+
+    def test_compressed_counts_match_tree(self, figure2_compressed):
+        counts = tree_node_counts(figure2_compressed)
+        instance = figure2_compressed
+        author = next(iter(instance.members("author")))
+        title = next(iter(instance.members("title")))
+        paper = next(iter(instance.members("paper")))
+        assert counts[instance.root] == 1
+        assert counts[paper] == 2
+        assert counts[title] == 3  # 1 from book + 2 papers
+        assert counts[author] == 5  # 3 from book + 2 papers
+        assert tree_size(figure2_compressed) == 12
+        assert tree_edge_count(figure2_compressed) == 11
+
+    def test_exponential_tree_counted_exactly(self):
+        # A chain of n vertices each with a double edge represents a complete
+        # binary tree with 2^(n) - 1 nodes; counting must use big ints.
+        instance = Instance()
+        vertex = instance.new_vertex()
+        for _ in range(100):
+            vertex = instance.new_vertex(children=[(vertex, 2)])
+        instance.set_root(vertex)
+        assert tree_size(instance) == 2**101 - 1
+
+    def test_selected_tree_count(self, figure2_compressed):
+        assert selected_tree_count(figure2_compressed, "author") == 5
+        assert selected_tree_count(figure2_compressed, "bib") == 1
+        assert selected_tree_count(figure2_compressed, "paper") == 2
+
+
+class TestEdgePathEnumeration:
+    def test_bib_paths_match_figure2(self, figure2_compressed):
+        # The author vertex is reached via paths 1.2, 1.3, 1.4, 2.2, 3.2.
+        instance = figure2_compressed
+        author = next(iter(instance.members("author")))
+        paths = sorted(path for v, path in iter_edge_paths(instance, target=author))
+        assert paths == [(1, 2), (1, 3), (1, 4), (2, 2), (3, 2)]
+
+    def test_root_path_is_empty(self, figure2_compressed):
+        root_paths = [
+            path
+            for v, path in iter_edge_paths(figure2_compressed)
+            if v == figure2_compressed.root
+        ]
+        assert root_paths == [()]
+
+    def test_path_set_is_prefix_closed(self, figure2_compressed):
+        paths = edge_path_set(figure2_compressed)
+        for path in paths:
+            assert path[:-1] in paths or path == ()
+
+    def test_limit_enforced(self):
+        instance = Instance()
+        vertex = instance.new_vertex()
+        for _ in range(40):
+            vertex = instance.new_vertex(children=[(vertex, 2)])
+        instance.set_root(vertex)
+        with pytest.raises(DecompressionLimitError):
+            list(iter_edge_paths(instance, limit=1000))
+
+    def test_set_path_sets(self, figure2_compressed):
+        paths = set_path_sets(figure2_compressed)
+        assert paths["bib"] == frozenset({()})
+        assert paths["paper"] == frozenset({(2,), (3,)})
+        assert len(paths["author"]) == 5
+
+    def test_equal_path_sets_for_equivalent_instances(self, bib_tree, figure2_compressed):
+        # bib_tree has schema subset; compare only shared sets.
+        tree_paths = set_path_sets(bib_tree)
+        dag_paths = set_path_sets(figure2_compressed)
+        for name in ("book", "paper", "title", "author"):
+            assert tree_paths[name] == dag_paths[name]
+        assert edge_path_set(bib_tree) == edge_path_set(figure2_compressed)

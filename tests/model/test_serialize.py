@@ -1,0 +1,71 @@
+"""Tests for instance persistence (the REPRO-DAG text format)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.model.equivalence import equivalent
+from repro.model.serialize import dumps, load_file, loads, save_file
+from repro.skeleton.loader import load_instance
+
+
+class TestRoundTrip:
+    def test_figure2_round_trip(self, figure2_compressed):
+        restored = loads(dumps(figure2_compressed))
+        restored.validate()
+        assert equivalent(restored, figure2_compressed)
+        assert restored.schema == figure2_compressed.schema
+
+    def test_file_round_trip(self, tmp_path, figure2_compressed):
+        path = str(tmp_path / "instance.dag")
+        save_file(figure2_compressed, path)
+        restored = load_file(path)
+        assert equivalent(restored, figure2_compressed)
+
+    def test_loaded_document_round_trip(self):
+        from tests.skeleton.test_loader import BIB_XML
+
+        instance = load_instance(BIB_XML, strings=["Codd"])
+        restored = loads(dumps(instance))
+        assert equivalent(restored, instance)
+
+    def test_unreachable_vertices_compacted(self, figure2_compressed):
+        instance = figure2_compressed.copy()
+        instance.new_vertex(["title"])  # unreachable junk
+        restored = loads(dumps(instance))
+        restored.validate()
+        assert restored.num_vertices == 5
+
+    def test_multiplicities_preserved(self, figure2_compressed):
+        restored = loads(dumps(figure2_compressed))
+        book = next(iter(restored.members("book")))
+        assert sorted(count for _, count in restored.children(book)) == [1, 3]
+
+    def test_empty_schema(self):
+        from repro.model.instance import Instance
+
+        instance = Instance()
+        instance.set_root(instance.new_vertex())
+        restored = loads(dumps(instance))
+        assert restored.num_vertices == 1
+        assert restored.schema == ()
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(ReproError, match="magic"):
+            loads("NOT-A-DAG\n")
+
+    def test_truncated(self, figure2_compressed):
+        text = dumps(figure2_compressed)
+        with pytest.raises(ReproError, match="truncated"):
+            loads(text[: len(text) // 2].rsplit("\n", 1)[0])
+
+    def test_malformed_header(self):
+        with pytest.raises(ReproError, match="schema header"):
+            loads("REPRO-DAG 1\nbogus\n")
+
+
+def test_format_is_human_readable(figure2_compressed):
+    text = dumps(figure2_compressed)
+    assert text.startswith("REPRO-DAG 1\n")
+    assert "bib" in text  # schema names in the clear

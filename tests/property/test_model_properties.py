@@ -1,0 +1,117 @@
+"""Property-based tests for the model and compression invariants.
+
+These check the paper's propositions on randomly generated instances:
+compression round-trips (Props 2.2-2.5), bisimulation validity, lattice laws
+and the streaming builder's agreement with batch compression.
+"""
+
+from hypothesis import given, settings
+
+from repro.compress.builder import DagBuilder
+from repro.compress.decompress import decompress
+from repro.compress.minimize import is_compressed, minimize
+from repro.compress.stats import instance_stats
+from repro.model.bisimulation import (
+    coarsest_bisimulation,
+    identity_partition,
+    is_bisimilarity,
+    join,
+    meet,
+    quotient,
+)
+from repro.model.equivalence import equivalent, equivalent_by_paths
+from repro.model.instance import tree_instance
+from repro.model.paths import tree_size
+
+from tests.conftest import LABELS, random_dag_instances, tree_specs
+
+
+@given(tree_specs())
+def test_minimize_round_trip(spec):
+    """T(M(T)) is the original tree (Propositions 2.2 and 2.5)."""
+    tree = tree_instance(spec, schema=LABELS)
+    minimal = minimize(tree)
+    assert is_compressed(minimal)
+    assert equivalent(minimal, tree)
+    restored = decompress(minimal).tree
+    assert equivalent_by_paths(restored, tree)
+    assert restored.num_vertices == tree.num_vertices
+
+
+@given(tree_specs())
+def test_minimize_never_grows(spec):
+    tree = tree_instance(spec, schema=LABELS)
+    minimal = minimize(tree)
+    assert minimal.num_vertices <= tree.num_vertices
+    assert minimal.num_edge_entries <= tree.num_edge_entries
+
+
+@given(random_dag_instances())
+def test_minimize_dag_round_trip(instance):
+    """Minimisation of arbitrary DAGs preserves equivalence and minimality."""
+    minimal = minimize(instance)
+    assert is_compressed(minimal)
+    assert equivalent(minimal, instance)
+    minimal.validate()
+
+
+@given(random_dag_instances())
+def test_tree_size_matches_decompression(instance):
+    size = tree_size(instance)
+    if size <= 50_000:
+        assert decompress(instance).tree.num_vertices == size
+
+
+@given(random_dag_instances())
+def test_coarsest_bisimulation_is_bisimilarity(instance):
+    partition = coarsest_bisimulation(instance)
+    assert is_bisimilarity(instance, partition)
+    quotiented = quotient(instance, partition)
+    assert equivalent(quotiented, instance)
+    assert quotiented.num_vertices == len(set(partition.values()))
+
+
+@given(random_dag_instances())
+def test_lattice_laws(instance):
+    """Meet/join of the identity and coarsest partitions behave as lattice ends."""
+    fine = identity_partition(instance)
+    coarse = coarsest_bisimulation(instance)
+    met = meet(fine, coarse)
+    joined = join(fine, coarse)
+    # meet with the identity is the identity; join with it is the other.
+    assert len(set(met.values())) == len(fine)
+    assert len(set(joined.values())) == len(set(coarse.values()))
+    assert is_bisimilarity(instance, met)
+    assert is_bisimilarity(instance, joined)
+
+
+@given(tree_specs())
+@settings(max_examples=50)
+def test_streaming_builder_matches_batch(spec):
+    builder = DagBuilder()
+
+    def emit(node):
+        sets, children = node
+        if isinstance(sets, str):
+            sets = (sets,)
+        builder.start_node()
+        for child in children:
+            emit(child)
+        builder.end_node(sets)
+
+    emit(spec)
+    streamed = builder.finish()
+    batch = minimize(tree_instance(spec, schema=LABELS))
+    assert streamed.num_vertices == batch.num_vertices
+    assert equivalent(
+        streamed.reduct(sorted(set(streamed.schema) & set(batch.schema))),
+        batch.reduct(sorted(set(streamed.schema) & set(batch.schema))),
+    )
+
+
+@given(random_dag_instances())
+def test_stats_consistency(instance):
+    stats = instance_stats(instance)
+    assert stats.vertices <= instance.num_vertices
+    assert stats.tree_vertices >= stats.vertices
+    assert stats.edges_expanded >= stats.edge_entries

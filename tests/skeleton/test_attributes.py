@@ -1,0 +1,74 @@
+"""Tests for the attribute-node extension (section 1's "not critical" note)."""
+
+import pytest
+
+from repro.engine.pipeline import load_for_query, query
+from repro.errors import ReproError
+from repro.skeleton.loader import load, load_instance
+
+DOC = """
+<catalog>
+  <item id="i1" cat="tools"><name>hammer</name></item>
+  <item id="i2" cat="tools"><name>wrench</name></item>
+  <item id="i3" cat="toys"><name>kite</name></item>
+</catalog>
+"""
+
+
+class TestAttributeNodes:
+    def test_ignored_by_default(self):
+        instance = load_instance(DOC)
+        assert not instance.has_set("@id")
+
+    def test_nodes_mode_creates_attribute_sets(self):
+        result = load(DOC, attributes="nodes")
+        instance = result.instance
+        assert instance.has_set("@id")
+        assert instance.has_set("@cat")
+        # Skeleton nodes now include 6 attribute nodes.
+        assert result.skeleton_nodes == 1 + 1 + 3 + 3 + 6
+
+    def test_attribute_values_matchable(self):
+        instance = load(DOC, strings=["toys"], attributes="nodes").instance
+        from repro.model.schema import string_set
+
+        members = instance.members(string_set("toys"))
+        cat_nodes = instance.members("@cat")
+        assert members & cat_nodes  # the cat="toys" attribute node matched
+
+    def test_query_with_attribute_step(self):
+        result = query(DOC, "//item/@id")
+        assert result.tree_count() == 3
+
+    def test_query_with_attribute_condition(self):
+        result = query(DOC, '//item[@cat["toys"]]/name')
+        assert result.tree_count() == 1
+
+    def test_load_for_query_autodetects(self):
+        loaded = load_for_query(DOC, "//item/@cat")
+        assert loaded.instance.has_set("@cat")
+
+    def test_attribute_containers(self):
+        result = load(DOC, attributes="nodes", collect_containers=True)
+        container = result.containers.container("@cat")
+        assert container is not None
+        assert sorted(container.chunks) == ["tools", "tools", "toys"]
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ReproError, match="attributes mode"):
+            load(DOC, attributes="maybe")
+
+    def test_attribute_sharing(self):
+        # The skeleton ignores attribute *values*, so all three items share
+        # one vertex; a string constraint on a value splits the sharing.
+        plain = load(DOC, attributes="nodes").instance
+        assert len(plain.members("item")) == 1
+        split = load(DOC, attributes="nodes", strings=["toys"]).instance
+        assert len(split.members("item")) == 2
+
+    def test_engine_caches_attribute_schema(self):
+        from repro.engine.pipeline import Engine
+
+        engine = Engine(DOC, reparse_per_query=False)
+        assert engine.query("//item/@id").tree_count() == 3
+        assert engine.query("//item/@id").tree_count() == 3

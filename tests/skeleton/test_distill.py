@@ -1,0 +1,93 @@
+"""Tests for the distill-and-merge workflow (section 4 / Lemma 2.7)."""
+
+import pytest
+
+from repro.corpora import generate
+from repro.engine.evaluator import CompressedEvaluator
+from repro.errors import ReproError
+from repro.model.equivalence import equivalent
+from repro.model.schema import string_set
+from repro.skeleton.distill import add_string_sets, distill_string_instance
+from repro.skeleton.loader import load
+
+from tests.skeleton.test_loader import BIB_XML
+
+
+def loaded_bib():
+    return load(BIB_XML, collect_containers=True)
+
+
+class TestDistill:
+    def test_distilled_matches_direct_load(self):
+        base = loaded_bib()
+        distilled = distill_string_instance(
+            base.instance, base.containers, base.layout, ["Codd", "Vardi"]
+        )
+        direct = load(BIB_XML, tags=(), strings=["Codd", "Vardi"]).instance
+        assert equivalent(
+            distilled.reduct(sorted(direct.schema)), direct.reduct(sorted(direct.schema))
+        )
+
+    def test_distilled_is_compatible_with_base(self):
+        from repro.model.equivalence import compatible
+
+        base = loaded_bib()
+        distilled = distill_string_instance(
+            base.instance, base.containers, base.layout, ["Codd"]
+        )
+        assert compatible(base.instance, distilled)
+
+    def test_cross_chunk_match_found(self):
+        result = load("<a><b>Co</b><c>dd</c></a>", collect_containers=True)
+        distilled = distill_string_instance(
+            result.instance, result.containers, result.layout, ["Codd"]
+        )
+        # The match spans <b> and <c>: only <a> (and the doc root) carry it.
+        members = distilled.members(string_set("Codd"))
+        assert len(members) == 2
+
+    def test_mixed_content_stream_order(self):
+        # Text interleaved with children must replay in document order:
+        # string value of <p> is "one two three".
+        result = load("<p>one <em>two</em> three</p>", collect_containers=True)
+        distilled = distill_string_instance(
+            result.instance, result.containers, result.layout, ["one two three"]
+        )
+        assert len(distilled.members(string_set("one two three"))) == 2  # p + doc
+
+
+class TestAddStringSets:
+    def test_merge_equals_full_reload(self):
+        base = loaded_bib()
+        merged = add_string_sets(base.instance, base.containers, base.layout, ["Codd"])
+        reloaded = load(BIB_XML, strings=["Codd"]).instance
+        names = sorted(reloaded.schema)
+        assert equivalent(merged.reduct(names), reloaded.reduct(names))
+
+    def test_merged_instance_queryable(self):
+        base = loaded_bib()
+        merged = add_string_sets(base.instance, base.containers, base.layout, ["Codd"])
+        result = CompressedEvaluator(merged).evaluate('//paper[author["Codd"]]')
+        assert result.tree_count() == 1
+
+    def test_duplicate_needle_rejected(self):
+        base = load(BIB_XML, strings=["Codd"], collect_containers=True)
+        with pytest.raises(ReproError, match="already present"):
+            add_string_sets(base.instance, base.containers, base.layout, ["Codd"])
+
+    def test_incremental_additions_compose(self):
+        base = loaded_bib()
+        step1 = add_string_sets(base.instance, base.containers, base.layout, ["Codd"])
+        step2 = add_string_sets(step1, base.containers, base.layout, ["Vardi"])
+        both = load(BIB_XML, strings=["Codd", "Vardi"]).instance
+        names = sorted(both.schema)
+        assert equivalent(step2.reduct(names), both.reduct(names))
+
+    @pytest.mark.parametrize("corpus,needle", [("dblp", "Codd"), ("omim", "LETHAL")])
+    def test_corpus_scale(self, corpus, needle):
+        xml = generate(corpus, 40, seed=2).xml
+        base = load(xml, collect_containers=True)
+        merged = add_string_sets(base.instance, base.containers, base.layout, [needle])
+        reloaded = load(xml, strings=[needle]).instance
+        names = sorted(reloaded.schema)
+        assert equivalent(merged.reduct(names), reloaded.reduct(names))

@@ -1,0 +1,133 @@
+"""Tests for the one-scan skeleton loader."""
+
+import pytest
+
+from repro.compress.minimize import is_compressed
+from repro.model.paths import tree_size
+from repro.model.schema import DOC_SET, string_set
+from repro.skeleton.loader import load, load_instance
+
+BIB_XML = """
+<bib>
+  <book>
+    <title>Foundations of Databases</title>
+    <author>Abiteboul</author>
+    <author>Hull</author>
+    <author>Vianu</author>
+  </book>
+  <paper>
+    <title>A Relational Model for Large Shared Data Banks</title>
+    <author>Codd</author>
+  </paper>
+  <paper>
+    <title>The Complexity of Relational Query Languages</title>
+    <author>Vardi</author>
+  </paper>
+</bib>
+"""
+
+
+class TestLoadStructure:
+    def test_example_1_1_compression(self):
+        # With all tags: the 12-node skeleton + doc root compresses; the two
+        # papers share one vertex, the five authors share one vertex.
+        instance = load_instance(BIB_XML)
+        instance.validate()
+        assert is_compressed(instance)
+        assert tree_size(instance) == 13  # 12 skeleton nodes + document root
+        assert len(instance.members("paper")) == 1
+        assert len(instance.members("author")) == 1
+
+    def test_document_root_present(self):
+        instance = load_instance(BIB_XML)
+        assert instance.in_set(instance.root, DOC_SET)
+        assert instance.out_degree(instance.root) == 1
+
+    def test_bare_structure_mode(self):
+        instance = load_instance(BIB_XML, tags=())
+        assert set(instance.schema) == {DOC_SET}
+        # Without labels book and paper do not merge (different arity), but
+        # all 5 author/title leaves do.
+        assert tree_size(instance) == 13
+
+    def test_selected_tags_mode(self):
+        instance = load_instance(BIB_XML, tags=["author"])
+        assert set(instance.schema) == {DOC_SET, "author"}
+        assert len(instance.members("author")) == 1
+
+    def test_tag_selection_affects_compression(self):
+        # Figure 6's two settings: "-" compresses at least as well as "+".
+        bare = load_instance(BIB_XML, tags=())
+        full = load_instance(BIB_XML)
+        assert bare.num_vertices <= full.num_vertices
+
+    def test_parse_stats(self):
+        result = load(BIB_XML)
+        assert result.skeleton_nodes == 13
+        assert result.parse_seconds >= 0.0
+
+
+class TestLoadStrings:
+    def test_string_constraint_set(self):
+        instance = load_instance(BIB_XML, strings=["Codd"])
+        name = string_set("Codd")
+        members = instance.members(name)
+        # Exactly one author leaf contains Codd; its ancestors (paper, bib,
+        # document) contain it in their string values too.
+        assert len(members) >= 2
+        author_hits = members & instance.members("author")
+        assert len(author_hits) == 1
+
+    def test_string_constraint_splits_sharing(self):
+        # With 'Vardi' distinguished the two papers no longer share a vertex.
+        instance = load_instance(BIB_XML, strings=["Vardi"])
+        assert len(instance.members("paper")) == 2
+
+    def test_string_across_markup_boundary(self):
+        xml_text = "<a><b>Co</b><c>dd</c></a>"
+        instance = load_instance(xml_text, strings=["Codd"])
+        name = string_set("Codd")
+        assert instance.members(name) == {
+            v for v in instance.preorder() if instance.in_set(v, "a") or instance.in_set(v, DOC_SET)
+        }
+
+    def test_duplicate_strings_deduplicated(self):
+        instance = load_instance(BIB_XML, strings=["Codd", "Codd"])
+        assert list(instance.schema).count(string_set("Codd")) == 1
+
+    def test_matcher_strategies_agree(self):
+        from repro.model.equivalence import equivalent
+
+        by_find = load(BIB_XML, strings=["Codd", "Vardi"], matcher_strategy="find").instance
+        by_auto = load(
+            BIB_XML, strings=["Codd", "Vardi"], matcher_strategy="automaton"
+        ).instance
+        assert equivalent(by_find, by_auto)
+
+
+class TestContainers:
+    def test_containers_grouped_by_parent_tag(self):
+        result = load(BIB_XML, collect_containers=True)
+        store = result.containers
+        author = store.container("author")
+        assert author is not None
+        assert "Codd" in author.chunks
+        assert len([c for c in author.chunks if c.strip()]) == 5
+
+    def test_document_order_reassembly(self):
+        result = load("<a><t>one</t><t>two</t><u>three</u></a>", collect_containers=True)
+        texts = result.containers.in_document_order()
+        assert texts == ["one", "two", "three"]
+
+    def test_containers_off_by_default(self):
+        assert load(BIB_XML).containers is None
+
+
+class TestLoadFile:
+    def test_load_file(self, tmp_path):
+        path = tmp_path / "doc.xml"
+        path.write_text(BIB_XML, encoding="utf-8")
+        from repro.skeleton.loader import load_file
+
+        result = load_file(str(path), tags=["book"])
+        assert len(result.instance.members("book")) == 1

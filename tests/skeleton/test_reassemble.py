@@ -1,0 +1,102 @@
+"""Tests for lossless document reassembly (skeleton + containers + layout)."""
+
+import pytest
+
+from repro.corpora import generate
+from repro.errors import ReproError
+from repro.skeleton.loader import load
+from repro.skeleton.reassemble import reassemble, reassemble_element
+from repro.xmlio.dom import Element, parse_document
+
+
+def dom_equal(a: Element, b: Element, compare_attributes: bool = True) -> bool:
+    """Structural DOM equality (tags, attribute maps, ordered children)."""
+    if a.tag != b.tag:
+        return False
+    if compare_attributes and a.attributes != b.attributes:
+        return False
+    if len(a.children) != len(b.children):
+        return False
+    for child_a, child_b in zip(a.children, b.children):
+        if isinstance(child_a, str) != isinstance(child_b, str):
+            return False
+        if isinstance(child_a, str):
+            if child_a != child_b:
+                return False
+        elif not dom_equal(child_a, child_b, compare_attributes):
+            return False
+    return True
+
+
+def round_trip(xml_text: str, attributes: str = "ignore") -> str:
+    result = load(xml_text, collect_containers=True, attributes=attributes)
+    return reassemble(result.instance, result.containers, result.layout)
+
+
+class TestRoundTrip:
+    def test_simple_document(self):
+        xml_text = "<a><b>hello</b><c>world</c></a>"
+        assert dom_equal(
+            parse_document(round_trip(xml_text)).root,
+            parse_document(xml_text).root,
+        )
+
+    def test_mixed_content(self):
+        xml_text = "<p>one <em>two</em> three <em>four</em> five</p>"
+        assert dom_equal(
+            parse_document(round_trip(xml_text)).root,
+            parse_document(xml_text).root,
+        )
+
+    def test_shared_structure_with_distinct_text(self):
+        # The two <i> elements share a skeleton vertex but carry different
+        # text; reassembly must put each chunk back in its own element.
+        xml_text = "<r><i>first</i><i>second</i><i>third</i></r>"
+        restored = parse_document(round_trip(xml_text)).root
+        texts = [child.string_value() for child in restored.elements("i")]
+        assert texts == ["first", "second", "third"]
+
+    def test_entities_round_trip(self):
+        xml_text = "<a>fish &amp; chips &lt;now&gt;</a>"
+        restored = parse_document(round_trip(xml_text)).root
+        assert restored.string_value() == "fish & chips <now>"
+
+    def test_attributes_nodes_mode(self):
+        xml_text = '<cat><item id="i1" k="v">x</item><item id="i2" k="v">y</item></cat>'
+        restored = parse_document(round_trip(xml_text, attributes="nodes")).root
+        original = parse_document(xml_text).root
+        assert dom_equal(restored, original)
+
+    def test_attributes_ignored_by_default(self):
+        xml_text = '<a id="gone"><b/></a>'
+        restored = parse_document(round_trip(xml_text)).root
+        assert restored.attributes == {}
+
+    @pytest.mark.parametrize("corpus", ["dblp", "shakespeare", "baseball"])
+    def test_corpus_round_trip(self, corpus):
+        xml_text = generate(corpus, 8, seed=5).xml
+        assert dom_equal(
+            parse_document(round_trip(xml_text)).root,
+            parse_document(xml_text).root,
+            compare_attributes=False,  # corpora carry no attributes anyway
+        )
+
+    def test_comments_and_prolog_are_canonicalised_away(self):
+        xml_text = "<?xml version='1.0'?><!--gone--><a>kept<!--also gone--></a>"
+        restored = parse_document(round_trip(xml_text)).root
+        assert restored.string_value() == "kept"
+
+
+class TestErrors:
+    def test_requires_all_tags(self):
+        result = load("<a><b/></a>", tags=["a"], collect_containers=True)
+        with pytest.raises(ReproError, match="tags=None"):
+            reassemble_element(result.instance, result.containers, result.layout)
+
+    def test_requires_document_instance(self):
+        from repro.corpora.binary_tree import compressed_instance
+        from repro.strings.containers import ContainerStore
+        from repro.skeleton.layout import TextLayout
+
+        with pytest.raises(ReproError, match="document root"):
+            reassemble_element(compressed_instance(2), ContainerStore(), TextLayout())

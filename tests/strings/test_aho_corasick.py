@@ -1,0 +1,94 @@
+"""Unit and property tests for the Aho-Corasick automaton."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ReproError
+from repro.strings.aho_corasick import AhoCorasick
+
+
+class TestBasics:
+    def test_single_pattern(self):
+        ac = AhoCorasick(["abc"])
+        assert ac.contains_mask("xxabcxx") == 1
+        assert ac.contains_mask("xxabxcx") == 0
+
+    def test_multiple_patterns_mask(self):
+        ac = AhoCorasick(["he", "she", "his", "hers"])
+        assert ac.contains_mask("ushers") == 0b1011  # he, she, hers
+
+    def test_overlapping_occurrences(self):
+        ac = AhoCorasick(["aa"])
+        assert ac.occurrences("aaaa") == [(0, 0), (1, 0), (2, 0)]
+
+    def test_pattern_is_suffix_of_other(self):
+        ac = AhoCorasick(["abcd", "cd"])
+        assert ac.occurrences("abcd") == [(0, 0), (2, 1)]
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ReproError):
+            AhoCorasick(["ok", ""])
+
+    def test_no_patterns(self):
+        ac = AhoCorasick([])
+        assert ac.contains_mask("anything") == 0
+
+    def test_unicode(self):
+        ac = AhoCorasick(["Schrödinger"])
+        assert ac.contains_mask("Erwin Schrödinger grant") == 1
+
+    def test_resume_across_chunks(self):
+        ac = AhoCorasick(["chandra"])
+        state, matches = ac.resume(0, "xxchan")
+        assert matches == []
+        state, matches = ac.resume(state, "draxx")
+        assert len(matches) == 1
+        offset, mask = matches[0]
+        assert mask == 1
+        assert offset == 2  # 'a' completing the match is at chunk offset 2
+
+    def test_num_states_bounded_by_total_length(self):
+        patterns = ["abc", "abd", "x"]
+        ac = AhoCorasick(patterns)
+        assert ac.num_states <= sum(len(p) for p in patterns) + 1
+
+
+@given(
+    st.lists(st.text(alphabet="ab", min_size=1, max_size=4), min_size=1, max_size=5),
+    st.text(alphabet="ab", max_size=60),
+)
+def test_matches_naive_search(patterns, haystack):
+    """Occurrence sets agree with str.find-based brute force."""
+    ac = AhoCorasick(patterns)
+    expected = set()
+    for index, pattern in enumerate(patterns):
+        start = 0
+        while True:
+            hit = haystack.find(pattern, start)
+            if hit < 0:
+                break
+            expected.add((hit, index))
+            start = hit + 1
+    assert set(ac.occurrences(haystack)) == expected
+
+
+@given(
+    st.lists(st.text(alphabet="abc", min_size=1, max_size=3), min_size=1, max_size=4),
+    st.lists(st.text(alphabet="abc", max_size=10), max_size=6),
+)
+def test_chunked_equals_whole(patterns, chunks):
+    """Feeding chunk-by-chunk finds the same end positions as one pass."""
+    ac = AhoCorasick(patterns)
+    whole = "".join(chunks)
+    _, whole_matches = ac.resume(0, whole)
+    whole_ends = {(offset, mask) for offset, mask in whole_matches}
+
+    state = 0
+    streamed_ends = set()
+    base = 0
+    for chunk in chunks:
+        state, matches = ac.resume(state, chunk)
+        for offset, mask in matches:
+            streamed_ends.add((base + offset, mask))
+        base += len(chunk)
+    assert streamed_ends == whole_ends

@@ -1,0 +1,47 @@
+"""Tests for XMILL-style string containers."""
+
+from repro.strings.containers import ContainerStore
+
+
+class TestContainerStore:
+    def test_groups_by_key(self):
+        store = ContainerStore()
+        store.add("title", "Foundations of Databases")
+        store.add("author", "Abiteboul")
+        store.add("author", "Hull")
+        assert store.num_containers == 2
+        assert store.container("author").chunks == ["Abiteboul", "Hull"]
+
+    def test_references_resolve(self):
+        store = ContainerStore()
+        ref = store.add("x", "hello")
+        assert store.get(ref) == "hello"
+
+    def test_document_order_preserved(self):
+        store = ContainerStore()
+        store.add("b", "1")
+        store.add("a", "2")
+        store.add("b", "3")
+        assert store.in_document_order() == ["1", "2", "3"]
+
+    def test_total_characters(self):
+        store = ContainerStore()
+        store.add("a", "xy")
+        store.add("b", "z")
+        assert store.total_characters == 3
+
+    def test_keys_sorted(self):
+        store = ContainerStore()
+        store.add("z", "")
+        store.add("a", "")
+        assert store.keys() == ["a", "z"]
+
+    def test_summary_mentions_counts(self):
+        store = ContainerStore()
+        store.add("title", "abc")
+        text = store.summary()
+        assert "1 containers" in text
+        assert "title" in text
+
+    def test_missing_container_is_none(self):
+        assert ContainerStore().container("nope") is None

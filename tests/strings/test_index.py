@@ -1,0 +1,67 @@
+"""Tests for the trigram substring index over containers."""
+
+from hypothesis import given, strategies as st
+
+from repro.strings.containers import ContainerStore
+from repro.strings.index import TrigramIndex, trigrams
+
+
+def store_of(*chunks):
+    store = ContainerStore()
+    for chunk in chunks:
+        store.add("c", chunk)
+    return store
+
+
+class TestTrigrams:
+    def test_basic(self):
+        assert trigrams("abcd") == {"abc", "bcd"}
+
+    def test_short_strings_have_none(self):
+        assert trigrams("ab") == set()
+        assert trigrams("") == set()
+
+
+class TestTrigramIndex:
+    def test_lookup_finds_containing_chunks(self):
+        index = TrigramIndex(store_of("hello world", "goodbye", "world peace"))
+        assert index.lookup("world") == [0, 2]
+
+    def test_lookup_verifies_candidates(self):
+        # 'abc' and 'cab' share trigrams with 'abcab' but only real
+        # occurrences survive verification.
+        index = TrigramIndex(store_of("abcxx", "xxcab", "no match"))
+        assert index.lookup("abc") == [0]
+        assert index.lookup("cab") == [1]
+
+    def test_short_needle_falls_back_to_scan(self):
+        index = TrigramIndex(store_of("xy", "ab", "ya"))
+        assert index.lookup("y") == [0, 2]
+
+    def test_missing_needle(self):
+        index = TrigramIndex(store_of("aaa", "bbb"))
+        assert index.lookup("ccc") == []
+        assert not index.contains_anywhere("ccc")
+
+    def test_candidates_superset_of_lookup(self):
+        index = TrigramIndex(store_of("abcdef", "defabc", "fedcba"))
+        for needle in ("abc", "def", "cba", "fed"):
+            assert set(index.lookup(needle)) <= index.candidates(needle)
+
+    def test_stats(self):
+        index = TrigramIndex(store_of("abc", "abc", "xyz"))
+        assert index.num_chunks == 3
+        assert index.num_trigrams == 2
+
+
+@given(
+    st.lists(st.text(alphabet="abc", max_size=10), min_size=1, max_size=8),
+    st.text(alphabet="abc", min_size=1, max_size=5),
+)
+def test_lookup_matches_bruteforce(chunks, needle):
+    store = ContainerStore()
+    for chunk in chunks:
+        store.add("c", chunk)
+    index = TrigramIndex(store)
+    expected = [i for i, chunk in enumerate(chunks) if needle in chunk]
+    assert index.lookup(needle) == expected

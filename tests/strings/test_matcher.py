@@ -1,0 +1,137 @@
+"""Tests for StreamMatcher: attributing matches to nodes' string values."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ReproError
+from repro.strings.matcher import StreamMatcher
+from repro.xmlio.dom import parse_document
+
+
+def match_document(xml_text, patterns, strategy="auto"):
+    """Run the matcher over a document; return {preorder_index: set(patterns)}.
+
+    Drives the matcher exactly like the skeleton loader does and records the
+    returned mask for every element in document order.
+    """
+    from repro.xmlio.parser import parse_events
+
+    matcher = StreamMatcher(patterns, strategy=strategy)
+    results = {}
+    order = []
+    counter = 0
+    stack = []
+    for event in parse_events(xml_text):
+        if event.kind == "start":
+            stack.append(counter)
+            order.append(counter)
+            counter += 1
+            matcher.open_node()
+        elif event.kind == "text":
+            matcher.text(event.data)
+        elif event.kind == "end":
+            index = stack.pop()
+            mask = matcher.close_node()
+            results[index] = {
+                patterns[i] for i in range(len(patterns)) if mask >> i & 1
+            }
+    return results
+
+
+def expected_by_string_value(xml_text, patterns):
+    """Oracle: compute matches from materialised string values via the DOM."""
+    doc = parse_document(xml_text)
+    expected = {}
+    for index, element in enumerate(doc.root.descendants()):
+        value = element.string_value()
+        expected[index] = {p for p in patterns if p in value}
+    return expected
+
+
+class TestStreamMatcher:
+    def test_simple_containment(self):
+        results = match_document("<a><b>Codd</b><c>Vardi</c></a>", ["Codd"])
+        assert results[1] == {"Codd"}
+        assert results[2] == set()
+        assert results[0] == {"Codd"}  # ancestor string value contains it
+
+    def test_match_across_text_chunks(self):
+        # 'Codd' spans a CDATA boundary inside one element.
+        results = match_document("<a>Co<![CDATA[dd]]></a>", ["Codd"])
+        assert results[0] == {"Codd"}
+
+    def test_match_across_element_boundary_belongs_to_ancestor_only(self):
+        results = match_document("<a><b>Co</b><c>dd</c></a>", ["Codd"])
+        assert results[0] == {"Codd"}
+        assert results[1] == set()
+        assert results[2] == set()
+
+    def test_match_within_child_propagates_up(self):
+        results = match_document("<a><b><c>needle</c></b></a>", ["needle"])
+        assert results[0] == results[1] == results[2] == {"needle"}
+
+    def test_no_false_positive_between_siblings_of_closed_parent(self):
+        # 'xy' spans </b> ... <c>: belongs to <a> but not to b or c.
+        results = match_document("<a><b>x</b><c>y</c></a>", ["xy"])
+        assert results[0] == {"xy"}
+        assert results[1] == set()
+        assert results[2] == set()
+
+    def test_multiple_patterns(self):
+        results = match_document(
+            "<r><x>alpha</x><y>beta</y></r>", ["alpha", "beta", "gamma"]
+        )
+        assert results[1] == {"alpha"}
+        assert results[2] == {"beta"}
+        assert results[0] == {"alpha", "beta"}
+
+    def test_no_patterns_is_cheap_noop(self):
+        results = match_document("<a>text</a>", [])
+        assert results[0] == set()
+
+    def test_errors_on_misuse(self):
+        matcher = StreamMatcher(["x"])
+        with pytest.raises(ReproError):
+            matcher.close_node()
+        with pytest.raises(ReproError):
+            matcher.text("boom")
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ReproError):
+            StreamMatcher(["x"], strategy="quantum")
+
+    @pytest.mark.parametrize("strategy", ["find", "automaton"])
+    def test_strategies_agree(self, strategy):
+        xml_text = "<a><b>ab</b><c>cd<d>ab</d>ra</c></a>"
+        patterns = ["ab", "cdab", "abra", "dabra"]
+        assert match_document(xml_text, patterns, strategy) == expected_by_string_value(
+            xml_text, patterns
+        )
+
+
+# Random documents: build small trees with text drawn from a tiny alphabet so
+# cross-boundary matches are common, then compare both strategies against the
+# DOM string-value oracle.
+@st.composite
+def random_xml(draw):
+    def node(depth):
+        pieces = ["<n>"]
+        for _ in range(draw(st.integers(0, 3))):
+            if depth < 3 and draw(st.booleans()):
+                pieces.append(node(depth + 1))
+            else:
+                pieces.append(draw(st.text(alphabet="ab", max_size=4)))
+        pieces.append("</n>")
+        return "".join(pieces)
+
+    return node(0)
+
+
+@given(
+    random_xml(),
+    st.lists(st.text(alphabet="ab", min_size=1, max_size=5), min_size=1, max_size=3),
+)
+def test_matcher_equals_string_value_oracle(xml_text, patterns):
+    expected = expected_by_string_value(xml_text, patterns)
+    assert match_document(xml_text, patterns, "automaton") == expected
+    assert match_document(xml_text, patterns, "find") == expected

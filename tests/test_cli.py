@@ -1,0 +1,110 @@
+"""Tests for the repro command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def bib_file(tmp_path):
+    from tests.skeleton.test_loader import BIB_XML
+
+    path = tmp_path / "bib.xml"
+    path.write_text(BIB_XML, encoding="utf-8")
+    return str(path)
+
+
+class TestCorpora:
+    def test_lists_all(self, capsys):
+        assert main(["corpora"]) == 0
+        out = capsys.readouterr().out
+        for name in ("dblp", "swissprot", "treebank", "baseball"):
+            assert name in out
+
+
+class TestGen:
+    def test_writes_to_stdout(self, capsys):
+        assert main(["gen", "tpcd", "--scale", "5"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("<?xml")
+        assert "<table>" in out
+
+    def test_writes_to_file(self, tmp_path, capsys):
+        target = tmp_path / "out.xml"
+        assert main(["gen", "baseball", "--scale", "2", "-o", str(target)]) == 0
+        assert target.read_text(encoding="utf-8").startswith("<?xml")
+        assert "wrote" in capsys.readouterr().err
+
+    def test_unknown_corpus_fails(self, capsys):
+        assert main(["gen", "nosuch"]) == 1
+        assert "unknown corpus" in capsys.readouterr().err
+
+
+class TestCompress:
+    def test_stats_output(self, bib_file, capsys):
+        assert main(["compress", bib_file]) == 0
+        out = capsys.readouterr().out
+        assert "|V^T|: 13" in out
+        assert "ratio" in out
+
+    def test_tags_none(self, bib_file, capsys):
+        assert main(["compress", bib_file, "--tags", "none"]) == 0
+
+    def test_tag_list(self, bib_file, capsys):
+        assert main(["compress", bib_file, "--tags", "book,author"]) == 0
+
+    def test_dot_flag(self, bib_file, capsys):
+        assert main(["compress", bib_file, "--dot"]) == 0
+        assert "digraph" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        assert main(["compress", "/nonexistent.xml"]) == 1
+
+
+class TestQuery:
+    def test_counts(self, bib_file, capsys):
+        assert main(["query", bib_file, "//author"]) == 0
+        out = capsys.readouterr().out
+        assert "selected tree nodes : 5" in out
+
+    def test_paths_printed(self, bib_file, capsys):
+        assert main(["query", bib_file, "//book/author", "--paths", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "1.1.2" in out
+
+    def test_inplace_axes(self, bib_file, capsys):
+        assert main(["query", bib_file, "//author", "--axes", "inplace"]) == 0
+        assert "selected tree nodes : 5" in capsys.readouterr().out
+
+    def test_bad_query_fails(self, bib_file, capsys):
+        assert main(["query", bib_file, "//a[["]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestSavedInstances:
+    def test_compress_save_then_query_dag(self, bib_file, tmp_path, capsys):
+        dag = str(tmp_path / "bib.dag")
+        assert main(["compress", bib_file, "--save", dag]) == 0
+        capsys.readouterr()
+        assert main(["query", dag, "//author"]) == 0
+        out = capsys.readouterr().out
+        assert "selected tree nodes : 5" in out
+        assert "parse+compress time : 0.000s" in out  # no XML re-parse
+
+    def test_compress_with_string_sets(self, bib_file, tmp_path, capsys):
+        dag = str(tmp_path / "bib.dag")
+        assert main(["compress", bib_file, "--string", "Codd", "--save", dag]) == 0
+        capsys.readouterr()
+        assert main(["query", dag, '//paper[author["Codd"]]']) == 0
+        assert "selected tree nodes : 1" in capsys.readouterr().out
+
+
+class TestExplain:
+    def test_plan_rendered(self, capsys):
+        assert main(["explain", "//a/b"]) == 0
+        out = capsys.readouterr().out
+        assert "descendant" in out and "L[a]" in out
+
+    def test_upward_only_noted(self, capsys):
+        assert main(["explain", "/self::*[a/b]"]) == 0
+        assert "Corollary 3.7" in capsys.readouterr().out

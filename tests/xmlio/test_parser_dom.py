@@ -1,0 +1,171 @@
+"""Tests for the structural parser, DOM and writer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import XMLSyntaxError
+from repro.xmlio.dom import Element, parse_document
+from repro.xmlio.parser import Handler, parse_events, sax_parse
+from repro.xmlio.writer import serialize
+
+
+class TestParseEvents:
+    def test_well_formed(self):
+        kinds = [e.kind for e in parse_events("<a><b>x</b></a>")]
+        assert kinds == ["start", "start", "text", "end", "end"]
+
+    def test_mismatched_tags_rejected(self):
+        with pytest.raises(XMLSyntaxError, match="mismatched"):
+            list(parse_events("<a><b></a></b>"))
+
+    def test_unclosed_element_rejected(self):
+        with pytest.raises(XMLSyntaxError, match="unclosed"):
+            list(parse_events("<a><b></b>"))
+
+    def test_stray_close_rejected(self):
+        with pytest.raises(XMLSyntaxError, match="no open element"):
+            list(parse_events("<a></a></b>"))
+
+    def test_two_roots_rejected(self):
+        with pytest.raises(XMLSyntaxError, match="second root"):
+            list(parse_events("<a/><b/>"))
+
+    def test_empty_document_rejected(self):
+        with pytest.raises(XMLSyntaxError, match="no root"):
+            list(parse_events("  <!-- nothing here -->  "))
+
+    def test_text_outside_root_rejected(self):
+        with pytest.raises(XMLSyntaxError, match="outside the root"):
+            list(parse_events("<a/>trailing"))
+
+    def test_whitespace_outside_root_tolerated(self):
+        kinds = [e.kind for e in parse_events("\n <a/> \n")]
+        assert kinds == ["start", "end"]
+
+    def test_adjacent_text_coalesced(self):
+        events = list(parse_events("<a>one&amp;<![CDATA[two]]>three</a>"))
+        texts = [e for e in events if e.kind == "text"]
+        assert len(texts) == 1
+        assert texts[0].data == "one&twothree"
+
+    def test_prolog_passed_through(self):
+        kinds = [e.kind for e in parse_events('<?xml version="1.0"?><!DOCTYPE a><a/>')]
+        assert kinds == ["pi", "doctype", "start", "end"]
+
+
+class TestSaxParse:
+    def test_handler_callbacks(self):
+        calls = []
+
+        class Recorder(Handler):
+            def start_element(self, name, attributes):
+                calls.append(("start", name, dict(attributes)))
+
+            def end_element(self, name):
+                calls.append(("end", name))
+
+            def characters(self, data):
+                calls.append(("text", data))
+
+        sax_parse('<a x="1"><b>hi</b></a>', Recorder())
+        assert calls == [
+            ("start", "a", {"x": "1"}),
+            ("start", "b", {}),
+            ("text", "hi"),
+            ("end", "b"),
+            ("end", "a"),
+        ]
+
+    def test_default_handler_ignores_everything(self):
+        sax_parse("<a><!--c--><?pi d?>t</a>", Handler())
+
+
+class TestDom:
+    def test_parse_document_structure(self):
+        doc = parse_document('<bib><book year="1995"><title>FoD</title></book></bib>')
+        assert doc.root.tag == "bib"
+        book = doc.root.first("book")
+        assert book is not None
+        assert book.attributes["year"] == "1995"
+        assert book.first("title").string_value() == "FoD"
+
+    def test_string_value_concatenates_descendants(self):
+        doc = parse_document("<a>x<b>y<c>z</c></b>w</a>")
+        assert doc.root.string_value() == "xyzw"
+
+    def test_elements_filter(self):
+        doc = parse_document("<a><b/><c/><b/></a>")
+        assert len(list(doc.root.elements("b"))) == 2
+        assert len(list(doc.root.elements())) == 3
+
+    def test_descendants_document_order(self):
+        doc = parse_document("<a><b><c/></b><d/></a>")
+        tags = [e.tag for e in doc.root.descendants()]
+        assert tags == ["a", "b", "c", "d"]
+
+    def test_skeleton_size(self):
+        doc = parse_document("<a><b><c/></b><d/></a>")
+        assert doc.root.skeleton_size() == 4
+
+    def test_comments_and_pis_collected(self):
+        doc = parse_document("<?xml version='1.0'?><!--hello--><a><!--inner--></a>")
+        assert doc.comments == ["hello", "inner"]
+        assert doc.processing_instructions[0][0] == "xml"
+
+    def test_element_builder_api(self):
+        root = Element("bib")
+        book = root.element("book")
+        book.element("title", "Foundations of Databases")
+        assert root.first("book").first("title").string_value() == (
+            "Foundations of Databases"
+        )
+
+
+class TestWriter:
+    def test_round_trip_compact(self):
+        text = '<a x="1"><b>hi &amp; ho</b><c/></a>'
+        doc = parse_document(text)
+        again = parse_document(serialize(doc, declaration=False))
+        assert serialize(doc) == serialize(again)
+
+    def test_escapes_special_characters(self):
+        root = Element("a")
+        root.children.append('<tag> & "quote"')
+        text = serialize(root, declaration=False)
+        assert "&lt;tag&gt;" in text
+        assert "&amp;" in text
+
+    def test_attribute_escaping(self):
+        root = Element("a", {"v": 'say "hi" <now>'})
+        text = serialize(root, declaration=False)
+        assert parse_document(text).root.attributes["v"] == 'say "hi" <now>'
+
+    def test_declaration_emitted_once(self):
+        assert serialize(Element("a")).startswith('<?xml version="1.0"')
+
+    def test_indented_output_parses_back(self):
+        doc = parse_document("<a><b><c/></b><d>t</d></a>")
+        pretty = serialize(doc, indent=2)
+        assert "\n" in pretty
+        again = parse_document(pretty)
+        assert again.root.first("d").string_value() == "t"
+
+
+SIMPLE_TEXT = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc")), max_size=40
+)
+
+
+@given(SIMPLE_TEXT)
+def test_text_round_trips_through_serialisation(payload):
+    root = Element("a")
+    root.children.append(payload)
+    parsed = parse_document(serialize(root, declaration=False))
+    assert parsed.root.string_value() == payload
+
+
+@given(SIMPLE_TEXT)
+def test_attribute_round_trips_through_serialisation(payload):
+    root = Element("a", {"v": payload})
+    parsed = parse_document(serialize(root, declaration=False))
+    assert parsed.root.attributes["v"] == payload

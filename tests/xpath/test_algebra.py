@@ -1,0 +1,68 @@
+"""Tests for the algebra IR itself (rendering, analysis, validation)."""
+
+import pytest
+
+from repro.xpath.algebra import (
+    AllNodes,
+    AxisApply,
+    ContextSet,
+    Difference,
+    Intersect,
+    NamedSet,
+    RootFilter,
+    RootSet,
+    Union,
+    axis_applications,
+    named_sets,
+    uses_only_upward_axes,
+)
+
+
+class TestConstruction:
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ValueError, match="unknown axis"):
+            AxisApply("up-left", RootSet())
+
+    def test_expressions_hashable_and_equal(self):
+        a = Intersect(AxisApply("child", RootSet()), NamedSet("x"))
+        b = Intersect(AxisApply("child", RootSet()), NamedSet("x"))
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestAnalysis:
+    def test_named_sets_collects_all_leaves(self):
+        expr = Union(
+            Intersect(NamedSet("a"), NamedSet("b")),
+            Difference(AllNodes(), NamedSet("c")),
+        )
+        assert named_sets(expr) == {"a", "b", "c"}
+
+    def test_axis_applications_bottom_up_order(self):
+        expr = AxisApply("parent", Intersect(AxisApply("child", RootSet()), NamedSet("x")))
+        assert axis_applications(expr) == ["child", "parent"]
+
+    def test_upward_only(self):
+        assert uses_only_upward_axes(AxisApply("ancestor", NamedSet("x")))
+        assert not uses_only_upward_axes(AxisApply("following", NamedSet("x")))
+        assert uses_only_upward_axes(RootFilter(AxisApply("parent", AllNodes())))
+
+    def test_size(self):
+        expr = Union(RootSet(), ContextSet())
+        assert expr.size() == 3
+
+
+class TestRender:
+    def test_render_indents_operands(self):
+        expr = Intersect(AxisApply("descendant", RootSet()), NamedSet("a"))
+        lines = expr.render().splitlines()
+        assert lines[0] == "∩"
+        assert lines[1].strip() == "descendant"
+        assert lines[2].strip() == "{root}"
+        assert lines[3].strip() == "L[a]"
+
+    def test_root_filter_label(self):
+        assert RootFilter(RootSet()).render().startswith("V|root")
+
+    def test_difference_label(self):
+        assert Difference(AllNodes(), NamedSet("x")).label() == "−"

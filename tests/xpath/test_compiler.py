@@ -1,0 +1,195 @@
+"""Tests for compilation to the node-set algebra (Figure 3 semantics)."""
+
+import pytest
+
+from repro.model.schema import string_set
+from repro.xpath.algebra import (
+    AllNodes,
+    AxisApply,
+    ContextSet,
+    Difference,
+    Intersect,
+    NamedSet,
+    RootFilter,
+    RootSet,
+    Union,
+    axis_applications,
+    named_sets,
+    uses_only_upward_axes,
+)
+from repro.xpath.ast import Step
+from repro.xpath.compiler import (
+    compile_query,
+    required_strings,
+    required_tags,
+    simplify_steps,
+)
+
+
+class TestSimplifySteps:
+    def test_fuses_double_slash_child(self):
+        steps = (Step("descendant-or-self", "*"), Step("child", "a"))
+        assert simplify_steps(steps) == (Step("descendant", "a"),)
+
+    def test_preserves_predicates_of_fused_step(self):
+        from repro.xpath.ast import StringExpr
+
+        steps = (
+            Step("descendant-or-self", "*"),
+            Step("child", "a", (StringExpr("x"),)),
+        )
+        (fused,) = simplify_steps(steps)
+        assert fused.axis == "descendant"
+        assert fused.predicates
+
+    def test_does_not_fuse_explicit_axis(self):
+        steps = (Step("descendant-or-self", "*"), Step("parent", "a"))
+        assert simplify_steps(steps) == steps
+
+    def test_does_not_fuse_when_intermediate_has_predicates(self):
+        from repro.xpath.ast import StringExpr
+
+        steps = (
+            Step("descendant-or-self", "*", (StringExpr("x"),)),
+            Step("child", "a"),
+        )
+        assert simplify_steps(steps) == steps
+
+
+class TestMainPath:
+    def test_absolute_simple_path(self):
+        expr = compile_query("/a/b")
+        # child(child({root}) ∩ L_a) ∩ L_b
+        assert expr == Intersect(
+            AxisApply("child", Intersect(AxisApply("child", RootSet()), NamedSet("a"))),
+            NamedSet("b"),
+        )
+
+    def test_double_slash_becomes_descendant(self):
+        expr = compile_query("//a")
+        assert expr == Intersect(AxisApply("descendant", RootSet()), NamedSet("a"))
+
+    def test_relative_path_starts_at_context(self):
+        expr = compile_query("a")
+        assert expr == Intersect(AxisApply("child", ContextSet()), NamedSet("a"))
+
+    def test_star_step_adds_no_intersection(self):
+        expr = compile_query("/*")
+        assert expr == AxisApply("child", RootSet())
+
+    def test_example_3_5(self):
+        # //a/b from the paper: child(descendant({root}) ∩ L_a) ∩ L_b.
+        expr = compile_query("//a/b")
+        assert expr == Intersect(
+            AxisApply(
+                "child", Intersect(AxisApply("descendant", RootSet()), NamedSet("a"))
+            ),
+            NamedSet("b"),
+        )
+
+
+class TestPredicateReversal:
+    def test_child_condition_reverses_to_parent(self):
+        expr = compile_query("a[b]")
+        condition = expr.right
+        assert condition == AxisApply("parent", NamedSet("b"))
+
+    def test_two_step_condition(self):
+        expr = compile_query("a[c/d]")
+        condition = expr.right
+        assert condition == AxisApply(
+            "parent", Intersect(NamedSet("c"), AxisApply("parent", NamedSet("d")))
+        )
+
+    def test_descendant_condition_reverses_to_ancestor(self):
+        expr = compile_query("a[descendant::x]")
+        assert expr.right == AxisApply("ancestor", NamedSet("x"))
+
+    def test_following_sibling_reverses_to_preceding_sibling(self):
+        expr = compile_query("a[following-sibling::x]")
+        assert expr.right == AxisApply("preceding-sibling", NamedSet("x"))
+
+    def test_string_condition(self):
+        expr = compile_query('a["Codd"]')
+        assert expr.right == NamedSet(string_set("Codd"))
+
+    def test_not_condition(self):
+        expr = compile_query("a[not(following::*)]")
+        assert expr.right == Difference(
+            AllNodes(), AxisApply("preceding", AllNodes())
+        )
+
+    def test_or_condition(self):
+        expr = compile_query("a[b or c]")
+        assert expr.right == Union(
+            AxisApply("parent", NamedSet("b")), AxisApply("parent", NamedSet("c"))
+        )
+
+    def test_and_condition(self):
+        expr = compile_query("a[b and c]")
+        assert expr.right == Intersect(
+            AxisApply("parent", NamedSet("b")), AxisApply("parent", NamedSet("c"))
+        )
+
+    def test_absolute_condition_uses_root_filter(self):
+        expr = compile_query("a[/descendant::b]")
+        assert expr.right == RootFilter(AxisApply("ancestor", NamedSet("b")))
+
+    def test_figure3_query_shape(self):
+        expr = compile_query(
+            "/descendant::a/child::b[child::c/child::d or not(following::*)]"
+        )
+        condition = expr.right
+        assert isinstance(condition, Union)
+        left, right = condition.left, condition.right
+        assert left == AxisApply(
+            "parent", Intersect(NamedSet("c"), AxisApply("parent", NamedSet("d")))
+        )
+        assert right == Difference(AllNodes(), AxisApply("preceding", AllNodes()))
+
+    def test_double_slash_inside_condition(self):
+        expr = compile_query("a[x//y]")
+        condition = expr.right
+        assert condition == AxisApply(
+            "parent", Intersect(NamedSet("x"), AxisApply("ancestor", NamedSet("y")))
+        )
+
+
+class TestAnalysis:
+    def test_required_tags(self):
+        tags = required_tags('//Record[Text["x"]]/Title["y"]')
+        assert tags == {"Record", "Text", "Title"}
+
+    def test_required_strings(self):
+        strings = required_strings('//Record[Text["consanguineous parents"]]/Title["LETHAL"]')
+        assert strings == {"consanguineous parents", "LETHAL"}
+
+    def test_star_contributes_no_tag(self):
+        assert required_tags("/self::*[a]") == {"a"}
+
+    def test_named_sets_of_compiled_query(self):
+        expr = compile_query('//a[b and "s"]')
+        assert named_sets(expr) == {"a", "b", string_set("s")}
+
+    def test_upward_only_detection(self):
+        # Q1-style tree pattern queries use only parent after reversal.
+        q1 = compile_query("/self::*[SEASON/LEAGUE/DIVISION/TEAM/PLAYER]")
+        assert uses_only_upward_axes(q1)
+        q2 = compile_query("/SEASON/LEAGUE")
+        assert not uses_only_upward_axes(q2)
+
+    def test_axis_application_order_is_bottom_up(self):
+        expr = compile_query("/a/b")
+        assert axis_applications(expr) == ["child", "child"]
+
+
+class TestRender:
+    def test_render_shows_tree(self):
+        text = compile_query("//a/b").render()
+        assert "∩" in text
+        assert "descendant" in text
+        assert "L[a]" in text
+        assert "{root}" in text
+
+    def test_size_counts_nodes(self):
+        assert compile_query("/a").size() == 4  # ∩(child({root}), L[a])

@@ -1,0 +1,59 @@
+"""Tests for top-level path union (path1 | path2)."""
+
+import pytest
+
+from repro.engine.pipeline import query
+from repro.errors import XPathSyntaxError
+from repro.xpath.algebra import Union
+from repro.xpath.ast import PathUnion
+from repro.xpath.compiler import compile_query, required_strings, required_tags
+from repro.xpath.parser import parse_query
+
+from tests.skeleton.test_loader import BIB_XML
+
+
+class TestParse:
+    def test_two_paths(self):
+        ast = parse_query("//a | //b")
+        assert isinstance(ast, PathUnion)
+        assert len(ast.paths) == 2
+
+    def test_three_paths(self):
+        ast = parse_query("/a | /b | /c")
+        assert len(ast.paths) == 3
+
+    def test_single_path_stays_plain(self):
+        from repro.xpath.ast import LocationPath
+
+        assert isinstance(parse_query("//a"), LocationPath)
+
+    def test_dangling_pipe_rejected(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_query("//a |")
+
+    def test_string_rendering(self):
+        assert str(parse_query("/a | /b")) == "/child::a | /child::b"
+
+
+class TestCompile:
+    def test_compiles_to_algebra_union(self):
+        expr = compile_query("//a | //b")
+        assert isinstance(expr, Union)
+
+    def test_analysis_covers_all_branches(self):
+        assert required_tags('//a["x"] | //b/c') == {"a", "b", "c"}
+        assert required_strings('//a["x"] | //b["y"]') == {"x", "y"}
+
+
+class TestEvaluate:
+    def test_union_selects_both(self):
+        result = query(BIB_XML, "//book | //paper")
+        assert result.tree_count() == 3
+
+    def test_union_with_predicates(self):
+        result = query(BIB_XML, '//paper[author["Codd"]] | //book/title')
+        assert result.tree_count() == 2
+
+    def test_overlap_not_double_counted(self):
+        result = query(BIB_XML, "//author | //book/author")
+        assert result.tree_count() == 5
