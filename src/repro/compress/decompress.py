@@ -86,5 +86,9 @@ def decompress(instance: Instance, limit: int = DEFAULT_LIMIT) -> Decompression:
 
 
 def document_order(tree: Instance) -> list[int]:
-    """Tree vertices in document order (preorder); the inverse of ranking."""
-    return tree.preorder()
+    """Tree vertices in document order (preorder); the inverse of ranking.
+
+    Returns a fresh list the caller may mutate (``Instance.preorder`` itself
+    returns a cached, read-only order).
+    """
+    return list(tree.preorder())

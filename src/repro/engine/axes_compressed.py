@@ -25,32 +25,45 @@ precise growth accounting: vertices and *expanded* edges at most double per
 operation, but run-length edge *entries* can reach 4x under sibling axes
 (run splitting on top of vertex splitting); the paper's "at most doubles"
 refers to the expanded counts.
+
+Split-avoiding fast paths (DESIGN.md section 5): before rebuilding, the
+splitting axes run a cheap O(|E|) scan that computes, for every reachable
+vertex, the set of context bits it would receive in the product.  When no
+vertex receives both bits (true for every tree, and for DAG/selection
+combinations where shared vertices happen to agree — e.g. ``descendant``
+from the root), the product would be isomorphic to the input, so the axis
+commits the new selection as an in-place mask pass instead — no rebuild, no
+renumbering, and the instance's cached traversal orders survive.  The
+rebuild remains the general path and the two are property-tested to produce
+equivalent instances.
 """
 
 from __future__ import annotations
 
 from repro.errors import EvaluationError
-from repro.model.instance import Edge, Instance, normalize_edges
+from repro.model.instance import Instance, normalize_edges
 
 
 def apply_axis(instance: Instance, axis: str, source: str, target: str) -> Instance:
     """Apply ``axis`` to set ``source``, adding the result as set ``target``.
 
-    Upward axes and ``self`` mutate ``instance`` in place and return it;
-    splitting axes return a *new* instance (all existing sets carried over).
-    ``target`` must not already exist.
+    Upward axes, ``self``, and split-free applications of the downward and
+    sibling axes mutate ``instance`` in place and return it; genuinely
+    splitting applications return a *new* instance (all existing sets
+    carried over).  ``target`` must not already exist.
     """
     if instance.has_set(target):
         raise EvaluationError(f"target set {target!r} already exists")
     source_bit = instance.bit_of(source)
-    if not any(mask >> source_bit & 1 for mask in map(instance.mask, instance.preorder())):
+    masks = instance.mask_plane()
+    if not any(masks[v] >> source_bit & 1 for v in instance.preorder()):
         # chi(empty) = empty for every axis: add an empty target set without
         # touching the structure (a common case for queries over tags the
         # document does not use).
         instance.ensure_set(target)
         return instance
     if axis == "self":
-        return _in_place(instance, target, lambda v, child_masks: instance.mask(v) >> source_bit & 1)
+        return _self(instance, source_bit, target)
     if axis == "parent":
         return _parent(instance, source_bit, target)
     if axis == "ancestor":
@@ -71,7 +84,13 @@ def apply_axis(instance: Instance, axis: str, source: str, target: str) -> Insta
 
 
 def _composite(instance: Instance, source: str, target: str, chain) -> Instance:
-    """following/preceding via the section 3.2 composition, through temps."""
+    """following/preceding via the section 3.2 composition, through temps.
+
+    The first stage is an in-place upward pass and the later stages usually
+    take the split-avoiding fast path, so all three stages share one cached
+    postorder of the instance (mask-only passes do not invalidate it); the
+    temporaries are then dropped in a single :meth:`Instance.drop_sets` pass.
+    """
     current = source
     temps = []
     for index, axis in enumerate(chain):
@@ -80,8 +99,7 @@ def _composite(instance: Instance, source: str, target: str, chain) -> Instance:
         if current != source:
             temps.append(current)
         current = name
-    for name in temps:
-        instance.drop_set(name)
+    instance.drop_sets(temps)
     return instance
 
 
@@ -90,20 +108,23 @@ def _composite(instance: Instance, source: str, target: str, chain) -> Instance:
 # ----------------------------------------------------------------------
 
 
-def _in_place(instance: Instance, target: str, rule) -> Instance:
-    bit = 1 << instance.ensure_set(target)
-    for vertex in instance.postorder():
-        if rule(vertex, None):
-            instance.set_mask(vertex, instance.mask(vertex) | bit)
+def _self(instance: Instance, source_bit: int, target: str) -> Instance:
+    target_bit = 1 << instance.ensure_set(target)
+    masks = instance.mask_plane()
+    for vertex in instance.preorder():
+        if masks[vertex] >> source_bit & 1:
+            masks[vertex] |= target_bit
     return instance
 
 
 def _parent(instance: Instance, source_bit: int, target: str) -> Instance:
     target_bit = 1 << instance.ensure_set(target)
+    masks = instance.mask_plane()
+    children = instance.edge_table()
     for vertex in instance.preorder():
-        for child, _ in instance.children(vertex):
-            if instance.mask(child) >> source_bit & 1:
-                instance.set_mask(vertex, instance.mask(vertex) | target_bit)
+        for child, _ in children[vertex]:
+            if masks[child] >> source_bit & 1:
+                masks[vertex] |= target_bit
                 break
     return instance
 
@@ -111,19 +132,21 @@ def _parent(instance: Instance, source_bit: int, target: str) -> Instance:
 def _ancestor(instance: Instance, source_bit: int, target: str, or_self: bool) -> Instance:
     target_bit_index = instance.ensure_set(target)
     target_bit = 1 << target_bit_index
+    masks = instance.mask_plane()
+    children = instance.edge_table()
     # Children before parents: selection flows upward.
     for vertex in instance.postorder():
-        mask = instance.mask(vertex)
+        mask = masks[vertex]
         selected = bool(or_self and (mask >> source_bit & 1))
         if not selected:
-            for child, _ in instance.children(vertex):
-                child_mask = instance.mask(child)
+            for child, _ in children[vertex]:
+                child_mask = masks[child]
                 if child_mask >> source_bit & 1 or child_mask >> target_bit_index & 1:
                     selected = True
                     break
         # ancestor-or-self additionally keeps S itself selected.
         if selected:
-            instance.set_mask(vertex, mask | target_bit)
+            masks[vertex] = mask | target_bit
     return instance
 
 
@@ -133,10 +156,59 @@ def _ancestor(instance: Instance, source_bit: int, target: str, or_self: bool) -
 
 
 def _downward(instance: Instance, axis: str, source_bit: int, target: str) -> Instance:
+    fast = _downward_inplace(instance, axis, source_bit, target)
+    if fast is not None:
+        return fast
+    return _downward_rebuild(instance, axis, source_bit, target)
+
+
+def _downward_inplace(
+    instance: Instance, axis: str, source_bit: int, target: str
+) -> Instance | None:
+    """Split-avoiding fast path: commit the selection in place, or ``None``.
+
+    One topological pass computes the context bit every reachable vertex
+    receives from its parents; if some shared vertex receives both bits the
+    product genuinely splits and the caller falls back to the rebuild.
+    """
+    descend = axis in ("descendant", "descendant-or-self")
+    or_self = axis == "descendant-or-self"
+    masks = instance.mask_plane()
+    children = instance.edge_table()
+    order = instance.topological_order()
+    got0 = bytearray(len(children))
+    got1 = bytearray(len(children))
+    got0[instance.root] = 1
+    for vertex in order:
+        bit = got1[vertex]
+        if bit and got0[vertex]:
+            return None
+        if masks[vertex] >> source_bit & 1 or (descend and bit):
+            received = got1
+        else:
+            received = got0
+        for child, _ in children[vertex]:
+            received[child] = 1
+    target_bit = 1 << instance.ensure_set(target)
+    if or_self:
+        for vertex in order:
+            if got1[vertex] or masks[vertex] >> source_bit & 1:
+                masks[vertex] |= target_bit
+    else:
+        for vertex in order:
+            if got1[vertex]:
+                masks[vertex] |= target_bit
+    return instance
+
+
+def _downward_rebuild(instance: Instance, axis: str, source_bit: int, target: str) -> Instance:
     result = Instance(instance.schema)
     target_bit = 1 << result.ensure_set(target)
     descend = axis in ("descendant", "descendant-or-self")
     or_self = axis == "descendant-or-self"
+    masks = instance.mask_plane()
+    children = instance.edge_table()
+    new_vertex = result.new_vertex_masked
 
     memo: dict[tuple[int, int], int] = {}
     # Iterative postorder over (vertex, bit) product states.
@@ -146,20 +218,20 @@ def _downward(instance: Instance, axis: str, source_bit: int, target: str) -> In
         state = (vertex, bit)
         if state in memo:
             continue
-        in_source = instance.mask(vertex) >> source_bit & 1
+        in_source = masks[vertex] >> source_bit & 1
         child_bit = 1 if (in_source or (descend and bit)) else 0
         if not expanded:
             stack.append((vertex, bit, True))
-            for child, _ in instance.children(vertex):
+            for child, _ in children[vertex]:
                 if (child, child_bit) not in memo:
                     stack.append((child, child_bit, False))
             continue
         edges = tuple(
-            (memo[(child, child_bit)], count) for child, count in instance.children(vertex)
+            (memo[(child, child_bit)], count) for child, count in children[vertex]
         )
         selected = bit or (or_self and in_source)
-        mask = instance.mask(vertex) | (target_bit if selected else 0)
-        memo[state] = result.new_vertex_masked(mask, edges)
+        mask = masks[vertex] | (target_bit if selected else 0)
+        memo[state] = new_vertex(mask, edges)
     result.set_root(memo[(instance.root, 0)])
     return result
 
@@ -170,8 +242,62 @@ def _downward(instance: Instance, axis: str, source_bit: int, target: str) -> In
 
 
 def _sibling(instance: Instance, source_bit: int, target: str, following: bool) -> Instance:
+    fast = _sibling_inplace(instance, source_bit, target, following)
+    if fast is not None:
+        return fast
+    return _sibling_rebuild(instance, source_bit, target, following)
+
+
+def _sibling_inplace(
+    instance: Instance, source_bit: int, target: str, following: bool
+) -> Instance | None:
+    """Split-avoiding fast path for the sibling axes, or ``None``.
+
+    A vertex splits when two parent positions disagree on "has a
+    preceding/following sibling in S", or when a run ``(w, m)`` with
+    ``m > 1`` straddles the flag flip (``w in S`` while the flag is still
+    0), which would split the run itself.  One scan over all reachable
+    edge lists detects both; otherwise the selection is a pure mask pass.
+    """
+    masks = instance.mask_plane()
+    children = instance.edge_table()
+    order = instance.preorder()
+    got0 = bytearray(len(children))
+    got1 = bytearray(len(children))
+    got0[instance.root] = 1
+    for vertex in order:
+        edges = children[vertex]
+        if not edges:
+            continue
+        flag = 0
+        for child, count in edges if following else reversed(edges):
+            in_source = masks[child] >> source_bit & 1
+            if count > 1 and in_source and not flag:
+                return None  # the run itself splits: (w,1) + (w',m-1)
+            if flag:
+                got1[child] = 1
+            else:
+                got0[child] = 1
+            if in_source:
+                flag = 1
+    for vertex in order:
+        if got0[vertex] and got1[vertex]:
+            return None
+    target_bit = 1 << instance.ensure_set(target)
+    for vertex in order:
+        if got1[vertex]:
+            masks[vertex] |= target_bit
+    return instance
+
+
+def _sibling_rebuild(
+    instance: Instance, source_bit: int, target: str, following: bool
+) -> Instance:
     result = Instance(instance.schema)
     target_bit = 1 << result.ensure_set(target)
+    masks = instance.mask_plane()
+    children = instance.edge_table()
+    new_vertex = result.new_vertex_masked
 
     # The bit a child state receives depends only on its parent's children
     # (not on the parent's own bit), so compute each parent's child-state run
@@ -183,11 +309,11 @@ def _sibling(instance: Instance, source_bit: int, target: str, following: bool) 
         if cached is not None:
             return cached
         runs: list[tuple[int, int, int]] = []  # (child, bit, count)
-        edges = instance.children(vertex)
+        edges = children[vertex]
         flag = 0
         sequence = edges if following else tuple(reversed(edges))
         for child, count in sequence:
-            in_source = instance.mask(child) >> source_bit & 1
+            in_source = masks[child] >> source_bit & 1
             inner = 1 if (flag or in_source) else 0
             if count == 1:
                 part = [(child, flag, 1)]
@@ -221,7 +347,7 @@ def _sibling(instance: Instance, source_bit: int, target: str, following: bool) 
         edges = normalize_edges(
             (memo[(child, child_bit)], count) for child, child_bit, count in runs
         )
-        mask = instance.mask(vertex) | (target_bit if bit else 0)
-        memo[state] = result.new_vertex_masked(mask, edges)
+        mask = masks[vertex] | (target_bit if bit else 0)
+        memo[state] = new_vertex(mask, edges)
     result.set_root(memo[(instance.root, 0)])
     return result

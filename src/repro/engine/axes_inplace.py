@@ -43,15 +43,19 @@ def downward_axis_inplace(instance: Instance, axis: str, source: str, target: st
     visited: dict[int, bool] = {}
     aux: dict[int, int] = {}  # aux_ptr of Figure 4
 
+    # Hoisted mask-plane reference: new_vertex_masked appends to this same
+    # list, so the local stays valid across splits.
+    masks = instance.mask_plane()
+
     def in_source(vertex: int) -> bool:
-        return bool(instance.mask(vertex) >> source_bit & 1)
+        return bool(masks[vertex] >> source_bit & 1)
 
     def selection(vertex: int) -> bool:
-        return bool(instance.mask(vertex) >> target_index & 1)
+        return bool(masks[vertex] >> target_index & 1)
 
     def set_selection(vertex: int, value: bool) -> None:
-        mask = instance.mask(vertex)
-        instance.set_mask(vertex, mask | target_bit if value else mask & ~target_bit)
+        mask = masks[vertex]
+        masks[vertex] = mask | target_bit if value else mask & ~target_bit
 
     root = instance.root
     initial = in_source(root) if or_self else False
@@ -82,7 +86,7 @@ def downward_axis_inplace(instance: Instance, axis: str, source: str, target: st
             copy = aux.get(child)
             if copy is None:  # line 7 (aux_ptr = 0)
                 copy = instance.new_vertex_masked(  # lines 8-9
-                    instance.mask(child) ^ target_bit, instance.children(child)
+                    masks[child] ^ target_bit, instance.children(child)
                 )
                 aux[child] = copy  # line 13
                 if descend:  # lines 10-12: re-process the copy's subtree

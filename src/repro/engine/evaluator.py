@@ -18,7 +18,7 @@ import time
 
 from repro.errors import EvaluationError
 from repro.model.instance import Instance
-from repro.model.schema import DOC_SET, is_temp, temp_set
+from repro.model.schema import is_temp, temp_set
 from repro.engine import axes_compressed, axes_inplace
 from repro.engine.results import QueryResult
 from repro.xpath.algebra import (
@@ -67,10 +67,13 @@ class CompressedEvaluator:
     def evaluate(self, query: str | AlgebraExpr, keep_temps: bool = False) -> QueryResult:
         """Evaluate a query (string or compiled algebra) to a result selection."""
         expr = compile_query(query) if isinstance(query, str) else query
-        before = (
-            len(self._instance.preorder()),
-            sum(len(self._instance.children(v)) for v in self._instance.preorder()),
-        )
+        instance = self._instance
+        reachable = instance.preorder()  # cached across calls until mutation
+        if len(reachable) == instance.num_vertices:
+            before = (len(reachable), instance.num_edge_entries)
+        else:
+            edge_table = instance.edge_table()
+            before = (len(reachable), sum(len(edge_table[v]) for v in reachable))
         started = time.perf_counter()
         result_name = self._eval(expr)
         elapsed = time.perf_counter() - started
@@ -87,9 +90,9 @@ class CompressedEvaluator:
         return temp_set(self._counter)
 
     def _drop_temps(self, except_for: str) -> None:
-        for name in list(self._instance.schema):
-            if is_temp(name) and name != except_for:
-                self._instance.drop_set(name)
+        self._instance.drop_sets(
+            name for name in self._instance.schema if is_temp(name) and name != except_for
+        )
 
     def _eval(self, expr: AlgebraExpr) -> str:
         instance = self._instance
@@ -105,11 +108,7 @@ class CompressedEvaluator:
             instance.add_to_set(instance.root, name)
             return name
         if isinstance(expr, AllNodes):
-            name = self._fresh()
-            bit = 1 << instance.ensure_set(name)
-            for vertex in instance.preorder():
-                instance.set_mask(vertex, instance.mask(vertex) | bit)
-            return name
+            return instance.fill_set(self._fresh())
         if isinstance(expr, ContextSet):
             if self._context is not None:
                 if not instance.has_set(self._context):
@@ -144,32 +143,21 @@ class CompressedEvaluator:
             source = self._eval(expr.operand)
             instance = self._instance  # may have been rebuilt
             name = self._fresh()
-            bit = 1 << instance.ensure_set(name)
             if instance.in_set(instance.root, source):
-                for vertex in instance.preorder():
-                    instance.set_mask(vertex, instance.mask(vertex) | bit)
+                instance.fill_set(name)
+            else:
+                instance.ensure_set(name)
             return name
         raise EvaluationError(f"cannot evaluate algebra node {expr!r}")
 
     def _combine(self, expr: AlgebraExpr, left: str, right: str) -> str:
-        instance = self._instance
-        name = self._fresh()
-        target_bit = 1 << instance.ensure_set(name)
-        left_bit = instance.bit_of(left)
-        right_bit = instance.bit_of(right)
-        for vertex in instance.preorder():
-            mask = instance.mask(vertex)
-            a = mask >> left_bit & 1
-            b = mask >> right_bit & 1
-            if isinstance(expr, Union):
-                value = a | b
-            elif isinstance(expr, Intersect):
-                value = a & b
-            else:
-                value = a & ~b & 1
-            if value:
-                instance.set_mask(vertex, mask | target_bit)
-        return name
+        if isinstance(expr, Union):
+            op = "union"
+        elif isinstance(expr, Intersect):
+            op = "intersect"
+        else:
+            op = "difference"
+        return self._instance.combine_sets(op, left, right, self._fresh())
 
 
 def evaluate(

@@ -14,7 +14,9 @@ from repro.model.instance import Instance
 from repro.skeleton.loader import LoadResult, load
 from repro.engine.evaluator import CompressedEvaluator
 from repro.engine.results import QueryResult
+from repro.xpath.algebra import AlgebraExpr
 from repro.xpath.compiler import compile_query, required_strings, required_tags
+from repro.xpath.parser import parse_query
 
 
 def load_for_query(text: str, query_text: str) -> LoadResult:
@@ -56,6 +58,12 @@ class Engine:
     ``reparse_per_query=True`` reproduces the paper's experimental setup
     (re-extract a fresh minimal instance for each query's schema);
     ``False`` caches instances per schema.
+
+    Independently of instance caching, the engine keeps a *compiled-algebra
+    cache* keyed by query text: parsing and compiling a query happens once,
+    and repeats of the same query string go straight to evaluation.  The
+    schema key (required tags/strings) is derived from the compile step and
+    cached alongside, so a repeated query does not re-parse its text at all.
     """
 
     def __init__(self, text: str, reparse_per_query: bool = True, axes: str = "functional"):
@@ -63,14 +71,37 @@ class Engine:
         self._reparse = reparse_per_query
         self._axes = axes
         self._cache: dict[tuple[tuple[str, ...], tuple[str, ...]], Instance] = {}
+        self._compiled: dict[str, tuple[AlgebraExpr, tuple[tuple[str, ...], tuple[str, ...]]]] = {}
         self.last_load: LoadResult | None = None
+
+    def compiled(self, query_text: str) -> AlgebraExpr:
+        """The compiled algebra of ``query_text`` (cached per query text)."""
+        return self._compiled_entry(query_text)[0]
+
+    #: Bound on distinct query texts kept compiled (oldest evicted first), so
+    #: a long-lived engine fed generated queries cannot grow without limit.
+    COMPILED_CACHE_LIMIT = 1024
+
+    def _compiled_entry(
+        self, query_text: str
+    ) -> tuple[AlgebraExpr, tuple[tuple[str, ...], tuple[str, ...]]]:
+        entry = self._compiled.get(query_text)
+        if entry is None:
+            ast = parse_query(query_text)  # one parse feeds all three derivations
+            expr = compile_query(ast)
+            key = (
+                tuple(sorted(required_tags(ast))),
+                tuple(sorted(required_strings(ast))),
+            )
+            entry = (expr, key)
+            while len(self._compiled) >= self.COMPILED_CACHE_LIMIT:
+                self._compiled.pop(next(iter(self._compiled)))
+            self._compiled[query_text] = entry
+        return entry
 
     def instance_for(self, query_text: str) -> Instance:
         """The compressed instance over the query's schema (maybe cached)."""
-        key = (
-            tuple(sorted(required_tags(query_text))),
-            tuple(sorted(required_strings(query_text))),
-        )
+        key = self._compiled_entry(query_text)[1]
         if not self._reparse and key in self._cache:
             return self._cache[key]
         attributes = "nodes" if any(tag.startswith("@") for tag in key[0]) else "ignore"
@@ -83,13 +114,14 @@ class Engine:
         return result.instance
 
     def query(self, query_text: str, context: str | None = None) -> QueryResult:
+        expr, _ = self._compiled_entry(query_text)
         instance = self.instance_for(query_text)
         evaluator = CompressedEvaluator(instance, context=context, axes=self._axes)
-        return evaluator.evaluate(query_text)
+        return evaluator.evaluate(expr)
 
     def explain(self, query_text: str) -> str:
         """Render the compiled algebra tree (the Figure 3 view of a query)."""
-        return compile_query(query_text).render()
+        return self.compiled(query_text).render()
 
 
 # Re-exported via the top-level package for the quick-start API.

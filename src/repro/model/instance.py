@@ -19,11 +19,23 @@ Representation choices (see DESIGN.md section 4):
 The structure is mutable: the query engine adds selections (new sets) and
 splits shared vertices during partial decompression.  Use :meth:`copy` when
 an evaluation must not disturb its input.
+
+Two facilities keep the query engine's constant factors down (DESIGN.md
+section 5):
+
+* *bulk mask-plane operations* (:meth:`combine_sets`, :meth:`fill_set`,
+  :meth:`clear_sets`, :meth:`drop_sets`) update every vertex's bitmask in a
+  single pass over the internal ``_masks`` list instead of a per-vertex
+  method call;
+* *cached traversals*: :meth:`preorder`/:meth:`postorder` memoise their
+  result, invalidated by a structural generation counter that every
+  structure-mutating method bumps.  Callers must treat the returned lists
+  as read-only.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Sequence
 
 from repro.errors import InstanceError, SchemaError
 
@@ -60,7 +72,16 @@ def expand_edges(edges: Iterable[Edge]) -> Iterator[int]:
 class Instance:
     """A rooted, ordered, acyclic sigma-instance with multiplicity edges."""
 
-    __slots__ = ("_schema", "_bits", "_children", "_masks", "_root")
+    __slots__ = (
+        "_schema",
+        "_bits",
+        "_children",
+        "_masks",
+        "_root",
+        "_generation",
+        "_pre_cache",
+        "_post_cache",
+    )
 
     def __init__(self, schema: Iterable[str] = ()):
         self._schema: list[str] = []
@@ -70,6 +91,9 @@ class Instance:
         self._children: list[tuple[Edge, ...]] = []
         self._masks: list[int] = []
         self._root: int = -1
+        self._generation: int = 0
+        self._pre_cache: list[int] | None = None
+        self._post_cache: list[int] | None = None
 
     # ------------------------------------------------------------------
     # Schema management
@@ -104,11 +128,63 @@ class Instance:
 
     def drop_set(self, name: str) -> None:
         """Remove set ``name`` from the schema, compacting vertex masks."""
-        bit = self.bit_of(name)
-        low = (1 << bit) - 1
-        self._masks = [(m & low) | ((m >> (bit + 1)) << bit) for m in self._masks]
-        del self._schema[bit]
+        self.drop_sets((name,))
+
+    def drop_sets(self, names: Iterable[str]) -> None:
+        """Remove several sets from the schema in one pass over the masks.
+
+        Equivalent to repeated :meth:`drop_set` but O(V) total instead of
+        O(len(names) * V): the surviving bit positions are grouped into
+        contiguous segments and every mask is recomposed with one shift/and
+        per segment.
+        """
+        dropped = {self.bit_of(name) for name in dict.fromkeys(names)}
+        if not dropped:
+            return
+        kept = [bit for bit in range(len(self._schema)) if bit not in dropped]
+        # Contiguous runs of kept bits become (right-shift, mask) segments:
+        # a run of length L at old position s landing at new position d
+        # contributes ((m >> (s - d)) & (((1 << L) - 1) << d)).
+        segments: list[tuple[int, int]] = []
+        index = 0
+        while index < len(kept):
+            start = kept[index]
+            length = 1
+            while index + length < len(kept) and kept[index + length] == start + length:
+                length += 1
+            destination = index
+            segments.append((start - destination, ((1 << length) - 1) << destination))
+            index += length
+        masks = self._masks
+        if not segments:
+            masks[:] = [0] * len(masks)
+        elif len(segments) == 1:
+            shift, keep_mask = segments[0]
+            masks[:] = [(m >> shift) & keep_mask for m in masks]
+        else:
+            first_shift, first_mask = segments[0]
+            rest = segments[1:]
+            out = []
+            append = out.append
+            for m in masks:
+                acc = (m >> first_shift) & first_mask
+                for shift, keep_mask in rest:
+                    acc |= (m >> shift) & keep_mask
+                append(acc)
+            masks[:] = out
+        self._schema = [name for i, name in enumerate(self._schema) if i not in dropped]
         self._bits = {n: i for i, n in enumerate(self._schema)}
+
+    def clear_sets(self, names: Iterable[str]) -> None:
+        """Empty several sets (schema unchanged) in one pass over the masks."""
+        bits = 0
+        for name in dict.fromkeys(names):
+            bits |= 1 << self.bit_of(name)
+        if not bits:
+            return
+        keep = ~bits
+        masks = self._masks
+        masks[:] = [m & keep for m in masks]
 
     # ------------------------------------------------------------------
     # Vertices and edges
@@ -130,9 +206,25 @@ class Instance:
     def has_root(self) -> bool:
         return self._root >= 0
 
+    @property
+    def generation(self) -> int:
+        """Structural generation: bumped by every mutation of the DAG shape.
+
+        Mask-only updates (set membership) do not count — traversal orders
+        depend only on ``_children`` and the root.
+        """
+        return self._generation
+
+    def _touch(self) -> None:
+        """Invalidate cached traversals after a structural mutation."""
+        self._generation += 1
+        self._pre_cache = None
+        self._post_cache = None
+
     def set_root(self, vertex: int) -> None:
         self._check_vertex(vertex)
         self._root = vertex
+        self._touch()
 
     def new_vertex(self, sets: Iterable[str] = (), children: Iterable[Edge] = ()) -> int:
         """Create a vertex, optionally with set memberships and children.
@@ -147,6 +239,7 @@ class Instance:
         vertex = len(self._children)
         self._children.append(())
         self._masks.append(mask)
+        self._touch()
         if children:
             self.set_children(vertex, children)
         return vertex
@@ -156,6 +249,7 @@ class Instance:
         vertex = len(self._children)
         self._children.append(children)
         self._masks.append(mask)
+        self._touch()
         return vertex
 
     def set_children(self, vertex: int, edges: Iterable[Edge]) -> None:
@@ -165,6 +259,7 @@ class Instance:
         for child, _ in normalized:
             self._check_vertex(child)
         self._children[vertex] = normalized
+        self._touch()
 
     def children(self, vertex: int) -> tuple[Edge, ...]:
         """The run-length encoded child sequence of ``vertex``."""
@@ -221,6 +316,97 @@ class Instance:
         return tuple(name for i, name in enumerate(self._schema) if mask >> i & 1)
 
     # ------------------------------------------------------------------
+    # Bulk mask-plane operations (single pass over the whole mask list)
+    # ------------------------------------------------------------------
+
+    def combine_sets(self, op: str, left: str, right: str, target: str) -> str:
+        """Compute ``target = left <op> right`` over all reachable vertices.
+
+        ``op`` is ``"union"``, ``"intersect"`` or ``"difference"``.
+        ``target`` is created if missing; the result is identical to reading
+        both operand bits and writing the target bit vertex by vertex, but
+        runs as one pass over the internal mask list.  Returns ``target``.
+        """
+        left_bit = self.bit_of(left)
+        right_bit = self.bit_of(right)
+        target_bit = 1 << self.ensure_set(target)
+        masks = self._masks
+        order = self.preorder()
+        if op == "union":
+            if len(order) == len(masks):
+                masks[:] = [
+                    m | target_bit if (m >> left_bit | m >> right_bit) & 1 else m
+                    for m in masks
+                ]
+            else:
+                for v in order:
+                    m = masks[v]
+                    if (m >> left_bit | m >> right_bit) & 1:
+                        masks[v] = m | target_bit
+        elif op == "intersect":
+            if len(order) == len(masks):
+                masks[:] = [
+                    m | target_bit if (m >> left_bit) & (m >> right_bit) & 1 else m
+                    for m in masks
+                ]
+            else:
+                for v in order:
+                    m = masks[v]
+                    if (m >> left_bit) & (m >> right_bit) & 1:
+                        masks[v] = m | target_bit
+        elif op == "difference":
+            if len(order) == len(masks):
+                masks[:] = [
+                    m | target_bit if (m >> left_bit) & ~(m >> right_bit) & 1 else m
+                    for m in masks
+                ]
+            else:
+                for v in order:
+                    m = masks[v]
+                    if (m >> left_bit) & ~(m >> right_bit) & 1:
+                        masks[v] = m | target_bit
+        else:
+            raise ValueError(f"unknown set operation {op!r}")
+        return target
+
+    def fill_set(self, name: str) -> str:
+        """Add every reachable vertex to set ``name`` in one pass.
+
+        Creates the set if missing and returns ``name`` (the ``V`` of the
+        algebra's ``AllNodes``).
+        """
+        bit = 1 << self.ensure_set(name)
+        masks = self._masks
+        order = self.preorder()
+        if len(order) == len(masks):
+            masks[:] = [m | bit for m in masks]
+        else:
+            for v in order:
+                masks[v] |= bit
+        return name
+
+    # ------------------------------------------------------------------
+    # Hot-path accessors (engine internals)
+    # ------------------------------------------------------------------
+
+    def mask_plane(self) -> list[int]:
+        """The internal per-vertex mask list, for engine hot loops.
+
+        Updating entries in place is allowed (masks carry no structural
+        information, so traversal caches stay valid); never resize the list.
+        Bulk operations mutate it in place, so a held reference stays live.
+        """
+        return self._masks
+
+    def edge_table(self) -> Sequence[tuple[Edge, ...]]:
+        """The internal per-vertex edge-tuple list, for engine hot loops.
+
+        Strictly read-only: all structural mutation must go through
+        :meth:`set_children` / :meth:`new_vertex` so caches invalidate.
+        """
+        return self._children
+
+    # ------------------------------------------------------------------
     # Traversal
     # ------------------------------------------------------------------
 
@@ -233,7 +419,14 @@ class Instance:
         return list(reversed(self.postorder()))
 
     def postorder(self) -> list[int]:
-        """Vertices reachable from the root in DFS postorder (children first)."""
+        """Vertices reachable from the root in DFS postorder (children first).
+
+        The result is cached until the next structural mutation; treat the
+        returned list as read-only.
+        """
+        cached = self._post_cache
+        if cached is not None:
+            return cached
         root = self.root
         order: list[int] = []
         visited = bytearray(len(self._children))
@@ -254,10 +447,18 @@ class Instance:
             else:
                 order.append(vertex)
                 stack.pop()
+        self._post_cache = order
         return order
 
     def preorder(self) -> list[int]:
-        """Vertices reachable from the root in DFS preorder (first visit)."""
+        """Vertices reachable from the root in DFS preorder (first visit).
+
+        The result is cached until the next structural mutation; treat the
+        returned list as read-only.
+        """
+        cached = self._pre_cache
+        if cached is not None:
+            return cached
         root = self.root
         order: list[int] = []
         visited = bytearray(len(self._children))
@@ -270,6 +471,7 @@ class Instance:
                 if not visited[child]:
                     visited[child] = 1
                     stack.append(child)
+        self._pre_cache = order
         return order
 
     def reachable(self) -> set[int]:
@@ -367,6 +569,11 @@ class Instance:
         clone._children = list(self._children)  # edge tuples are immutable
         clone._masks = list(self._masks)
         clone._root = self._root
+        clone._generation = self._generation
+        # Cached orders are read-only lists over identical structure, so the
+        # clone can share them; either side's next mutation drops its own ref.
+        clone._pre_cache = self._pre_cache
+        clone._post_cache = self._post_cache
         return clone
 
     def compact(self) -> "Instance":

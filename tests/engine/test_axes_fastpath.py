@@ -1,0 +1,131 @@
+"""Split-avoiding axis fast paths vs the product rebuild (DESIGN.md section 5).
+
+``apply_axis`` first attempts an in-place mask pass for the downward and
+sibling axes and only rebuilds the ``(vertex, bit)`` product when a shared
+vertex would genuinely split.  These tests pin the contract from both
+sides:
+
+* whatever path is taken, the outcome must be *equivalent* (Definition 2.1:
+  same unfolded tree, same path sets for every selection) to the instance
+  the rebuild produces, on random trees and random shared DAGs;
+* on trees the fast path must actually fire (no split is ever needed), and
+  when it fires the instance is untouched structurally.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.corpora.binary_tree import compressed_instance
+from repro.engine import axes_compressed
+from repro.engine.axes_compressed import apply_axis
+from repro.model.equivalence import equivalent
+from repro.model.instance import tree_instance
+
+from tests.conftest import LABELS, random_dag_instances, random_tree_instances, tree_specs
+
+SPLITTING_AXES = (
+    "child",
+    "descendant",
+    "descendant-or-self",
+    "following-sibling",
+    "preceding-sibling",
+)
+
+
+def rebuild_only(instance, axis, source, target):
+    """The general product rebuild, bypassing the fast-path attempt."""
+    source_bit = instance.bit_of(source)
+    if axis in ("child", "descendant", "descendant-or-self"):
+        return axes_compressed._downward_rebuild(instance, axis, source_bit, target)
+    return axes_compressed._sibling_rebuild(
+        instance, source_bit, target, following=(axis == "following-sibling")
+    )
+
+
+@given(random_dag_instances(), st.sampled_from(SPLITTING_AXES), st.sampled_from(LABELS))
+def test_fast_path_equivalent_to_rebuild_on_dags(instance, axis, source):
+    via_apply = apply_axis(instance.copy(), axis, source, "T")
+    via_rebuild = rebuild_only(instance.copy(), axis, source, "T")
+    assert equivalent(via_apply, via_rebuild)
+
+
+@given(random_tree_instances(), st.sampled_from(SPLITTING_AXES), st.sampled_from(LABELS))
+def test_fast_path_fires_and_matches_on_trees(instance, axis, source):
+    working = instance.copy()
+    result = apply_axis(working, axis, source, "T")
+    if instance.members(source):
+        # Trees never split, so the non-empty-source fast path must fire:
+        # the instance is mutated in place, not rebuilt.
+        assert result is working
+        assert result.num_vertices == instance.num_vertices
+    assert equivalent(result, rebuild_only(instance.copy(), axis, source, "T"))
+
+
+@pytest.mark.parametrize("axis", SPLITTING_AXES)
+@pytest.mark.parametrize("source", ["a", "b"])
+def test_fast_path_on_shared_binary_tree_corpus(axis, source):
+    # Figure 5's maximally shared DAG: every interior vertex is shared, so
+    # fast path and rebuild genuinely diverge in representation; results
+    # must still be equivalent.
+    instance = compressed_instance(depth=5)
+    via_apply = apply_axis(instance.copy(), axis, source, "T")
+    via_rebuild = rebuild_only(instance.copy(), axis, source, "T")
+    assert equivalent(via_apply, via_rebuild)
+
+
+def test_descendant_from_root_avoids_the_split_on_a_shared_dag():
+    # All parents agree on the context bit ("has an ancestor in S" is true
+    # everywhere below the root), so even a heavily shared DAG takes the
+    # in-place path for descendant-from-root.
+    instance = compressed_instance(depth=6)
+    instance.add_to_set(instance.root, "ctx")
+    working = instance.copy()
+    result = apply_axis(working, "descendant", "ctx", "T")
+    assert result is working
+    assert result.num_vertices == instance.num_vertices
+    assert result.members("T") == set(result.preorder()) - {result.root}
+
+
+def test_child_axis_splits_when_parents_disagree():
+    # One parent in S, the other not: the shared child must split, so the
+    # fast path refuses and the rebuild grows the instance.
+    from repro.model.instance import Instance
+
+    instance = Instance(LABELS)
+    leaf = instance.new_vertex(["c"])
+    shared = instance.new_vertex(["b"], [(leaf, 1)])
+    left = instance.new_vertex(["b"], [(shared, 1)])
+    root = instance.new_vertex(["a"], [(left, 1), (shared, 1)])
+    instance.set_root(root)
+    result = apply_axis(instance.copy(), "child", "a", "T")
+    assert result.num_vertices == instance.num_vertices + 1
+    assert equivalent(result, rebuild_only(instance.copy(), "child", "a", "T"))
+
+
+def test_sibling_run_split_falls_back_to_rebuild():
+    # A multiplicity run whose child is in S splits the run itself:
+    # (w, 3) becomes (w, 1) + (w', 2) under following-sibling.
+    from repro.model.instance import Instance
+
+    instance = Instance(["a", "b"])
+    w = instance.new_vertex(["b"])
+    root = instance.new_vertex(["a"], [(w, 3)])
+    instance.set_root(root)
+    result = apply_axis(instance.copy(), "following-sibling", "b", "T")
+    expected = rebuild_only(instance.copy(), "following-sibling", "b", "T")
+    assert equivalent(result, expected)
+    # Occurrences 2 and 3 have a preceding occurrence of w in S before them.
+    assert result.num_vertices == instance.num_vertices + 1
+
+
+@given(tree_specs())
+def test_full_query_results_agree_between_paths(spec):
+    # End to end through the evaluator: decoded tree paths must not depend
+    # on whether axes split or take the fast path.
+    from tests.engine.util import assert_engines_agree
+
+    instance = tree_instance(spec, schema=LABELS)
+    assert_engines_agree(instance, "//a/b")
+    assert_engines_agree(instance, "//b/following-sibling::c")

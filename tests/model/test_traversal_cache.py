@@ -1,0 +1,101 @@
+"""Traversal caching: repeated calls are cached, mutation invalidates.
+
+The engine relies on :meth:`Instance.preorder`/:meth:`Instance.postorder`
+being memoised (axes, evaluator statistics, and result decoding all walk
+the same order repeatedly) *and* on every structural mutation dropping the
+memo — a stale order would silently corrupt query results, so the
+invalidation paths get explicit regression coverage here.
+"""
+
+from __future__ import annotations
+
+from repro.model.instance import Instance, tree_instance
+
+from tests.conftest import LABELS
+
+
+def build() -> Instance:
+    return tree_instance(("a", [("b", []), ("c", [("a", [])])]), schema=LABELS)
+
+
+class TestCaching:
+    def test_repeated_calls_return_the_cached_list(self):
+        instance = build()
+        assert instance.preorder() is instance.preorder()
+        assert instance.postorder() is instance.postorder()
+
+    def test_mask_updates_do_not_invalidate(self):
+        instance = build()
+        pre = instance.preorder()
+        post = instance.postorder()
+        generation = instance.generation
+        instance.add_to_set(0, "b")
+        instance.fill_set("all")
+        instance.combine_sets("union", "a", "b", "u")
+        instance.clear_sets(["u"])
+        instance.drop_sets(["u", "all"])
+        assert instance.generation == generation
+        assert instance.preorder() is pre
+        assert instance.postorder() is post
+
+    def test_copy_shares_the_cache_until_either_side_mutates(self):
+        instance = build()
+        pre = instance.preorder()
+        clone = instance.copy()
+        assert clone.preorder() is pre
+        clone.new_vertex(["b"])
+        assert clone.preorder() is not pre
+        assert instance.preorder() is pre  # original unaffected
+
+
+class TestInvalidation:
+    def test_set_children_invalidates(self):
+        instance = build()
+        stale = list(instance.preorder())
+        instance.postorder()
+        generation = instance.generation
+        leaf = instance.new_vertex(["b"])
+        instance.set_children(instance.root, list(instance.children(instance.root)) + [(leaf, 1)])
+        assert instance.generation > generation
+        fresh = instance.preorder()
+        assert leaf in fresh
+        assert leaf not in stale
+        assert leaf in instance.postorder()
+
+    def test_new_vertex_invalidates(self):
+        instance = build()
+        instance.preorder()
+        generation = instance.generation
+        instance.new_vertex(["a"])
+        assert instance.generation > generation
+        # The new vertex is unreachable, but the cache must still have been
+        # dropped: the recomputed orders remain correct.
+        assert set(instance.preorder()) == set(range(instance.num_vertices - 1))
+
+    def test_set_root_invalidates(self):
+        instance = build()
+        whole = list(instance.preorder())
+        subtree_root = whole[-1]
+        instance.set_root(subtree_root)
+        assert instance.preorder()[0] == subtree_root
+        assert set(instance.preorder()) < set(whole)
+        assert instance.postorder()[-1] == subtree_root
+
+    def test_stale_cache_regression_through_the_engine_path(self):
+        # The exact shape of the historical hazard: cache an order, mutate
+        # through the Figure 4 in-place axis (which calls set_children and
+        # new_vertex_masked), and check traversals see the mutated DAG.
+        from repro.engine.axes_inplace import downward_axis_inplace
+
+        instance = Instance(LABELS)
+        leaf = instance.new_vertex(["c"])
+        shared = instance.new_vertex(["b"], [(leaf, 1)])
+        left = instance.new_vertex(["b"], [(shared, 1)])
+        root = instance.new_vertex(["a"], [(left, 1), (shared, 1)])
+        instance.set_root(root)
+        before = list(instance.preorder())
+        downward_axis_inplace(instance, "child", "a", "selected")
+        after = instance.preorder()
+        assert after is not before
+        # The split appended a copy of the shared vertex; it must be visible.
+        assert len(after) == len(before) + 1
