@@ -37,7 +37,7 @@ __all__ = [
 def __getattr__(name: str):
     # Heavy subsystems (engine, xpath, skeleton) are imported lazily so that
     # `import repro` stays cheap for model-only users.
-    if name in {"load_instance", "query", "Engine"}:
+    if name in {"load_instance", "query", "query_batch", "Engine"}:
         from repro.engine import pipeline
 
         return getattr(pipeline, name)

@@ -7,7 +7,13 @@ Installed as the ``repro`` console script::
     repro compress d.xml                  # compression statistics
     repro compress d.xml --tags none      # ... structure only (Figure 6 "-")
     repro query d.xml '//article[author["Codd"]]'
+    repro query d.xml '//article' '//inproceedings' --workload mix.txt
     repro explain '//a/b[c or not(following::*)]'
+
+Multiple XPaths (positional and/or one per line of a ``--workload`` file)
+are evaluated as one batch: a single load over the union of the queries'
+schemas, one shared working instance, and cross-query reuse of identical
+algebra subtrees.
 """
 
 from __future__ import annotations
@@ -79,9 +85,51 @@ def _cmd_compress(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_workload(path: str) -> list[str]:
+    """One XPath per line; blank lines and ``#`` comment lines are skipped."""
+    queries = []
+    for line in _read(path).splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            queries.append(line)
+    return queries
+
+
+def _print_result(result, paths: int, limit: int) -> None:
+    from itertools import islice
+
+    after_v, after_e = result.after
+    print(f"query time          : {1000 * result.seconds:.2f}ms")
+    print(f"instance            : {result.before[0]:,}v/{result.before[1]:,}e "
+          f"-> {after_v:,}v/{after_e:,}e")
+    print(f"selected dag nodes  : {result.dag_count():,}")
+    print(f"selected tree nodes : {result.tree_count():,}")
+    if paths:
+        # islice over the lazy iterator: printing the first N matches does
+        # bounded work even when the selection unfolds to millions of tree
+        # nodes (the full materialise-then-slice of the old code blew up).
+        for path, _ in islice(result.iter_tree_matches(limit=limit), paths):
+            print("  " + (".".join(map(str, path)) or "(root)"))
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro.engine.evaluator import CompressedEvaluator
-    from repro.engine.pipeline import load_for_query
+    from repro.engine.pipeline import load_for_queries, load_for_query
+
+    queries = list(args.xpath)
+    if args.workload:
+        queries.extend(_read_workload(args.workload))
+    if not queries:
+        print("error: no queries given (positional XPaths or --workload)", file=sys.stderr)
+        return 2
+
+    if len(queries) > 1:
+        # Parse each query text once: the ASTs feed both the union-schema
+        # load and compilation.
+        from repro.xpath.compiler import compile_query
+        from repro.xpath.parser import parse_query
+
+        asts = [parse_query(text) for text in queries]
 
     if args.file.endswith(".dag"):
         # A previously saved compressed instance: skip the XML parse.
@@ -89,23 +137,36 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
         instance = load_dag(args.file)
         parse_seconds = 0.0
-    else:
-        loaded = load_for_query(_read(args.file), args.xpath)
+    elif len(queries) == 1:
+        loaded = load_for_query(_read(args.file), queries[0])
         instance = loaded.instance
         parse_seconds = loaded.parse_seconds
-    result = CompressedEvaluator(instance, copy=False, axes=args.axes).evaluate(
-        args.xpath
-    )
-    after_v, after_e = result.after
+    else:
+        # Batch: one scan over the union of all the queries' schemas.
+        loaded = load_for_queries(_read(args.file), asts)
+        instance = loaded.instance
+        parse_seconds = loaded.parse_seconds
+
     print(f"parse+compress time : {parse_seconds:.3f}s")
-    print(f"query time          : {1000 * result.seconds:.2f}ms")
-    print(f"instance            : {result.before[0]:,}v/{result.before[1]:,}e "
-          f"-> {after_v:,}v/{after_e:,}e")
-    print(f"selected dag nodes  : {result.dag_count():,}")
-    print(f"selected tree nodes : {result.tree_count():,}")
-    if args.paths:
-        for path in result.tree_paths(limit=args.limit)[: args.paths]:
-            print("  " + (".".join(map(str, path)) or "(root)"))
+    if len(queries) == 1:
+        result = CompressedEvaluator(instance, copy=False, axes=args.axes).evaluate(
+            queries[0]
+        )
+        _print_result(result, args.paths, args.limit)
+        return 0
+
+    from repro.engine.batch import BatchEvaluator
+
+    evaluator = BatchEvaluator(instance, copy=False, axes=args.axes)
+    batch = evaluator.evaluate_batch(compile_query(ast) for ast in asts)
+    stats = batch.stats
+    print(f"batch               : {len(queries)} queries in "
+          f"{1000 * batch.seconds:.2f}ms")
+    print(f"shared work         : {stats.nodes_reused:,} of {stats.nodes_total:,} "
+          f"algebra nodes reused ({100 * stats.sharing_ratio:.0f}%)")
+    for query_text, result in zip(queries, batch):
+        print(f"--- {query_text}")
+        _print_result(result, args.paths, args.limit)
     return 0
 
 
@@ -153,9 +214,14 @@ def build_parser() -> argparse.ArgumentParser:
     compress.add_argument("--dot", action="store_true", help="print graphviz dot")
     compress.set_defaults(func=_cmd_compress)
 
-    query = commands.add_parser("query", help="evaluate a Core XPath query")
+    query = commands.add_parser(
+        "query", help="evaluate Core XPath queries (several = one batch)"
+    )
     query.add_argument("file", help="XML file ('-' for stdin) or a saved .dag instance")
-    query.add_argument("xpath")
+    query.add_argument("xpath", nargs="*", help="one or more XPath queries")
+    query.add_argument(
+        "--workload", help="file with one XPath per line ('#' comments allowed)"
+    )
     query.add_argument("--paths", type=int, default=0, help="print up to N result paths")
     query.add_argument("--limit", type=int, default=1_000_000)
     query.add_argument(

@@ -3,12 +3,23 @@
 from repro.engine.axes_compressed import apply_axis
 from repro.engine.axes_inplace import downward_axis_inplace
 from repro.engine.axes_tree import TreeIndex, tree_axis
+from repro.engine.batch import BatchEvaluator, evaluate_batch
 from repro.engine.evaluator import CompressedEvaluator, evaluate
-from repro.engine.pipeline import Engine, load_for_query, load_instance, query
-from repro.engine.results import QueryResult
+from repro.engine.pipeline import (
+    Engine,
+    load_for_queries,
+    load_for_query,
+    load_instance,
+    query,
+    query_batch,
+)
+from repro.engine.results import BatchResult, BatchStats, QueryResult
 from repro.engine.tree_evaluator import TreeEvaluator, TreeResult, evaluate_on_tree
 
 __all__ = [
+    "BatchEvaluator",
+    "BatchResult",
+    "BatchStats",
     "CompressedEvaluator",
     "Engine",
     "QueryResult",
@@ -18,9 +29,12 @@ __all__ = [
     "apply_axis",
     "downward_axis_inplace",
     "evaluate",
+    "evaluate_batch",
     "evaluate_on_tree",
+    "load_for_queries",
     "load_for_query",
     "load_instance",
     "query",
+    "query_batch",
     "tree_axis",
 ]

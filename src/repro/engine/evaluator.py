@@ -64,16 +64,19 @@ class CompressedEvaluator:
         """The working instance (inspect after evaluation to see splits)."""
         return self._instance
 
-    def evaluate(self, query: str | AlgebraExpr, keep_temps: bool = False) -> QueryResult:
-        """Evaluate a query (string or compiled algebra) to a result selection."""
-        expr = compile_query(query) if isinstance(query, str) else query
+    def _before_sizes(self) -> tuple[int, int]:
+        """(vertices, edge entries) of the reachable working instance."""
         instance = self._instance
         reachable = instance.preorder()  # cached across calls until mutation
         if len(reachable) == instance.num_vertices:
-            before = (len(reachable), instance.num_edge_entries)
-        else:
-            edge_table = instance.edge_table()
-            before = (len(reachable), sum(len(edge_table[v]) for v in reachable))
+            return (len(reachable), instance.num_edge_entries)
+        edge_table = instance.edge_table()
+        return (len(reachable), sum(len(edge_table[v]) for v in reachable))
+
+    def evaluate(self, query: str | AlgebraExpr, keep_temps: bool = False) -> QueryResult:
+        """Evaluate a query (string or compiled algebra) to a result selection."""
+        expr = compile_query(query) if isinstance(query, str) else query
+        before = self._before_sizes()
         started = time.perf_counter()
         result_name = self._eval(expr)
         elapsed = time.perf_counter() - started

@@ -6,17 +6,35 @@ extraction over exactly that schema, and :func:`query` runs the full
 pipeline.  :class:`Engine` caches per-schema instances for a document so
 repeated queries with the same leaf sets skip the parse (the paper re-parses
 per query; both behaviours are measurable in the benchmarks).
+
+For *workloads* — the paper's experiments always run a mix of queries
+against one document — :meth:`Engine.query_batch` loads one instance over
+the **union** of the batch's schemas (one scan covers all queries) and
+evaluates the whole mix on one shared working copy through
+:class:`repro.engine.batch.BatchEvaluator`, reusing identical algebra
+subtrees across queries.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from typing import Iterable, Sequence
+
 from repro.model.instance import Instance
 from repro.skeleton.loader import LoadResult, load
 from repro.engine.evaluator import CompressedEvaluator
-from repro.engine.results import QueryResult
+from repro.engine.results import BatchResult, QueryResult
 from repro.xpath.algebra import AlgebraExpr
 from repro.xpath.compiler import compile_query, required_strings, required_tags
 from repro.xpath.parser import parse_query
+
+#: A schema key: (sorted tags, sorted string constraints).
+SchemaKey = tuple[tuple[str, ...], tuple[str, ...]]
+
+
+def _load_for_key(text: str, key: SchemaKey) -> LoadResult:
+    attributes = "nodes" if any(tag.startswith("@") for tag in key[0]) else "ignore"
+    return load(text, tags=list(key[0]), strings=list(key[1]), attributes=attributes)
 
 
 def load_for_query(text: str, query_text: str) -> LoadResult:
@@ -27,8 +45,25 @@ def load_for_query(text: str, query_text: str) -> LoadResult:
     """
     tags = sorted(required_tags(query_text))
     strings = sorted(required_strings(query_text))
-    attributes = "nodes" if any(tag.startswith("@") for tag in tags) else "ignore"
-    return load(text, tags=tags, strings=strings, attributes=attributes)
+    return _load_for_key(text, (tuple(tags), tuple(strings)))
+
+
+def load_for_queries(text: str, queries: Iterable) -> LoadResult:
+    """One-scan load over the schema **union** of a whole query batch.
+
+    A single extraction pass covers every query in the workload: the tag and
+    string sets are the unions of what each query mentions, so one instance
+    serves the entire mix (the batch engine's "one load, N queries").
+    ``queries`` may be query texts or already-parsed ASTs (pass ASTs to
+    avoid parsing each text twice when you also compile them).
+    """
+    tags: set[str] = set()
+    strings: set[str] = set()
+    for query in queries:
+        ast = parse_query(query) if isinstance(query, str) else query
+        tags |= required_tags(ast)
+        strings |= required_strings(ast)
+    return _load_for_key(text, (tuple(sorted(tags)), tuple(sorted(strings))))
 
 
 def query(
@@ -52,6 +87,28 @@ def query(
     return evaluator.evaluate(query_text)
 
 
+def query_batch(
+    source: str | Instance,
+    query_texts: Sequence[str],
+    context: str | None = None,
+    axes: str = "functional",
+) -> BatchResult:
+    """Evaluate a whole query mix against XML text or a pre-loaded instance.
+
+    One load (over the union schema) and one working copy serve every query;
+    identical algebra subtrees across the mix are evaluated once.  See
+    :class:`repro.engine.batch.BatchEvaluator`.
+    """
+    from repro.engine.batch import BatchEvaluator
+
+    if isinstance(source, Instance):
+        instance = source
+    else:
+        instance = load_for_queries(source, query_texts).instance
+    evaluator = BatchEvaluator(instance, context=context, axes=axes)
+    return evaluator.evaluate_batch(query_texts)
+
+
 class Engine:
     """A document holder answering many queries.
 
@@ -64,60 +121,106 @@ class Engine:
     and repeats of the same query string go straight to evaluation.  The
     schema key (required tags/strings) is derived from the compile step and
     cached alongside, so a repeated query does not re-parse its text at all.
+    The cache is a true LRU — a hit refreshes the entry, so under churn the
+    hottest query texts are the last to be evicted.
+
+    **`last_load` contract:** after every :meth:`query` /
+    :meth:`query_batch` / :meth:`instance_for` call, ``last_load`` is the
+    :class:`LoadResult` describing the instance that call used — even when
+    the instance came from the per-schema cache, in which case
+    ``last_load_cached`` is ``True`` and ``last_load.parse_seconds`` is the
+    cost paid when that schema was *first* loaded, not by this call.
     """
 
     def __init__(self, text: str, reparse_per_query: bool = True, axes: str = "functional"):
         self._text = text
         self._reparse = reparse_per_query
         self._axes = axes
-        self._cache: dict[tuple[tuple[str, ...], tuple[str, ...]], Instance] = {}
-        self._compiled: dict[str, tuple[AlgebraExpr, tuple[tuple[str, ...], tuple[str, ...]]]] = {}
+        self._cache: dict[SchemaKey, LoadResult] = {}
+        self._compiled: OrderedDict[str, tuple[AlgebraExpr, SchemaKey]] = OrderedDict()
         self.last_load: LoadResult | None = None
+        #: True when the last load was served from the per-schema cache.
+        self.last_load_cached: bool = False
 
     def compiled(self, query_text: str) -> AlgebraExpr:
         """The compiled algebra of ``query_text`` (cached per query text)."""
         return self._compiled_entry(query_text)[0]
 
-    #: Bound on distinct query texts kept compiled (oldest evicted first), so
-    #: a long-lived engine fed generated queries cannot grow without limit.
+    #: Bound on distinct query texts kept compiled (least recently *used*
+    #: evicted first), so a long-lived engine fed generated queries cannot
+    #: grow without limit.
     COMPILED_CACHE_LIMIT = 1024
 
-    def _compiled_entry(
-        self, query_text: str
-    ) -> tuple[AlgebraExpr, tuple[tuple[str, ...], tuple[str, ...]]]:
+    def _compiled_entry(self, query_text: str) -> tuple[AlgebraExpr, SchemaKey]:
         entry = self._compiled.get(query_text)
-        if entry is None:
-            ast = parse_query(query_text)  # one parse feeds all three derivations
-            expr = compile_query(ast)
-            key = (
-                tuple(sorted(required_tags(ast))),
-                tuple(sorted(required_strings(ast))),
-            )
-            entry = (expr, key)
-            while len(self._compiled) >= self.COMPILED_CACHE_LIMIT:
-                self._compiled.pop(next(iter(self._compiled)))
-            self._compiled[query_text] = entry
+        if entry is not None:
+            # True LRU: a hit refreshes recency, so hot queries survive churn.
+            self._compiled.move_to_end(query_text)
+            return entry
+        ast = parse_query(query_text)  # one parse feeds all three derivations
+        expr = compile_query(ast)
+        key = (
+            tuple(sorted(required_tags(ast))),
+            tuple(sorted(required_strings(ast))),
+        )
+        entry = (expr, key)
+        while len(self._compiled) >= self.COMPILED_CACHE_LIMIT:
+            self._compiled.popitem(last=False)
+        self._compiled[query_text] = entry
         return entry
+
+    def _instance_for_key(self, key: SchemaKey) -> Instance:
+        if not self._reparse:
+            cached = self._cache.get(key)
+            if cached is not None:
+                # Record the hit: last_load describes the instance this call
+                # returns (its parse cost was paid when first loaded).
+                self.last_load = cached
+                self.last_load_cached = True
+                return cached.instance
+        result = _load_for_key(self._text, key)
+        self.last_load = result
+        self.last_load_cached = False
+        if not self._reparse:
+            self._cache[key] = result
+        return result.instance
 
     def instance_for(self, query_text: str) -> Instance:
         """The compressed instance over the query's schema (maybe cached)."""
-        key = self._compiled_entry(query_text)[1]
-        if not self._reparse and key in self._cache:
-            return self._cache[key]
-        attributes = "nodes" if any(tag.startswith("@") for tag in key[0]) else "ignore"
-        result = load(
-            self._text, tags=list(key[0]), strings=list(key[1]), attributes=attributes
-        )
-        self.last_load = result
-        if not self._reparse:
-            self._cache[key] = result.instance
-        return result.instance
+        return self._instance_for_key(self._compiled_entry(query_text)[1])
 
     def query(self, query_text: str, context: str | None = None) -> QueryResult:
         expr, _ = self._compiled_entry(query_text)
         instance = self.instance_for(query_text)
         evaluator = CompressedEvaluator(instance, context=context, axes=self._axes)
         return evaluator.evaluate(expr)
+
+    def query_batch(
+        self, query_texts: Sequence[str], context: str | None = None
+    ) -> BatchResult:
+        """Evaluate a workload of queries over **one** shared working instance.
+
+        One load covers the whole batch (the instance is extracted — or
+        served from the per-schema cache — over the *union* of the batch's
+        tags and strings), one ``copy()`` is paid in total, and identical
+        algebra subtrees across the mix materialise their selection once
+        (see :class:`repro.engine.batch.BatchEvaluator`).  Per-query results
+        are snapshotted as durable ``#q<i>`` selections, so every result
+        stays valid no matter which later query partially decompressed the
+        shared instance.
+        """
+        from repro.engine.batch import BatchEvaluator
+
+        entries = [self._compiled_entry(text) for text in query_texts]
+        tags: set[str] = set()
+        strings: set[str] = set()
+        for _, (entry_tags, entry_strings) in entries:
+            tags.update(entry_tags)
+            strings.update(entry_strings)
+        key: SchemaKey = (tuple(sorted(tags)), tuple(sorted(strings)))
+        instance = self._instance_for_key(key)
+        evaluator = BatchEvaluator(instance, context=context, axes=self._axes)
+        return evaluator.evaluate_batch([expr for expr, _ in entries])
 
     def explain(self, query_text: str) -> str:
         """Render the compiled algebra tree (the Figure 3 view of a query)."""

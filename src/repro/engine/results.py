@@ -5,15 +5,32 @@ instance.  A selected DAG vertex represents all tree nodes that unfold from
 it, so the result offers both counts: selected DAG vertices (column 7) and
 the tree nodes they stand for (column 8, via path counting), plus bounded
 materialisation of the actual tree nodes as edge paths.
+
+Results are **read-only views**: the evaluator hands them a finished
+instance and never mutates it afterwards, so every traversal-derived value
+(`dag_count`, `tree_count`, `after`, the path-count table) is memoised on
+first use and never invalidated.  A :class:`BatchResult` bundles the
+per-query results of one batch evaluation, which all share the same final
+instance, together with the shared-work statistics of the
+common-subexpression cache.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator
 
 from repro.model.instance import Instance
 from repro.model.paths import iter_edge_paths, tree_node_counts
+
+
+class _PathCounts:
+    """A shareable memo cell for an instance's per-vertex path counts."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: dict[int, int] | None = None
 
 
 @dataclass
@@ -26,31 +43,53 @@ class QueryResult:
     before: tuple[int, int] = (0, 0)
     #: Wall-clock seconds spent in evaluation (set by the evaluator).
     seconds: float = 0.0
+    # Memoised traversal-derived values (results are read-only views, so
+    # nothing ever invalidates these).  The path-count cell is swapped for a
+    # shared one by BatchResult, since batch siblings hold the same instance.
+    _dag_count: int | None = field(default=None, init=False, repr=False, compare=False)
+    _tree_count: int | None = field(default=None, init=False, repr=False, compare=False)
+    _after: tuple[int, int] | None = field(default=None, init=False, repr=False, compare=False)
+    _counts_cell: _PathCounts = field(
+        default_factory=_PathCounts, init=False, repr=False, compare=False
+    )
 
     def vertices(self) -> set[int]:
-        """The selected DAG vertices."""
+        """The selected DAG vertices (a fresh set; callers may mutate it)."""
         return self.instance.members(self.set_name)
 
     def dag_count(self) -> int:
         """Figure 7 column (7): #nodes selected in the compressed instance."""
-        return len(self.vertices() & set(self.instance.preorder()))
+        if self._dag_count is None:
+            self._dag_count = len(self.vertices() & set(self.instance.preorder()))
+        return self._dag_count
+
+    def _tree_counts(self) -> dict[int, int]:
+        """Per-vertex edge-path counts, computed once per memo cell."""
+        cell = self._counts_cell
+        if cell.value is None:
+            cell.value = tree_node_counts(self.instance)
+        return cell.value
 
     def tree_count(self) -> int:
         """Figure 7 column (8): #tree nodes the selection represents."""
-        counts = tree_node_counts(self.instance)
-        bit = self.instance.bit_of(self.set_name)
-        return sum(
-            counts.get(v, 0)
-            for v in range(self.instance.num_vertices)
-            if self.instance.mask(v) >> bit & 1
-        )
+        if self._tree_count is None:
+            counts = self._tree_counts()
+            bit = self.instance.bit_of(self.set_name)
+            self._tree_count = sum(
+                counts.get(v, 0)
+                for v in range(self.instance.num_vertices)
+                if self.instance.mask(v) >> bit & 1
+            )
+        return self._tree_count
 
     @property
     def after(self) -> tuple[int, int]:
         """Instance size after evaluation (vertices, edge entries)."""
-        reachable = self.instance.preorder()
-        entries = sum(len(self.instance.children(v)) for v in reachable)
-        return (len(reachable), entries)
+        if self._after is None:
+            reachable = self.instance.preorder()
+            entries = sum(len(self.instance.children(v)) for v in reachable)
+            self._after = (len(reachable), entries)
+        return self._after
 
     def is_empty(self) -> bool:
         return self.dag_count() == 0
@@ -70,7 +109,13 @@ class QueryResult:
         ]
 
     def iter_tree_matches(self, limit: int = 1_000_000) -> Iterator[tuple[tuple[int, ...], int]]:
-        """Yield ``(edge_path, dag_vertex)`` for each selected tree node."""
+        """Yield ``(edge_path, dag_vertex)`` for each selected tree node.
+
+        Lazy: consuming only a prefix (e.g. via ``itertools.islice``) walks
+        only as much of the tree as needed to produce it, so printing the
+        first k matches is bounded work even on astronomically large
+        selections — as long as they appear early in document order.
+        """
         bit = self.instance.bit_of(self.set_name)
         for vertex, path in iter_edge_paths(self.instance, limit=limit):
             if self.instance.mask(vertex) >> bit & 1:
@@ -89,3 +134,75 @@ class QueryResult:
             f"{self.before[0]}v/{self.before[1]}e -> {after[0]}v/{after[1]}e | "
             f"selected {self.dag_count()} dag / {self.tree_count()} tree nodes"
         )
+
+
+@dataclass
+class BatchStats:
+    """Shared-work accounting of one batch evaluation.
+
+    ``nodes_total`` counts every algebra-node evaluation the batch *asked*
+    for; ``nodes_reused`` of those were answered from the cross-query
+    common-subexpression cache without touching the instance, and
+    ``nodes_evaluated`` ran for real.
+    """
+
+    queries: int = 0
+    nodes_total: int = 0
+    nodes_evaluated: int = 0
+    nodes_reused: int = 0
+
+    @property
+    def sharing_ratio(self) -> float:
+        """Fraction of algebra-node evaluations served by the cache."""
+        return self.nodes_reused / self.nodes_total if self.nodes_total else 0.0
+
+
+@dataclass
+class BatchResult:
+    """Per-query results of one batch evaluation over a shared instance.
+
+    All contained :class:`QueryResult`\\ s point at the *same* final
+    instance; each holds its own durable snapshot selection (``#q<i>``), so
+    decoding any of them remains valid regardless of which later query
+    forced a partial decompression.
+    """
+
+    results: list[QueryResult]
+    #: Wall-clock seconds for the whole batch (>= sum of per-query times).
+    seconds: float = 0.0
+    stats: BatchStats = field(default_factory=BatchStats)
+
+    def __post_init__(self) -> None:
+        # Results holding the same instance share one path-count memo cell,
+        # so a batch of N queries computes the (expensive, big-integer)
+        # tree_node_counts table once instead of N times.
+        cells: dict[int, _PathCounts] = {}
+        for result in self.results:
+            result._counts_cell = cells.setdefault(id(result.instance), result._counts_cell)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[QueryResult]:
+        return iter(self.results)
+
+    def __getitem__(self, index: int) -> QueryResult:
+        return self.results[index]
+
+    @property
+    def instance(self) -> Instance:
+        """The shared final instance all per-query selections live on."""
+        if not self.results:
+            raise ValueError("empty batch has no instance")
+        return self.results[0].instance
+
+    def summary(self) -> str:
+        stats = self.stats
+        lines = [
+            f"batch of {stats.queries} queries in {self.seconds * 1000:.2f} ms | "
+            f"algebra nodes {stats.nodes_evaluated} evaluated / "
+            f"{stats.nodes_reused} reused ({100 * stats.sharing_ratio:.0f}% shared)"
+        ]
+        for index, result in enumerate(self.results):
+            lines.append(f"  [{index}] {result.summary()}")
+        return "\n".join(lines)

@@ -9,7 +9,8 @@ sets and engine temporaries never collide:
 * the virtual document root vertex is in :data:`DOC_SET`,
 * the set of vertices whose string value contains ``s`` is
   ``string_set(s)`` (``"#contains:s"``),
-* engine intermediates are ``temp_set(i)`` (``"#t<i>"``).
+* engine intermediates are ``temp_set(i)`` (``"#t<i>"``),
+* batch-engine result snapshots are ``result_set(i)`` (``"#q<i>"``).
 
 ``#`` cannot occur in an XML element name, so special sets can never collide
 with tag sets.
@@ -53,6 +54,10 @@ def string_set_needle(name: str) -> str:
     return name[len(_STRING_PREFIX):]
 
 
+#: Prefix of batch-engine per-query result snapshots.
+_RESULT_PREFIX = "#q"
+
+
 def temp_set(index: int) -> str:
     """Return the name of the ``index``-th engine temporary selection."""
     return f"{_TEMP_PREFIX}{index}"
@@ -61,3 +66,18 @@ def temp_set(index: int) -> str:
 def is_temp(name: str) -> bool:
     """True if ``name`` is an engine temporary (droppable after evaluation)."""
     return name.startswith(_TEMP_PREFIX) and name[len(_TEMP_PREFIX):].isdigit()
+
+
+def result_set(index: int) -> str:
+    """Return the name of the ``index``-th batch-engine result snapshot.
+
+    Snapshots are *durable*: unlike temporaries they survive the end of a
+    batch evaluation, so every query of a batch keeps a valid selection on
+    the shared final instance.
+    """
+    return f"{_RESULT_PREFIX}{index}"
+
+
+def is_result(name: str) -> bool:
+    """True if ``name`` is a batch-engine result snapshot."""
+    return name.startswith(_RESULT_PREFIX) and name[len(_RESULT_PREFIX):].isdigit()

@@ -42,6 +42,23 @@ class AlgebraExpr:
         """Number of operator/leaf nodes — the |Q| of Theorem 3.6."""
         return 1 + sum(child.size() for child in self.children())
 
+    def structural_key(self) -> tuple:
+        """A canonical, hashable key identifying this subtree up to structure.
+
+        Two expressions have equal keys iff they denote the same algebra
+        subtree (same operators, axes, and set names in the same shape) —
+        the sharing unit of the batch engine's common-subexpression cache.
+        Keys are nested tuples ``(label, child_key, ...)``, so no string
+        parsing ambiguity can conflate distinct trees; the key is computed
+        once per node and cached (expressions are immutable).
+        """
+        key = getattr(self, "_structural_key", None)
+        if key is None:
+            key = (self.label(), *(child.structural_key() for child in self.children()))
+            # Subclasses are frozen dataclasses; bypass their setattr guard.
+            object.__setattr__(self, "_structural_key", key)
+        return key
+
 
 @dataclass(frozen=True)
 class RootSet(AlgebraExpr):

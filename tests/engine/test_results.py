@@ -62,3 +62,43 @@ class TestQueryResult:
     def test_timing_recorded(self):
         result = query(BIB_XML, "//author")
         assert result.seconds > 0
+
+
+class TestResultMemoisation:
+    """Regression: summary() used to re-traverse the instance up to four
+    times (dag_count, tree_count, and `after` each recomputed preorder /
+    the path-count table). Results are read-only views, so every
+    traversal-derived value is computed once and memoised."""
+
+    def test_tree_counts_computed_once(self, monkeypatch):
+        import repro.engine.results as results_module
+
+        result = query(BIB_XML, "//author")
+        calls = {"n": 0}
+        real = results_module.tree_node_counts
+
+        def counting(instance):
+            calls["n"] += 1
+            return real(instance)
+
+        monkeypatch.setattr(results_module, "tree_node_counts", counting)
+        result.tree_count()
+        result.tree_count()
+        result.summary()
+        result.summary()
+        assert calls["n"] == 1
+
+    def test_after_and_dag_count_memoised(self):
+        result = query(BIB_XML, "//author")
+        assert result.after is result.after  # same memoised tuple object
+        first = result.dag_count()
+        assert result.dag_count() == first
+        assert result._dag_count == first
+
+    def test_memoised_values_match_fresh_result(self):
+        fresh = query(BIB_XML, "//author")
+        warmed = query(BIB_XML, "//author")
+        warmed.summary()  # prime every memo
+        assert warmed.dag_count() == fresh.dag_count()
+        assert warmed.tree_count() == fresh.tree_count()
+        assert warmed.after == fresh.after

@@ -1,0 +1,71 @@
+"""Property test: `query_batch` == sequential `Engine.query`, always.
+
+For randomized query mixes (drawn from per-corpus pools that exercise
+downward, sibling, predicate, and string-constraint paths) over the
+binary-tree, relational, and xmark corpora, the batch engine's decoded
+selections must be *identical* to running each query alone — regardless of
+mix order, duplicates, or which query forces the shared instance to split.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.corpora import binary_tree, relational
+from repro.corpora.registry import CORPORA
+from repro.engine.pipeline import Engine
+
+CORPUS_XML = {
+    "binary-tree": binary_tree.generate_xml(depth=5).xml,
+    "relational": relational.generate_xml(8, 4, distinct_texts=True).xml,
+    "xmark": CORPORA["xmark"].generate(30, 0).xml,
+}
+
+QUERY_POOLS = {
+    "binary-tree": [
+        "/a/b/a",
+        "//b[a]",
+        "//a/following-sibling::b",
+        "//b/preceding-sibling::a",
+        "/descendant::a[b]",
+        "//a/b",
+    ],
+    "relational": [
+        "/table/row/col0",
+        '//row[col1["r1c1"]]/col2',
+        "//col1/preceding-sibling::col0",
+        "//row[col0]",
+        "//col2/following-sibling::col3",
+    ],
+    "xmark": [
+        "//item",
+        '//item[payment["Creditcard"]]',
+        "//site/regions",
+        "//item/description",
+        "//regions//item",
+    ],
+}
+
+_sequential_cache: dict[tuple[str, str], tuple[frozenset, int]] = {}
+
+
+def sequential_selection(corpus: str, query_text: str) -> tuple[frozenset, int]:
+    """Decoded selection of a solo run (cached: corpora are immutable)."""
+    key = (corpus, query_text)
+    if key not in _sequential_cache:
+        result = Engine(CORPUS_XML[corpus]).query(query_text)
+        _sequential_cache[key] = (frozenset(result.tree_paths()), result.tree_count())
+    return _sequential_cache[key]
+
+
+@settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(data=st.data())
+def test_query_batch_matches_sequential(data):
+    corpus = data.draw(st.sampled_from(sorted(QUERY_POOLS)))
+    mix = data.draw(
+        st.lists(st.sampled_from(QUERY_POOLS[corpus]), min_size=1, max_size=5)
+    )
+    batch = Engine(CORPUS_XML[corpus]).query_batch(mix)
+    assert len(batch) == len(mix)
+    for query_text, result in zip(mix, batch):
+        expected_paths, expected_count = sequential_selection(corpus, query_text)
+        assert result.tree_count() == expected_count, (corpus, query_text)
+        assert frozenset(result.tree_paths()) == expected_paths, (corpus, query_text)

@@ -80,6 +80,72 @@ class TestQuery:
         assert main(["query", bib_file, "//a[["]) == 1
         assert "error" in capsys.readouterr().err
 
+    def test_no_queries_fails(self, bib_file, capsys):
+        assert main(["query", bib_file]) == 2
+        assert "no queries" in capsys.readouterr().err
+
+    def test_paths_bounded_work(self, tmp_path, capsys):
+        # Regression: --paths N used to materialise up to --limit full edge
+        # paths before slicing; with a limit smaller than the tree that
+        # raised DecompressionLimitError even though only 2 paths were
+        # requested. The lazy islice path stops after N matches.
+        from repro.corpora.binary_tree import generate_xml
+
+        path = tmp_path / "deep.xml"
+        path.write_text(generate_xml(depth=8).xml, encoding="utf-8")
+        assert main(["query", str(path), "//a", "--paths", "2", "--limit", "20"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n  ") == 2  # exactly two path lines printed
+
+
+class TestQueryBatch:
+    def test_multiple_xpaths_batched(self, bib_file, capsys):
+        assert main(["query", bib_file, "//author", "//title"]) == 0
+        out = capsys.readouterr().out
+        assert "batch               : 2 queries" in out
+        assert "shared work" in out
+        assert "--- //author" in out and "--- //title" in out
+        assert "selected tree nodes : 5" in out  # //author
+        assert "selected tree nodes : 3" in out  # //title
+
+    def test_workload_file(self, bib_file, tmp_path, capsys):
+        workload = tmp_path / "mix.txt"
+        workload.write_text(
+            "# the bib mix\n//author\n\n//book/title\n", encoding="utf-8"
+        )
+        assert main(["query", bib_file, "--workload", str(workload)]) == 0
+        out = capsys.readouterr().out
+        assert "batch               : 2 queries" in out
+        assert "--- //book/title" in out
+
+    def test_positional_plus_workload(self, bib_file, tmp_path, capsys):
+        workload = tmp_path / "mix.txt"
+        workload.write_text("//title\n", encoding="utf-8")
+        assert main(["query", bib_file, "//author", "--workload", str(workload)]) == 0
+        assert "batch               : 2 queries" in capsys.readouterr().out
+
+    def test_batch_matches_single_runs(self, bib_file, capsys):
+        assert main(["query", bib_file, "//author", "//paper"]) == 0
+        batched = capsys.readouterr().out
+        assert main(["query", bib_file, "//author"]) == 0
+        single = capsys.readouterr().out
+        for line in single.splitlines():
+            if line.startswith("selected"):
+                assert line in batched
+
+    def test_batch_paths_printed_per_query(self, bib_file, capsys):
+        assert main(["query", bib_file, "//book/author", "//paper", "--paths", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "1.1.2" in out  # first book author
+
+    def test_batch_on_saved_dag(self, bib_file, tmp_path, capsys):
+        dag = str(tmp_path / "bib.dag")
+        assert main(["compress", bib_file, "--save", dag]) == 0
+        capsys.readouterr()
+        assert main(["query", dag, "//author", "//title"]) == 0
+        out = capsys.readouterr().out
+        assert "batch               : 2 queries" in out
+
 
 class TestSavedInstances:
     def test_compress_save_then_query_dag(self, bib_file, tmp_path, capsys):
