@@ -36,11 +36,15 @@ def test_add_string_property(benchmark, corpus_cache, corpus, strategy):
     base = load(xml, collect_containers=True)
 
     if strategy == "reparse":
-        run = lambda: load(xml, strings=needles).instance
+
+        def run():
+            return load(xml, strings=needles).instance
+
     else:
-        run = lambda: add_string_sets(
-            base.instance, base.containers, base.layout, needles
-        )
+
+        def run():
+            return add_string_sets(base.instance, base.containers, base.layout, needles)
+
     instance = benchmark(run)
     assert instance.has_set(f"#contains:{needles[0]}")
     _ROWS.append([corpus, strategy, fmt_seconds(benchmark.stats.stats.mean)])

@@ -16,7 +16,7 @@ from __future__ import annotations
 import pytest
 
 from repro.bench.harness import figure7_row
-from repro.bench.queries import QUERY_IDS, queries_for
+from repro.bench.queries import QUERY_IDS
 from repro.bench.tables import fmt_int, fmt_seconds, format_table
 from repro.corpora.registry import QUERY_CORPORA
 from repro.engine.evaluator import CompressedEvaluator

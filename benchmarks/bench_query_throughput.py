@@ -524,7 +524,7 @@ def main(argv=None) -> int:
         json.dump(report, handle, indent=2)
         handle.write("\n")
 
-    print(f"\nper-corpus geomean: " + "  ".join(f"{c}={s:.2f}x" for c, s in per_corpus.items()))
+    print("\nper-corpus geomean: " + "  ".join(f"{c}={s:.2f}x" for c, s in per_corpus.items()))
     print(f"overall geomean speedup: {overall:.2f}x  (required >= {min_speedup:.2f}x)")
     print(f"wrote {args.output}")
     if overall < min_speedup:

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Compare a fresh benchmark JSON against a committed baseline.
+
+The scheduled CI job re-runs every benchmark un-quick and fails the build
+when a headline metric regresses more than the tolerance (default 20%)
+against the ``BENCH_*.json`` files committed at the repository root::
+
+    python benchmarks/check_regression.py BASELINE.json FRESH.json [--tolerance 0.2]
+
+The headline metric is chosen by the ``benchmark`` field so one checker
+serves every report shape:
+
+* ``query_throughput`` — ``geomean_speedup`` (new engine vs seed engine);
+* ``batch_workload``   — ``best_speedup`` (batched vs sequential mix);
+* ``server``           — ``geomean_speedup`` (served vs one-shot).
+
+Exit codes follow the CLI convention: 0 pass, 1 regression, 2 bad inputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: benchmark name -> headline metric key in its JSON report.
+HEADLINE = {
+    "query_throughput": "geomean_speedup",
+    "batch_workload": "best_speedup",
+    "server": "geomean_speedup",
+}
+
+
+def headline_value(report: dict, path: str) -> tuple[str, float]:
+    name = report.get("benchmark")
+    key = HEADLINE.get(name)
+    if key is None:
+        raise ValueError(f"{path}: unknown benchmark {name!r} (known: {sorted(HEADLINE)})")
+    value = report.get(key)
+    if not isinstance(value, (int, float)) or value <= 0:
+        raise ValueError(f"{path}: missing or non-positive metric {key!r}: {value!r}")
+    return key, float(value)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_*.json")
+    parser.add_argument("candidate", help="freshly produced benchmark JSON")
+    parser.add_argument(
+        "--tolerance", type=float, default=0.2,
+        help="allowed fractional regression (0.2 = fail below 80%% of baseline)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        with open(args.candidate, "r", encoding="utf-8") as handle:
+            candidate = json.load(handle)
+        key, base_value = headline_value(baseline, args.baseline)
+        candidate_key, new_value = headline_value(candidate, args.candidate)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if baseline.get("benchmark") != candidate.get("benchmark"):
+        print(
+            f"error: benchmark mismatch: {baseline.get('benchmark')!r} "
+            f"vs {candidate.get('benchmark')!r}",
+            file=sys.stderr,
+        )
+        return 2
+
+    floor = (1.0 - args.tolerance) * base_value
+    ratio = new_value / base_value
+    verdict = "ok" if new_value >= floor else "REGRESSION"
+    print(
+        f"{baseline['benchmark']}: {key} baseline {base_value:.3f} -> "
+        f"candidate {new_value:.3f} ({100 * ratio:.1f}%, floor {floor:.3f}) {verdict}"
+    )
+    if new_value < floor:
+        print(
+            f"FAIL: {key} regressed more than {100 * args.tolerance:.0f}% "
+            f"vs {args.baseline}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,11 +9,19 @@ Installed as the ``repro`` console script::
     repro query d.xml '//article[author["Codd"]]'
     repro query d.xml '//article' '//inproceedings' --workload mix.txt
     repro explain '//a/b[c or not(following::*)]'
+    repro catalog add dblp d.xml          # shred once into the catalog
+    repro serve --port 8080               # concurrent query service
 
 Multiple XPaths (positional and/or one per line of a ``--workload`` file)
 are evaluated as one batch: a single load over the union of the queries'
 schemas, one shared working instance, and cross-query reuse of identical
 algebra subtrees.
+
+Exit codes are uniform across subcommands: ``0`` success, ``2`` for
+anything wrong with the *invocation or its inputs* (missing files,
+malformed queries, unknown corpora or catalog documents — argparse uses 2
+for usage errors too), ``1`` for runtime failures inside the engine.
+Every error goes to stderr as one ``error: ...`` line.
 """
 
 from __future__ import annotations
@@ -21,7 +29,18 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.errors import ReproError
+from repro.errors import (
+    CatalogError,
+    CorpusError,
+    ReproError,
+    XPathCompileError,
+    XPathSyntaxError,
+)
+
+#: Runtime failure inside the engine (evaluation blew a limit, ...).
+EXIT_ERROR = 1
+#: The invocation or its inputs were invalid (argparse's convention).
+EXIT_USAGE = 2
 
 
 def _cmd_corpora(args: argparse.Namespace) -> int:
@@ -121,7 +140,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         queries.extend(_read_workload(args.workload))
     if not queries:
         print("error: no queries given (positional XPaths or --workload)", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
 
     if len(queries) > 1:
         # Parse each query text once: the ASTs feed both the union-schema
@@ -167,6 +186,63 @@ def _cmd_query(args: argparse.Namespace) -> int:
     for query_text, result in zip(queries, batch):
         print(f"--- {query_text}")
         _print_result(result, args.paths, args.limit)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server.http import serve
+
+    serve(
+        args.catalog,
+        host=args.host,
+        port=args.port,
+        mode=args.mode,
+        window=args.window_ms / 1000.0,
+        max_batch=args.max_batch,
+        pool_capacity=args.pool_size,
+        axes=args.axes,
+        quiet=not args.verbose,
+    )
+    return 0
+
+
+def _cmd_catalog_add(args: argparse.Namespace) -> int:
+    from repro.server.catalog import Catalog
+
+    entry = Catalog(args.catalog).add(
+        args.name,
+        _read(args.file),
+        attributes="nodes" if args.attributes else "ignore",
+    )
+    print(
+        f"added {entry.name}: {entry.megabytes:.2f} MB, "
+        f"{entry.skeleton_nodes:,} skeleton nodes -> {entry.dag_vertices:,} dag vertices "
+        f"in {entry.chunks} chunk(s) ({entry.shred_seconds:.3f}s)"
+    )
+    return 0
+
+
+def _cmd_catalog_ls(args: argparse.Namespace) -> int:
+    from repro.server.catalog import Catalog
+
+    entries = Catalog(args.catalog).entries()
+    if not entries:
+        print(f"catalog {args.catalog!r} is empty")
+        return 0
+    for entry in entries:
+        print(
+            f"{entry.name:20s} {entry.megabytes:8.2f} MB  "
+            f"{entry.dag_vertices:>9,}v/{entry.dag_edge_entries:,}e  "
+            f"{entry.chunks:>4} chunk(s)  attributes={entry.attributes}"
+        )
+    return 0
+
+
+def _cmd_catalog_evict(args: argparse.Namespace) -> int:
+    from repro.server.catalog import Catalog
+
+    Catalog(args.catalog).remove(args.name)
+    print(f"evicted {args.name}", file=sys.stderr)
     return 0
 
 
@@ -234,6 +310,66 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("xpath")
     explain.set_defaults(func=_cmd_explain)
 
+    def add_catalog_dir(target) -> None:
+        target.add_argument(
+            "-C",
+            "--catalog",
+            default="repro-catalog",
+            help="catalog directory (default: ./repro-catalog)",
+        )
+
+    serve = commands.add_parser(
+        "serve", help="run the concurrent query service over a catalog"
+    )
+    add_catalog_dir(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument(
+        "--mode", choices=("snapshot", "persistent"), default="snapshot",
+        help="per-batch copy of the resident master (snapshot) or one "
+        "long-lived working instance per pool entry (persistent)",
+    )
+    serve.add_argument(
+        "--window-ms", type=float, default=0.0,
+        help="coalescing window in milliseconds (0 = batch whatever queues "
+        "up while the previous batch runs)",
+    )
+    serve.add_argument("--max-batch", type=int, default=64)
+    serve.add_argument(
+        "--pool-size", type=int, default=8,
+        help="max resident (document, schema) instances before LRU eviction",
+    )
+    serve.add_argument("--axes", choices=("functional", "inplace"), default="functional")
+    serve.add_argument("--verbose", action="store_true", help="log every request")
+    serve.set_defaults(func=_cmd_serve)
+
+    catalog = commands.add_parser(
+        "catalog", help="manage the persistent document catalog"
+    )
+    actions = catalog.add_subparsers(dest="action", required=True)
+
+    catalog_add = actions.add_parser(
+        "add", help="register a document: shred it into the store once"
+    )
+    catalog_add.add_argument("name", help="document name (letters, digits, . _ -)")
+    catalog_add.add_argument("file", help="XML file ('-' for stdin)")
+    catalog_add.add_argument(
+        "--attributes", action="store_true", help="encode attributes as @name nodes"
+    )
+    add_catalog_dir(catalog_add)
+    catalog_add.set_defaults(func=_cmd_catalog_add)
+
+    catalog_ls = actions.add_parser("ls", help="list registered documents")
+    add_catalog_dir(catalog_ls)
+    catalog_ls.set_defaults(func=_cmd_catalog_ls)
+
+    catalog_evict = actions.add_parser(
+        "evict", help="remove a document and its shredded chunks"
+    )
+    catalog_evict.add_argument("name")
+    add_catalog_dir(catalog_evict)
+    catalog_evict.set_defaults(func=_cmd_catalog_evict)
+
     return parser
 
 
@@ -242,12 +378,21 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except (XPathSyntaxError, XPathCompileError) as error:
+        print(f"error: invalid query: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    except (CorpusError, CatalogError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    except FileNotFoundError as error:
+        print(f"error: file not found: {error.filename or error}", file=sys.stderr)
+        return EXIT_USAGE
+    except IsADirectoryError as error:
+        print(f"error: expected a file, got a directory: {error.filename}", file=sys.stderr)
+        return EXIT_USAGE
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
-        return 1
-    except FileNotFoundError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 1
+        return EXIT_ERROR
 
 
 if __name__ == "__main__":

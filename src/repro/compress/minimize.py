@@ -9,7 +9,7 @@ single hash lookup.
 
 from __future__ import annotations
 
-from repro.model.canonical import ConsTable, canonical_ids
+from repro.model.canonical import canonical_ids
 from repro.model.instance import Instance, normalize_edges
 
 

@@ -16,7 +16,7 @@ DOM for millions of nodes would dominate generation time).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.errors import CorpusError

@@ -66,3 +66,7 @@ class EvaluationError(ReproError):
 
 class CorpusError(ReproError):
     """A corpus generator was configured with invalid parameters."""
+
+
+class CatalogError(ReproError):
+    """A document catalog operation failed (unknown document, bad name, ...)."""

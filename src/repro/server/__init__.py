@@ -1,0 +1,31 @@
+"""Concurrent query serving over the persistent store (load once, query forever).
+
+The subsystem has three layers, bottom up:
+
+* :mod:`repro.server.catalog` — a directory of documents shredded into the
+  chunked store at registration time; warm starts assemble instances from
+  chunks instead of re-parsing XML.
+* :mod:`repro.server.pool` — a bounded LRU of resident master instances
+  keyed by ``(document, schema key)``, with per-entry locks.
+* :mod:`repro.server.service` / :mod:`repro.server.http` — the coalescing
+  evaluation front (concurrent requests for one document share a single
+  :class:`repro.engine.batch.BatchEvaluator` run) and its stdlib JSON/HTTP
+  binding (``repro serve``).
+"""
+
+from repro.server.catalog import Catalog, CatalogEntry
+from repro.server.http import ReproHTTPServer, create_server, serve
+from repro.server.pool import InstancePool, PoolEntry
+from repro.server.service import QueryService, decode_result
+
+__all__ = [
+    "Catalog",
+    "CatalogEntry",
+    "InstancePool",
+    "PoolEntry",
+    "QueryService",
+    "ReproHTTPServer",
+    "create_server",
+    "decode_result",
+    "serve",
+]

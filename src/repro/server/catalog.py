@@ -1,0 +1,214 @@
+"""A persistent multi-document catalog over the chunked store.
+
+The serving model of the paper — and of Arion et al.'s path-partitioned
+stores — is *load once, query forever*: a document is shredded into the
+compressed chunk store exactly once, at registration time, and every later
+query is answered from the resident (or quickly re-assembled) instance
+without touching the XML again.
+
+A :class:`Catalog` is a directory::
+
+    <root>/catalog.json            registry: name -> entry metadata
+    <root>/<name>/document.xml     the original text (string-schema reloads)
+    <root>/<name>/chunks/          the shredded instance (storage.chunked)
+
+Documents are registered with **every** tag as a node set, so any tag-only
+query can be served from the shredded chunks alone (a *warm start*: one
+:func:`repro.model.serialize.load` per distinct chunk, no XML parse).  Only
+queries with string-containment predicates need the original text again —
+string sets are computed by the one-scan matcher at load time — and the
+resulting instances are cached upstream in the server's instance pool,
+keyed by their string schema.
+
+All catalog methods are thread-safe: registration and removal serialise on
+one lock, and the manifest is rewritten atomically (temp file + rename).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import shutil
+import threading
+from dataclasses import asdict, dataclass, field
+
+from repro.errors import CatalogError
+from repro.skeleton.loader import load
+from repro.storage.chunked import ChunkedStore
+
+_MANIFEST = "catalog.json"
+_FORMAT = "repro-catalog-1"
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+@dataclass
+class CatalogEntry:
+    """Registry metadata for one shredded document."""
+
+    name: str
+    #: ``"ignore"`` or ``"nodes"`` — how attributes were encoded at shred time.
+    attributes: str = "ignore"
+    megabytes: float = 0.0
+    skeleton_nodes: int = 0
+    dag_vertices: int = 0
+    dag_edge_entries: int = 0
+    chunks: int = 0
+    shred_seconds: float = 0.0
+    #: Tag sets available in the shredded schema (queries outside this set
+    #: still work: missing sets are materialised empty at serve time).
+    tags: list[str] = field(default_factory=list)
+
+
+class Catalog:
+    """A directory of registered documents, shredded once, served many times."""
+
+    def __init__(self, root: str):
+        self.root = root
+        self._lock = threading.RLock()
+        self._entries: dict[str, CatalogEntry] = {}
+        self._stores: dict[str, ChunkedStore] = {}
+        manifest_path = os.path.join(root, _MANIFEST)
+        if os.path.exists(manifest_path):
+            with open(manifest_path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+            if manifest.get("format") != _FORMAT:
+                raise CatalogError(f"not a repro catalog: {root}")
+            for raw in manifest["documents"]:
+                entry = CatalogEntry(**raw)
+                self._entries[entry.name] = entry
+
+    # -- registry --------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._entries)
+
+    def entries(self) -> list[CatalogEntry]:
+        with self._lock:
+            return [self._entries[name] for name in sorted(self._entries)]
+
+    def entry(self, name: str) -> CatalogEntry:
+        with self._lock:
+            try:
+                return self._entries[name]
+            except KeyError:
+                known = ", ".join(sorted(self._entries)) or "(catalog is empty)"
+                raise CatalogError(
+                    f"unknown catalog document {name!r}; known: {known}"
+                ) from None
+
+    def _write_manifest(self) -> None:
+        manifest = {
+            "format": _FORMAT,
+            "documents": [asdict(self._entries[name]) for name in sorted(self._entries)],
+        }
+        os.makedirs(self.root, exist_ok=True)
+        temp_path = os.path.join(self.root, _MANIFEST + ".tmp")
+        with open(temp_path, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2)
+            handle.write("\n")
+        os.replace(temp_path, os.path.join(self.root, _MANIFEST))
+
+    # -- registration ----------------------------------------------------
+
+    def add(self, name: str, xml: str, attributes: str = "ignore") -> CatalogEntry:
+        """Register ``xml`` under ``name``: shred once, serve forever.
+
+        The document is loaded over *all* tags (every element tag becomes a
+        node set) and shredded into the chunk store; the original text is
+        kept beside it for string-schema reloads.  The (possibly slow)
+        parse + shred runs *outside* the registry lock so a registration
+        never stalls concurrent query traffic; only the registry update is
+        serialised.
+        """
+        if not _NAME_RE.match(name):
+            raise CatalogError(
+                f"invalid document name {name!r} (use letters, digits, '.', '_', '-')"
+            )
+        with self._lock:
+            if name in self._entries:
+                raise CatalogError(f"document {name!r} is already in the catalog")
+        result = load(xml, tags=None, attributes=attributes)
+        instance = result.instance
+        doc_dir = os.path.join(self.root, name)
+        os.makedirs(doc_dir, exist_ok=True)
+        with open(os.path.join(doc_dir, "document.xml"), "w", encoding="utf-8") as handle:
+            handle.write(xml)
+        store = ChunkedStore.save(instance, os.path.join(doc_dir, "chunks"))
+        entry = CatalogEntry(
+            name=name,
+            attributes=attributes,
+            megabytes=len(xml.encode("utf-8")) / 1e6,
+            skeleton_nodes=result.skeleton_nodes,
+            dag_vertices=instance.num_vertices,
+            dag_edge_entries=instance.num_edge_entries,
+            chunks=store.num_chunks,
+            shred_seconds=result.parse_seconds,
+            tags=[set_name for set_name in instance.schema if not set_name.startswith("#")],
+        )
+        with self._lock:
+            if name in self._entries:
+                # Lost a registration race: drop our files, keep the winner's.
+                shutil.rmtree(doc_dir, ignore_errors=True)
+                raise CatalogError(f"document {name!r} is already in the catalog")
+            self._entries[name] = entry
+            self._stores[name] = store
+            self._write_manifest()
+        return entry
+
+    def add_file(self, name: str, path: str, attributes: str = "ignore") -> CatalogEntry:
+        """Register the XML file at ``path`` (see :meth:`add`)."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return self.add(name, handle.read(), attributes=attributes)
+
+    def remove(self, name: str) -> None:
+        """Drop ``name`` from the registry and delete its files."""
+        with self._lock:
+            self.entry(name)  # raises CatalogError when unknown
+            del self._entries[name]
+            self._stores.pop(name, None)
+            self._write_manifest()
+            shutil.rmtree(os.path.join(self.root, name), ignore_errors=True)
+
+    # -- serving ---------------------------------------------------------
+
+    def xml(self, name: str) -> str:
+        """The original document text (string-schema reloads only)."""
+        self.entry(name)
+        with open(
+            os.path.join(self.root, name, "document.xml"), "r", encoding="utf-8"
+        ) as handle:
+            return handle.read()
+
+    def store(self, name: str) -> ChunkedStore:
+        """The (cached) chunk store of ``name``."""
+        with self._lock:
+            store = self._stores.get(name)
+            if store is None:
+                self.entry(name)
+                store = ChunkedStore(os.path.join(self.root, name, "chunks"))
+                self._stores[name] = store
+            return store
+
+    def load_instance(self, name: str, strings: tuple[str, ...] = ()):
+        """A full instance of ``name`` over its tag schema plus ``strings``.
+
+        Without string constraints this is the warm path: the instance is
+        assembled from the shredded chunks (``serialize.load`` per distinct
+        chunk, run-length repetition from the manifest) — the XML is never
+        re-parsed.  With string constraints the original text is re-scanned
+        once to compute the containment sets; callers cache the result.
+        """
+        if not strings:
+            return self.store(name).assemble()
+        entry = self.entry(name)
+        return load(
+            self.xml(name), tags=None, strings=list(strings), attributes=entry.attributes
+        ).instance

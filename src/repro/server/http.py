@@ -1,0 +1,238 @@
+"""The JSON-over-HTTP front of the query service (stdlib only).
+
+``repro serve`` runs a :class:`ReproHTTPServer` — a
+``ThreadingHTTPServer`` whose handler threads feed the coalescing
+:class:`repro.server.service.QueryService`.  Endpoints::
+
+    GET    /healthz            liveness + catalog summary
+    GET    /stats              serving / pool / coalescing counters
+    GET    /catalog            registered documents with shred metadata
+    POST   /catalog/<name>     register a document  {"xml": "<...>"}
+    DELETE /catalog/<name>     evict: drop pool residency + catalog entry
+    POST   /query              {"document": d, "query": q,
+                                "paths": N?, "limit": N?}
+
+Every response is ``application/json``.  Client errors are mapped to
+status codes the same way the CLI maps them to exit codes: unknown
+documents and malformed queries are 400/404 (the caller's fault), engine
+failures are 500.
+"""
+
+from __future__ import annotations
+
+import json
+# Distinct from builtins.TimeoutError before 3.11, an alias after.
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.errors import CatalogError, ReproError, XPathCompileError, XPathSyntaxError
+from repro.server.catalog import Catalog
+from repro.server.service import QueryService
+
+#: Registration payloads above this size are rejected (bytes).
+MAX_BODY = 256 * 1024 * 1024
+
+
+class ReproHTTPServer(ThreadingHTTPServer):
+    """One handler thread per connection; requests coalesce in the service."""
+
+    daemon_threads = True
+    # socketserver's default listen backlog is 5; a burst of clients
+    # connecting at once then overflows the SYN queue and the dropped
+    # connects retry after a full second.  128 rides out real bursts.
+    request_queue_size = 128
+
+    def __init__(self, address: tuple[str, int], service: QueryService, quiet: bool = True):
+        self.service = service
+        self.quiet = quiet
+        super().__init__(address, _Handler)
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ReproHTTPServer
+    protocol_version = "HTTP/1.1"
+    # Responses go out as header + body segments on a keep-alive connection;
+    # without this (a *handler* attribute, per socketserver), Nagle + the
+    # client's delayed ACK stall every request on the connection ~40ms.
+    disable_nagle_algorithm = True
+
+    # -- plumbing --------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib signature
+        if not self.server.quiet:
+            super().log_message(format, *args)
+
+    def _reply(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._reply(status, {"error": message})
+
+    def _read_json(self) -> dict | None:
+        length = int(self.headers.get("Content-Length", 0))
+        if length <= 0:
+            self._error(400, "missing request body")
+            return None
+        if length > MAX_BODY:
+            self._error(413, f"request body over {MAX_BODY} bytes")
+            return None
+        try:
+            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            self._error(400, f"malformed JSON body: {error}")
+            return None
+        if not isinstance(payload, dict):
+            self._error(400, "request body must be a JSON object")
+            return None
+        return payload
+
+    # -- routes ----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        service = self.server.service
+        if self.path == "/healthz":
+            self._reply(
+                200,
+                {
+                    "status": "ok",
+                    "documents": len(service.catalog),
+                    "mode": service.mode,
+                },
+            )
+        elif self.path == "/stats":
+            self._reply(200, service.stats_dict())
+        elif self.path == "/catalog":
+            from dataclasses import asdict
+
+            self._reply(
+                200, {"documents": [asdict(entry) for entry in service.catalog.entries()]}
+            )
+        else:
+            self._error(404, f"no such endpoint: GET {self.path}")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path == "/query":
+            self._post_query()
+        elif self.path.startswith("/catalog/"):
+            self._post_catalog(self.path[len("/catalog/"):])
+        else:
+            self._error(404, f"no such endpoint: POST {self.path}")
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
+        if not self.path.startswith("/catalog/"):
+            self._error(404, f"no such endpoint: DELETE {self.path}")
+            return
+        name = self.path[len("/catalog/"):]
+        service = self.server.service
+        try:
+            evicted = service.evict(name)
+            service.catalog.remove(name)
+        except CatalogError as error:
+            self._error(404, str(error))
+            return
+        self._reply(200, {"removed": name, "pool_entries_evicted": evicted})
+
+    # -- handlers --------------------------------------------------------
+
+    def _post_query(self) -> None:
+        payload = self._read_json()
+        if payload is None:
+            return
+        document = payload.get("document")
+        query_text = payload.get("query")
+        if not isinstance(document, str) or not isinstance(query_text, str):
+            self._error(400, "body needs string fields 'document' and 'query'")
+            return
+        paths = payload.get("paths", 0)
+        limit = payload.get("limit", None)
+        if not isinstance(paths, int) or paths < 0:
+            self._error(400, "'paths' must be a non-negative integer")
+            return
+        kwargs = {"paths": paths}
+        if limit is not None:
+            if not isinstance(limit, int) or limit < 1:
+                self._error(400, "'limit' must be a positive integer")
+                return
+            kwargs["limit"] = limit
+        try:
+            response = self.server.service.query(document, query_text, **kwargs)
+        except CatalogError as error:
+            self._error(404, str(error))
+        except (XPathSyntaxError, XPathCompileError) as error:
+            self._error(400, f"invalid query: {error}")
+        except FuturesTimeoutError:
+            self._error(504, f"request timed out after {self.server.service.request_timeout}s")
+        except ReproError as error:
+            self._error(500, str(error))
+        else:
+            self._reply(200, response)
+
+    def _post_catalog(self, name: str) -> None:
+        payload = self._read_json()
+        if payload is None:
+            return
+        xml = payload.get("xml")
+        if not isinstance(xml, str):
+            self._error(400, "body needs a string field 'xml'")
+            return
+        attributes = payload.get("attributes", "ignore")
+        try:
+            entry = self.server.service.catalog.add(name, xml, attributes=attributes)
+        except ReproError as error:
+            self._error(400, str(error))
+            return
+        from dataclasses import asdict
+
+        self._reply(201, asdict(entry))
+
+
+def create_server(
+    catalog_dir: str,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    mode: str = "snapshot",
+    window: float = 0.0,
+    max_batch: int = 64,
+    pool_capacity: int = 8,
+    axes: str = "functional",
+    quiet: bool = True,
+) -> ReproHTTPServer:
+    """Build a ready-to-run server (``port=0`` binds an ephemeral port)."""
+    service = QueryService(
+        Catalog(catalog_dir),
+        mode=mode,
+        window=window,
+        max_batch=max_batch,
+        pool_capacity=pool_capacity,
+        axes=axes,
+    )
+    return ReproHTTPServer((host, port), service, quiet=quiet)
+
+
+def serve(catalog_dir: str, **kwargs) -> None:
+    """Run the server until interrupted (the ``repro serve`` entry point)."""
+    import sys
+
+    server = create_server(catalog_dir, **kwargs)
+    documents = server.service.catalog.names()
+    print(
+        f"repro serve: {server.url}  catalog={catalog_dir!r} "
+        f"documents={len(documents)} mode={server.service.mode}",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("repro serve: shutting down", file=sys.stderr)
+    finally:
+        server.server_close()

@@ -1,0 +1,127 @@
+"""An LRU pool of resident compressed instances with per-entry locks.
+
+The serving layer keeps one *master* instance resident per
+``(document, schema-key)`` — for this repository's catalog the schema key
+reduces to the sorted tuple of string-containment needles, because every
+document is shredded with all of its tags (see
+:mod:`repro.server.catalog`).  The pool is the concurrency seam:
+
+* the **pool lock** guards only the LRU bookkeeping (entry lookup,
+  recency updates, eviction) and is never held while loading or
+  evaluating;
+* each entry carries its **own lock**; the first requester of a cold key
+  inserts a placeholder entry, releases the pool lock, and loads the
+  instance under the entry lock, so concurrent requesters of the same key
+  block on that entry alone — the instance is loaded exactly once — and
+  requests for other documents proceed in parallel;
+* the master instance is never handed out for mutation: callers take the
+  entry lock and either ``copy()`` it (snapshot mode — the copy shares
+  the master's cached traversal orders until a structural mutation, so a
+  steady-state snapshot skips the initial DFS) or evaluate on the entry's
+  persistent working instance while still holding the lock.
+
+Eviction drops the pool's reference only; an evaluation holding the entry
+keeps it alive until it finishes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable, Hashable
+
+from repro.model.instance import Instance
+
+#: ``(document name, sorted string needles)`` — the resident-instance key.
+PoolKey = Hashable
+
+
+class PoolEntry:
+    """One resident master instance plus its serialisation lock."""
+
+    __slots__ = ("key", "lock", "instance", "working", "load_seconds", "hits")
+
+    def __init__(self, key: PoolKey):
+        self.key = key
+        self.lock = threading.Lock()
+        #: The immutable master (``None`` until the first loader ran).
+        self.instance: Instance | None = None
+        #: Persistent-mode working instance (lazily forked from the master).
+        self.working: Instance | None = None
+        self.load_seconds = 0.0
+        self.hits = 0
+
+
+class InstancePool:
+    """Bounded LRU of :class:`PoolEntry`, safe for concurrent use."""
+
+    def __init__(self, capacity: int = 8):
+        if capacity < 1:
+            raise ValueError(f"pool capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[PoolKey, PoolEntry] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def keys(self) -> list[PoolKey]:
+        with self._lock:
+            return list(self._entries)
+
+    def get_or_load(self, key: PoolKey, loader: Callable[[], Instance]) -> PoolEntry:
+        """The entry for ``key``, loading its master exactly once.
+
+        ``loader`` runs under the entry lock (not the pool lock), so a slow
+        load blocks only same-key requesters.  The returned entry's
+        ``instance`` is loaded and must be treated as read-only; take
+        ``entry.lock`` before copying or touching ``working``.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                entry = PoolEntry(key)
+                self._entries[key] = entry
+                self.misses += 1
+            else:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                entry.hits += 1
+            while len(self._entries) > self.capacity:
+                oldest = next(iter(self._entries))
+                if oldest == key:  # never evict the entry being requested
+                    break
+                del self._entries[oldest]
+                self.evictions += 1
+        with entry.lock:
+            if entry.instance is None:
+                started = time.perf_counter()
+                instance = loader()
+                instance.preorder()  # warm the traversal cache once, pre-share
+                entry.load_seconds = time.perf_counter() - started
+                entry.instance = instance
+        return entry
+
+    def evict(self, predicate: Callable[[PoolKey], bool]) -> int:
+        """Drop every entry whose key satisfies ``predicate``; return count."""
+        with self._lock:
+            doomed = [key for key in self._entries if predicate(key)]
+            for key in doomed:
+                del self._entries[key]
+            self.evictions += len(doomed)
+            return len(doomed)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "resident": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

@@ -1,0 +1,374 @@
+"""The concurrent query service: pool + request coalescing over BatchEvaluator.
+
+One :class:`QueryService` serves many concurrent callers over a
+:class:`repro.server.catalog.Catalog`.  The serving pipeline per request:
+
+1. the query text is parsed/compiled once (bounded LRU, shared across
+   requests) and its **schema key** derived — for catalog documents that is
+   just the sorted tuple of string-containment needles, since documents are
+   shredded with every tag;
+2. the request joins the *pending micro-batch* of its
+   ``(document, schema key)``; the first arrival becomes the batch
+   **leader**, optionally sleeps a bounded coalescing window, then drains
+   the queue and evaluates everything in it as **one**
+   :class:`repro.engine.batch.BatchEvaluator` run — so requests that arrive
+   while a batch is executing coalesce naturally into the next run and the
+   cross-query common-subexpression cache becomes the server's hot path;
+3. the resident master instance comes from the LRU
+   :class:`repro.server.pool.InstancePool`; evaluation never mutates it.
+
+Two evaluation strategies (the ``mode`` parameter; ``bench_server.py``
+measures both, DESIGN.md section 7 discusses the numbers):
+
+* ``"snapshot"`` — each batch evaluates on a fresh ``copy()`` of the
+  immutable master, taken under the entry lock and discarded after the
+  results are decoded.  Copies are cheap (list copies sharing the master's
+  cached traversal orders) and batches for *different* keys can evaluate
+  concurrently.
+* ``"persistent"`` — each entry forks one long-lived working instance and
+  every batch evaluates on it in place, under the entry lock.  No per-batch
+  copy, and partial decompressions are paid once and reused by later
+  batches; the working instance is reset (result snapshots dropped) after
+  each batch so it cannot grow without bound.
+
+Results are decoded to plain dictionaries *before* any cleanup, so a
+response never depends on live engine state.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future
+from dataclasses import dataclass
+from itertools import islice
+
+from repro.engine.batch import BatchEvaluator
+from repro.engine.results import QueryResult
+from repro.errors import ReproError
+from repro.model.instance import Instance
+from repro.server.catalog import Catalog
+from repro.server.pool import InstancePool, PoolEntry
+from repro.xpath.algebra import AlgebraExpr
+from repro.xpath.compiler import compile_query, required_strings, required_tags
+from repro.xpath.parser import parse_query
+
+#: Decompression guard when decoding result paths (same default as the CLI).
+DEFAULT_LIMIT = 1_000_000
+
+#: Server-side cap on how many result paths one response may carry.
+MAX_PATHS = 10_000
+
+
+def decode_result(result: QueryResult, paths: int = 0, limit: int = DEFAULT_LIMIT) -> dict:
+    """Decode a :class:`QueryResult` into a plain response payload.
+
+    This is the canonical wire shape — the benchmark builds its expected
+    payloads through the same function, so "server response == direct
+    evaluation" is a byte comparison of canonical JSON.
+    """
+    payload: dict = {
+        "dag_count": result.dag_count(),
+        "tree_count": result.tree_count(),
+    }
+    if paths:
+        payload["paths"] = [
+            ".".join(map(str, path)) or "(root)"
+            for path, _ in islice(
+                result.iter_tree_matches(limit=limit), min(paths, MAX_PATHS)
+            )
+        ]
+    return payload
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate serving counters (returned by ``/stats``)."""
+
+    requests: int = 0
+    batches: int = 0
+    max_batch_size: int = 0
+    #: Requests that shared their evaluation with at least one other request.
+    coalesced_requests: int = 0
+    errors: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "max_batch_size": self.max_batch_size,
+            "coalesced_requests": self.coalesced_requests,
+            "errors": self.errors,
+        }
+
+
+class _Pending:
+    """The pending micro-batch of one ``(document, schema key)``."""
+
+    __slots__ = ("mutex", "queue", "busy")
+
+    def __init__(self) -> None:
+        self.mutex = threading.Lock()
+        self.queue: list[tuple["_Request", Future]] = []
+        self.busy = False
+
+
+@dataclass
+class _Request:
+    query_text: str
+    expr: AlgebraExpr
+    tags: tuple[str, ...]
+    paths: int
+    limit: int
+
+
+class QueryService:
+    """Concurrent load-once/query-forever serving over a catalog.
+
+    Thread-safe; every public method may be called from any number of
+    threads concurrently.
+    """
+
+    COMPILED_CACHE_LIMIT = 1024
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        mode: str = "snapshot",
+        window: float = 0.0,
+        max_batch: int = 64,
+        pool_capacity: int = 8,
+        axes: str = "functional",
+        request_timeout: float = 120.0,
+    ):
+        if mode not in ("snapshot", "persistent"):
+            raise ReproError(f"unknown evaluation mode {mode!r}")
+        self.catalog = catalog
+        self.mode = mode
+        self.window = window
+        self.max_batch = max(1, max_batch)
+        self.axes = axes
+        self.request_timeout = request_timeout
+        self.pool = InstancePool(capacity=pool_capacity)
+        self.stats = ServiceStats()
+        self._stats_lock = threading.Lock()
+        self._pending: dict[tuple, _Pending] = {}
+        self._pending_lock = threading.Lock()
+        self._compiled: OrderedDict[
+            str, tuple[AlgebraExpr, tuple[str, ...], tuple[str, ...]]
+        ] = OrderedDict()
+        self._compiled_lock = threading.Lock()
+
+    # -- compilation -----------------------------------------------------
+
+    def _compiled_entry(self, query_text: str):
+        """``(expr, tags, strings)`` for a query text, LRU-cached."""
+        with self._compiled_lock:
+            entry = self._compiled.get(query_text)
+            if entry is not None:
+                self._compiled.move_to_end(query_text)
+                return entry
+        ast = parse_query(query_text)  # outside the lock: parsing may be slow
+        expr = compile_query(ast)
+        entry = (
+            expr,
+            tuple(sorted(required_tags(ast))),
+            tuple(sorted(required_strings(ast))),
+        )
+        with self._compiled_lock:
+            while len(self._compiled) >= self.COMPILED_CACHE_LIMIT:
+                self._compiled.popitem(last=False)
+            self._compiled[query_text] = entry
+        return entry
+
+    # -- the public entry point ------------------------------------------
+
+    def query(
+        self, document: str, query_text: str, paths: int = 0, limit: int = DEFAULT_LIMIT
+    ) -> dict:
+        """Answer one query; concurrent callers coalesce into shared batches.
+
+        Raises :class:`repro.errors.CatalogError` for unknown documents and
+        the usual XPath errors for malformed queries — both *before* the
+        request joins a batch, so bad requests never poison good ones.
+        """
+        self.catalog.entry(document)  # raises CatalogError when unknown
+        expr, tags, strings = self._compiled_entry(query_text)
+        request = _Request(
+            query_text=query_text,
+            expr=expr,
+            tags=tags,
+            paths=paths,
+            limit=limit,
+        )
+        key = (document, strings)
+        future: Future = Future()
+        pending = self._pending_for(key)
+        with pending.mutex:
+            pending.queue.append((request, future))
+            lead = not pending.busy
+            if lead:
+                pending.busy = True
+        with self._stats_lock:
+            self.stats.requests += 1
+        if lead:
+            self._drain(key, pending)
+        return future.result(timeout=self.request_timeout)
+
+    def evict(self, document: str) -> int:
+        """Drop every resident pool instance of ``document``; return count."""
+        return self.pool.evict(lambda key: key[0] == document)
+
+    def stats_dict(self) -> dict:
+        with self._stats_lock:
+            service = self.stats.as_dict()
+        return {"service": service, "pool": self.pool.stats(), "mode": self.mode}
+
+    # -- coalescing ------------------------------------------------------
+
+    def _pending_for(self, key: tuple) -> _Pending:
+        with self._pending_lock:
+            pending = self._pending.get(key)
+            if pending is None:
+                pending = self._pending[key] = _Pending()
+            return pending
+
+    def _drain(self, key: tuple, pending: _Pending) -> None:
+        """Leader loop: evaluate queued batches until the queue stays empty.
+
+        The leader (the thread whose request found the key idle) optionally
+        sleeps the coalescing window once, then repeatedly takes up to
+        ``max_batch`` queued requests and evaluates them as one batch.
+        Requests arriving *while* a batch executes are picked up by the next
+        iteration — natural micro-batching under load, no added latency
+        when idle (window 0).  When the queue stays empty the key's pending
+        entry is removed from the registry, so `_pending` is bounded by the
+        number of keys with in-flight requests, not by every
+        ``(document, string-schema)`` a client ever mentioned.  (A submitter
+        still holding the removed entry simply becomes its own leader; a
+        concurrent replacement entry for the same key is harmless — the two
+        leaders serialise on the pool entry's lock.)
+        """
+        if self.window > 0:
+            time.sleep(self.window)
+        while True:
+            with self._pending_lock:
+                with pending.mutex:
+                    batch = pending.queue[: self.max_batch]
+                    del pending.queue[: len(batch)]
+                    if not batch:
+                        pending.busy = False
+                        if self._pending.get(key) is pending:
+                            del self._pending[key]
+                        return
+            try:
+                self._execute(key, batch)
+            except BaseException as error:  # noqa: BLE001 - forwarded to waiters
+                with self._stats_lock:
+                    self.stats.errors += len(batch)
+                for _, future in batch:
+                    if not future.done():
+                        future.set_exception(error)
+
+    # -- evaluation ------------------------------------------------------
+
+    def _load_master(self, key: tuple) -> Instance:
+        document, strings = key
+        return self.catalog.load_instance(document, strings)
+
+    def _execute(self, key: tuple, batch: list[tuple[_Request, Future]]) -> None:
+        document, _ = key
+        entry = self.pool.get_or_load(key, lambda: self._load_master(key))
+        pool_hit = entry.hits > 0
+        if self.mode == "snapshot":
+            with entry.lock:
+                working = self._prepare(entry.instance.copy(), batch)
+            # The master is only touched under the lock; the copy is private
+            # to this batch, so evaluation runs outside it.  (Same-key
+            # batches are still serialised by the per-key leader loop.)
+            outcomes = self._evaluate(working, batch)
+        else:
+            with entry.lock:
+                if entry.working is None:
+                    # Fork once; the master stays pristine for re-forks.
+                    entry.working = entry.instance.copy()
+                working = self._prepare(entry.working, batch)
+                outcomes = self._evaluate(working, batch, persistent_entry=entry)
+        with self._stats_lock:
+            self.stats.batches += 1
+            self.stats.max_batch_size = max(self.stats.max_batch_size, len(batch))
+            if len(batch) > 1:
+                self.stats.coalesced_requests += len(batch)
+            self.stats.errors += sum(
+                1 for outcome in outcomes if isinstance(outcome, Exception)
+            )
+        for (request, future), outcome in zip(batch, outcomes):
+            if future.done():
+                continue
+            if isinstance(outcome, Exception):
+                future.set_exception(outcome)
+                continue
+            outcome.update(
+                document=document,
+                query=request.query_text,
+                batched_with=len(batch),
+                pool_hit=pool_hit,
+                mode=self.mode,
+            )
+            future.set_result(outcome)
+
+    @staticmethod
+    def _prepare(working: Instance, batch) -> Instance:
+        """Materialise (empty) sets for tags the document never uses.
+
+        The one-shot pipeline pre-creates requested tag sets at load time;
+        the catalog schema only has tags the document actually contains, so
+        a query over an absent tag must select nothing instead of failing.
+        """
+        for request, _ in batch:
+            for tag in request.tags:
+                if not working.has_set(tag):
+                    working.ensure_set(tag)
+        return working
+
+    def _evaluate(
+        self,
+        working: Instance,
+        batch: list[tuple[_Request, Future]],
+        persistent_entry: PoolEntry | None = None,
+    ) -> list[dict | Exception]:
+        """Evaluate one coalesced batch; per-request outcomes, not all-or-nothing.
+
+        Decoding failures (e.g. a client-supplied path ``limit`` blown by a
+        huge selection) are captured *per request*, so one bad request never
+        poisons its batch-mates.  In persistent mode the working instance is
+        handed back to the entry on every successful evaluation (snapshots
+        dropped), and **discarded** if evaluation itself died mid-batch —
+        a half-evaluated instance still carries populated temp sets that a
+        later evaluator's fresh counter would silently reuse.
+        """
+        evaluator = BatchEvaluator(working, copy=False, axes=self.axes)
+        try:
+            result = evaluator.evaluate_batch([request.expr for request, _ in batch])
+        except BaseException:
+            if persistent_entry is not None:
+                persistent_entry.working = None  # re-fork from the pristine master
+            raise
+        outcomes: list[dict | Exception] = []
+        for (request, _), query_result in zip(batch, result):
+            try:
+                payload = decode_result(
+                    query_result, paths=request.paths, limit=request.limit
+                )
+                payload["seconds"] = query_result.seconds
+                outcomes.append(payload)
+            except Exception as error:  # noqa: BLE001 - forwarded to one waiter
+                outcomes.append(error)
+        if persistent_entry is not None:
+            # Keep the (possibly rebuilt) final instance for the next batch,
+            # minus this batch's durable result snapshots — everything was
+            # decoded above, so nothing references them anymore.
+            evaluator.reset_results()
+            persistent_entry.working = evaluator.instance
+        return outcomes

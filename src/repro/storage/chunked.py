@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 
 from repro.errors import ReproError
 from repro.model.instance import Instance, normalize_edges
@@ -71,6 +72,9 @@ class ChunkedStore:
         #: Tags (plain set names) of each chunk's top vertex, for pruning.
         self._chunk_tags: list[list[str]] = manifest["chunk_tags"]
         self._cache: dict[int, Instance] = {}
+        # Serialises cache fills so concurrent readers (the query service's
+        # warm-start path) load each chunk from disk exactly once.
+        self._cache_lock = threading.Lock()
 
     # -- construction ---------------------------------------------------
 
@@ -120,11 +124,22 @@ class ChunkedStore:
         return len(self._chunk_tags)
 
     def chunk(self, chunk_id: int) -> Instance:
-        """Load (and cache) one chunk's sub-instance."""
+        """Load (and cache) one chunk's sub-instance.
+
+        Thread-safe; the cached instance is shared between callers and must
+        be treated as read-only (:meth:`assemble` only reads it).  Its
+        traversal caches are warmed under the lock, so concurrent readers
+        never race on the lazy memoisation either.
+        """
         cached = self._cache.get(chunk_id)
         if cached is None:
-            cached = load_dag(os.path.join(self.directory, f"chunk-{chunk_id}.dag"))
-            self._cache[chunk_id] = cached
+            with self._cache_lock:
+                cached = self._cache.get(chunk_id)
+                if cached is None:
+                    cached = load_dag(os.path.join(self.directory, f"chunk-{chunk_id}.dag"))
+                    cached.postorder()  # pre-warm: later readers only read
+                    cached.preorder()
+                    self._cache[chunk_id] = cached
         return cached
 
     def chunks_with_tags(self, tags: set[str] | None) -> list[int]:

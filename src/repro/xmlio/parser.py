@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator
 
 from repro.errors import XMLSyntaxError
-from repro.xmlio.events import Comment, Doctype, EndElement, Event, ProcessingInstruction, StartElement, Text
+from repro.xmlio.events import Event, Text
 from repro.xmlio.tokenizer import tokenize
 
 

@@ -15,7 +15,7 @@ The fragment covers everything appearing in the paper's Appendix A:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 #: The axes of Core XPath, paper section 3.1.
 AXES = frozenset(

@@ -113,9 +113,6 @@ class TestBinaryTree:
         assert instance.num_vertices == 1
 
     def test_xml_matches_instance(self):
-        from repro.compress.minimize import minimize
-        from repro.model.equivalence import equivalent
-
         xml = generate_xml(4).xml
         loaded = load_instance(xml)
         # Strip the virtual document root for comparison.

@@ -8,7 +8,7 @@ from repro.errors import EvaluationError
 from repro.model.instance import Instance, tree_instance
 from repro.xpath.algebra import AxisApply, NamedSet
 
-from tests.engine.util import assert_engines_agree, engine_paths, oracle_paths
+from tests.engine.util import assert_engines_agree, engine_paths
 
 ALL_AXES = [
     "self",

@@ -173,3 +173,31 @@ class TestBatchEdgeCases:
         for result in batch:
             result.tree_count()
         assert calls["n"] == 1
+
+
+class TestResetResults:
+    """The serving seam: long-lived evaluators shed their #q snapshots."""
+
+    def test_reset_drops_snapshots_and_reuses_names(self, figure2_compressed):
+        evaluator = BatchEvaluator(figure2_compressed)
+        first = evaluator.evaluate_batch(MIX)
+        counts = [result.tree_count() for result in first]  # decode before reset
+        assert any(name.startswith("#q") for name in evaluator.instance.schema)
+        evaluator.reset_results()
+        assert not any(name.startswith("#q") for name in evaluator.instance.schema)
+        # A later batch restarts at #q0 and still decodes identically.
+        second = evaluator.evaluate_batch(MIX)
+        assert [result.set_name for result in second] == [
+            result.set_name for result in first
+        ]
+        assert [result.tree_count() for result in second] == counts
+
+    def test_schema_does_not_grow_across_reset_batches(self, figure2_compressed):
+        evaluator = BatchEvaluator(figure2_compressed)
+        evaluator.evaluate_batch(MIX)
+        evaluator.reset_results()
+        width = len(evaluator.instance.schema)
+        for _ in range(5):
+            evaluator.evaluate_batch(MIX)
+            evaluator.reset_results()
+        assert len(evaluator.instance.schema) == width

@@ -9,7 +9,6 @@ Figure 4 in-place splitter).
 
 from hypothesis import given, settings, strategies as st
 
-from repro.compress.decompress import decompress
 from repro.engine.evaluator import evaluate
 from repro.model.paths import tree_size
 from repro.xpath.algebra import (

@@ -1,0 +1,89 @@
+"""Tests for the persistent document catalog (load once, query forever)."""
+
+import pytest
+
+from repro.engine.evaluator import evaluate
+from repro.errors import CatalogError
+from repro.model.equivalence import equivalent
+from repro.server.catalog import Catalog
+from repro.skeleton.loader import load_instance
+
+from tests.skeleton.test_loader import BIB_XML
+
+
+@pytest.fixture
+def catalog(tmp_path):
+    return Catalog(str(tmp_path / "cat"))
+
+
+class TestRegistry:
+    def test_add_and_entry(self, catalog):
+        entry = catalog.add("bib", BIB_XML)
+        assert entry.name == "bib"
+        assert entry.chunks == 2  # book chunk + shared paper chunk
+        assert set(entry.tags) >= {"bib", "book", "paper", "title", "author"}
+        assert "bib" in catalog
+        assert catalog.names() == ["bib"]
+
+    def test_duplicate_rejected(self, catalog):
+        catalog.add("bib", BIB_XML)
+        with pytest.raises(CatalogError, match="already in the catalog"):
+            catalog.add("bib", BIB_XML)
+
+    def test_unknown_document(self, catalog):
+        with pytest.raises(CatalogError, match="unknown catalog document 'nope'"):
+            catalog.entry("nope")
+
+    @pytest.mark.parametrize("name", ["", "../up", "a/b", "a b", ".hidden"])
+    def test_bad_names_rejected(self, catalog, name):
+        with pytest.raises(CatalogError, match="invalid document name"):
+            catalog.add(name, BIB_XML)
+
+    def test_remove(self, catalog, tmp_path):
+        catalog.add("bib", BIB_XML)
+        catalog.remove("bib")
+        assert "bib" not in catalog
+        assert not (tmp_path / "cat" / "bib").exists()
+        with pytest.raises(CatalogError):
+            catalog.remove("bib")
+
+    def test_reopen_from_disk(self, catalog, tmp_path):
+        catalog.add("bib", BIB_XML)
+        reopened = Catalog(str(tmp_path / "cat"))
+        assert reopened.names() == ["bib"]
+        assert reopened.entry("bib").chunks == 2
+        assert reopened.xml("bib") == BIB_XML
+
+
+class TestWarmStart:
+    def test_assembled_equivalent_to_direct_load(self, catalog):
+        """The warm path (chunks only, no XML parse) rebuilds the instance."""
+        catalog.add("bib", BIB_XML)
+        warm = catalog.load_instance("bib")
+        warm.validate()
+        assert equivalent(warm, load_instance(BIB_XML, tags=None))
+
+    def test_warm_instance_answers_queries(self, catalog):
+        catalog.add("bib", BIB_XML)
+        result = evaluate(catalog.load_instance("bib"), "//book/author")
+        assert result.tree_count() == 3
+
+    def test_string_schema_reload(self, catalog):
+        """String predicates force one re-scan of the kept document text."""
+        catalog.add("bib", BIB_XML)
+        instance = catalog.load_instance("bib", ("Codd",))
+        assert instance.has_set("#contains:Codd")
+        result = evaluate(instance, '//paper[author["Codd"]]')
+        assert result.tree_count() == 1
+
+    def test_attributes_mode_preserved(self, tmp_path):
+        catalog = Catalog(str(tmp_path / "cat"))
+        xml = '<r><item id="alpha"/><item id="beta"/></r>'
+        catalog.add("doc", xml, attributes="nodes")
+        assert catalog.entry("doc").attributes == "nodes"
+        result = evaluate(catalog.load_instance("doc"), "//item/@id")
+        assert result.tree_count() == 2
+        # The string reload keeps attribute nodes too.
+        with_strings = catalog.load_instance("doc", ("alpha",))
+        result = evaluate(with_strings, '//item[@id["alpha"]]')
+        assert result.tree_count() == 1

@@ -1,0 +1,154 @@
+"""End-to-end tests of the JSON/HTTP serving layer (real sockets, threads)."""
+
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.engine.pipeline import Engine
+from repro.server.catalog import Catalog
+from repro.server.http import create_server
+from repro.server.service import decode_result
+
+from tests.skeleton.test_loader import BIB_XML
+
+
+@pytest.fixture
+def server(tmp_path):
+    Catalog(str(tmp_path / "cat")).add("bib", BIB_XML)
+    server = create_server(str(tmp_path / "cat"), port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+
+def request(server, method, path, body=None):
+    host, port = server.server_address[:2]
+    connection = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        payload = json.dumps(body) if body is not None else None
+        connection.request(method, path, payload)
+        response = connection.getresponse()
+        return response.status, json.loads(response.read().decode("utf-8"))
+    finally:
+        connection.close()
+
+
+class TestEndpoints:
+    def test_healthz(self, server):
+        status, payload = request(server, "GET", "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["documents"] == 1
+
+    def test_query_matches_direct_evaluation(self, server):
+        status, payload = request(
+            server, "POST", "/query",
+            {"document": "bib", "query": "//book/author", "paths": 10},
+        )
+        assert status == 200
+        expected = decode_result(Engine(BIB_XML).query("//book/author"), paths=10)
+        assert payload["tree_count"] == expected["tree_count"]
+        assert payload["paths"] == expected["paths"]
+        assert payload["document"] == "bib"
+        assert payload["mode"] == "snapshot"
+
+    def test_catalog_listing(self, server):
+        status, payload = request(server, "GET", "/catalog")
+        assert status == 200
+        assert [doc["name"] for doc in payload["documents"]] == ["bib"]
+
+    def test_register_then_query(self, server):
+        status, payload = request(
+            server, "POST", "/catalog/tiny", {"xml": "<r><x/><x/></r>"}
+        )
+        assert status == 201 and payload["name"] == "tiny"
+        status, payload = request(
+            server, "POST", "/query", {"document": "tiny", "query": "//x"}
+        )
+        assert status == 200 and payload["tree_count"] == 2
+
+    def test_delete_document(self, server):
+        status, payload = request(server, "DELETE", "/catalog/bib")
+        assert status == 200 and payload["removed"] == "bib"
+        status, _ = request(server, "POST", "/query", {"document": "bib", "query": "//a"})
+        assert status == 404
+
+
+class TestErrorMapping:
+    def test_unknown_document_is_404(self, server):
+        status, payload = request(
+            server, "POST", "/query", {"document": "ghost", "query": "//a"}
+        )
+        assert status == 404
+        assert "unknown catalog document" in payload["error"]
+
+    def test_malformed_query_is_400(self, server):
+        status, payload = request(
+            server, "POST", "/query", {"document": "bib", "query": "//a[["}
+        )
+        assert status == 400
+        assert "invalid query" in payload["error"]
+
+    def test_malformed_json_is_400(self, server):
+        host, port = server.server_address[:2]
+        connection = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            connection.request("POST", "/query", "{not json")
+            response = connection.getresponse()
+            assert response.status == 400
+            assert "malformed JSON" in json.loads(response.read())["error"]
+        finally:
+            connection.close()
+
+    def test_missing_fields_is_400(self, server):
+        status, payload = request(server, "POST", "/query", {"document": "bib"})
+        assert status == 400
+        assert "'document' and 'query'" in payload["error"]
+
+    def test_unknown_endpoint_is_404(self, server):
+        status, _ = request(server, "GET", "/nope")
+        assert status == 404
+
+    def test_bad_delete_is_404(self, server):
+        status, _ = request(server, "DELETE", "/catalog/ghost")
+        assert status == 404
+
+
+class TestConcurrentClients:
+    def test_many_clients_all_served_correctly(self, server):
+        queries = ["//author", "//title", "//book/author", "/bib/paper/title"]
+        expected = {
+            query: decode_result(Engine(BIB_XML).query(query), paths=20)
+            for query in queries
+        }
+        failures = []
+
+        def client(index):
+            query = queries[index % len(queries)]
+            try:
+                status, payload = request(
+                    server, "POST", "/query",
+                    {"document": "bib", "query": query, "paths": 20},
+                )
+                assert status == 200, payload
+                assert payload["tree_count"] == expected[query]["tree_count"]
+                assert payload["paths"] == expected[query]["paths"]
+            except Exception as error:  # noqa: BLE001 - collected for the assert
+                failures.append((index, error))
+
+        threads = [threading.Thread(target=client, args=(i,)) for i in range(16)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not failures
+        status, payload = request(server, "GET", "/stats")
+        assert status == 200
+        assert payload["service"]["requests"] >= 16

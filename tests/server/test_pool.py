@@ -1,0 +1,119 @@
+"""Tests for the LRU instance pool and its concurrency guarantees."""
+
+import threading
+
+import pytest
+
+from repro.model.instance import tree_instance
+from repro.server.pool import InstancePool
+
+
+def make_instance():
+    return tree_instance(("r", [("a", []), ("b", [])]))
+
+
+class TestLRU:
+    def test_loads_once_then_hits(self):
+        pool = InstancePool(capacity=4)
+        loads = []
+
+        def loader():
+            loads.append(1)
+            return make_instance()
+
+        first = pool.get_or_load("k", loader)
+        second = pool.get_or_load("k", loader)
+        assert first is second
+        assert len(loads) == 1
+        assert pool.stats()["hits"] == 1
+        assert pool.stats()["misses"] == 1
+
+    def test_capacity_evicts_least_recently_used(self):
+        pool = InstancePool(capacity=2)
+        for key in ("a", "b", "c"):
+            pool.get_or_load(key, make_instance)
+        assert pool.keys() == ["b", "c"]
+        assert pool.stats()["evictions"] == 1
+
+    def test_hit_refreshes_recency(self):
+        pool = InstancePool(capacity=2)
+        pool.get_or_load("a", make_instance)
+        pool.get_or_load("b", make_instance)
+        pool.get_or_load("a", make_instance)  # refresh: b is now the oldest
+        pool.get_or_load("c", make_instance)
+        assert pool.keys() == ["a", "c"]
+
+    def test_capacity_one_never_evicts_requested_key(self):
+        pool = InstancePool(capacity=1)
+        entry = pool.get_or_load("only", make_instance)
+        assert entry.instance is not None
+        assert pool.keys() == ["only"]
+
+    def test_evict_predicate(self):
+        pool = InstancePool(capacity=8)
+        pool.get_or_load(("doc1", ()), make_instance)
+        pool.get_or_load(("doc1", ("x",)), make_instance)
+        pool.get_or_load(("doc2", ()), make_instance)
+        assert pool.evict(lambda key: key[0] == "doc1") == 2
+        assert pool.keys() == [("doc2", ())]
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            InstancePool(capacity=0)
+
+
+class TestConcurrency:
+    def test_concurrent_requesters_load_once(self):
+        pool = InstancePool(capacity=4)
+        started = threading.Barrier(8)
+        loads = []
+        load_gate = threading.Event()
+
+        def loader():
+            loads.append(threading.get_ident())
+            load_gate.wait(timeout=5)  # keep the load slow: real contention
+            return make_instance()
+
+        entries = []
+
+        def worker():
+            started.wait(timeout=5)
+            entries.append(pool.get_or_load("hot", loader))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        # Let every worker reach the pool, then release the single load.
+        load_gate.set()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert len(loads) == 1
+        assert len({id(entry) for entry in entries}) == 1
+        assert all(entry.instance is not None for entry in entries)
+
+    def test_independent_keys_do_not_serialise(self):
+        """A slow load of one key must not block another key's load."""
+        pool = InstancePool(capacity=4)
+        slow_started = threading.Event()
+        slow_gate = threading.Event()
+        order = []
+
+        def slow_loader():
+            slow_started.set()
+            slow_gate.wait(timeout=5)
+            order.append("slow")
+            return make_instance()
+
+        def fast_loader():
+            order.append("fast")
+            return make_instance()
+
+        slow_thread = threading.Thread(
+            target=lambda: pool.get_or_load("slow", slow_loader)
+        )
+        slow_thread.start()
+        assert slow_started.wait(timeout=5)
+        pool.get_or_load("fast", fast_loader)  # completes while slow is stuck
+        slow_gate.set()
+        slow_thread.join(timeout=10)
+        assert order == ["fast", "slow"]

@@ -1,7 +1,5 @@
 """Tests for the one-scan skeleton loader."""
 
-import pytest
-
 from repro.compress.minimize import is_compressed
 from repro.model.paths import tree_size
 from repro.model.schema import DOC_SET, string_set

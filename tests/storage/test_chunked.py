@@ -68,7 +68,8 @@ class TestSaveAndAssemble:
             ChunkedStore.save(figure2_compressed, str(tmp_path / "bad"))
 
     def test_open_rejects_non_store(self, tmp_path):
-        import json, os
+        import json
+        import os
 
         os.makedirs(tmp_path / "junk", exist_ok=True)
         (tmp_path / "junk" / "manifest.json").write_text(json.dumps({"format": "nope"}))

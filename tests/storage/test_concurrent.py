@@ -1,0 +1,113 @@
+"""Concurrent-reader stress tests for the persistence seam the server uses.
+
+The serving layer's warm start is ``serialize.load`` (per chunk) plus
+``ChunkedStore`` assembly, possibly pruned.  These tests pin the two
+properties the server relies on:
+
+* ``serialize.dump``/``load`` round-trips instances exactly, including
+  under many threads hammering one store concurrently;
+* shredding (save) -> pruning -> assembly is equivalent to evaluating on
+  the unshredded instance, even when the store (and its shared chunk
+  cache) is read by many threads at once.
+"""
+
+import threading
+
+import pytest
+
+from repro.corpora import generate
+from repro.engine.evaluator import evaluate
+from repro.model.equivalence import equivalent
+from repro.model.serialize import dumps, loads
+from repro.skeleton.loader import load_instance
+from repro.storage.chunked import ChunkedStore
+
+from tests.skeleton.test_loader import BIB_XML
+
+
+def run_threads(count, target):
+    failures = []
+
+    def wrapped(index):
+        try:
+            target(index)
+        except Exception as error:  # noqa: BLE001 - surfaced by the assert below
+            failures.append((index, repr(error)))
+
+    threads = [threading.Thread(target=wrapped, args=(i,)) for i in range(count)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert not failures, failures
+
+
+class TestSerializeRoundTrip:
+    @pytest.mark.parametrize("corpus", ["dblp", "baseball"])
+    def test_dump_load_equivalence(self, corpus):
+        instance = load_instance(generate(corpus, 10, seed=1).xml, strings=["a"])
+        restored = loads(dumps(instance))
+        restored.validate()
+        assert equivalent(restored, instance)
+
+    def test_concurrent_round_trips(self):
+        instance = load_instance(BIB_XML, strings=["Codd"])
+        text = dumps(instance)
+
+        def worker(index):
+            restored = loads(text)
+            assert equivalent(restored, instance)
+            assert dumps(restored) == text  # serialisation is canonical
+
+        run_threads(8, worker)
+
+
+class TestChunkedUnderConcurrentReaders:
+    """save -> prune -> assemble == unshredded, with threads sharing a store."""
+
+    QUERIES = [
+        "/bib/paper/author",
+        '/bib/paper[author["Codd"]]/title',
+        "/bib/book/author",
+        "//paper",  # unprunable: loads everything
+        "/bib/book/title",
+    ]
+
+    def test_threaded_prune_assemble_equivalence(self, tmp_path):
+        original = load_instance(BIB_XML, strings=["Codd"])
+        store = ChunkedStore.save(original, str(tmp_path / "store"))
+        expected = {
+            query: evaluate(original, query).tree_count() for query in self.QUERIES
+        }
+
+        def worker(index):
+            query = self.QUERIES[index % len(self.QUERIES)]
+            partial, loaded = store.instance_for_query(query)
+            partial.validate()
+            assert loaded <= store.num_chunks
+            assert evaluate(partial, query).tree_count() == expected[query]
+
+        run_threads(10, worker)
+
+    def test_threaded_full_assembly_is_lossless(self, tmp_path):
+        original = load_instance(generate("dblp", 15, seed=2).xml)
+        store = ChunkedStore.save(original, str(tmp_path / "store"))
+
+        def worker(index):
+            assembled = store.assemble()
+            assert equivalent(assembled, original)
+
+        run_threads(6, worker)
+
+    def test_chunk_cache_loads_each_chunk_once(self, tmp_path):
+        store = ChunkedStore.save(load_instance(BIB_XML), str(tmp_path / "store"))
+        chunks = {}
+        lock = threading.Lock()
+
+        def worker(index):
+            chunk = store.chunk(index % store.num_chunks)
+            with lock:
+                chunks.setdefault(index % store.num_chunks, chunk)
+                assert chunks[index % store.num_chunks] is chunk
+
+        run_threads(12, worker)

@@ -36,7 +36,7 @@ class TestGen:
         assert "wrote" in capsys.readouterr().err
 
     def test_unknown_corpus_fails(self, capsys):
-        assert main(["gen", "nosuch"]) == 1
+        assert main(["gen", "nosuch"]) == 2
         assert "unknown corpus" in capsys.readouterr().err
 
 
@@ -58,7 +58,8 @@ class TestCompress:
         assert "digraph" in capsys.readouterr().out
 
     def test_missing_file(self, capsys):
-        assert main(["compress", "/nonexistent.xml"]) == 1
+        assert main(["compress", "/nonexistent.xml"]) == 2
+        assert "error: file not found: /nonexistent.xml" in capsys.readouterr().err
 
 
 class TestQuery:
@@ -77,8 +78,8 @@ class TestQuery:
         assert "selected tree nodes : 5" in capsys.readouterr().out
 
     def test_bad_query_fails(self, bib_file, capsys):
-        assert main(["query", bib_file, "//a[["]) == 1
-        assert "error" in capsys.readouterr().err
+        assert main(["query", bib_file, "//a[["]) == 2
+        assert "error: invalid query:" in capsys.readouterr().err
 
     def test_no_queries_fails(self, bib_file, capsys):
         assert main(["query", bib_file]) == 2
@@ -163,6 +164,88 @@ class TestSavedInstances:
         capsys.readouterr()
         assert main(["query", dag, '//paper[author["Codd"]]']) == 0
         assert "selected tree nodes : 1" in capsys.readouterr().out
+
+
+class TestExitCodes:
+    """Regression tests: 2 = bad invocation/input, 1 = engine failure.
+
+    Before PR 3 missing files, malformed queries and unknown corpora all
+    exited 1 (mixed with runtime errors) with inconsistent stderr wording.
+    """
+
+    def test_workload_file_absent(self, bib_file, capsys):
+        assert main(["query", bib_file, "--workload", "/no/such/mix.txt"]) == 2
+        assert "error: file not found: /no/such/mix.txt" in capsys.readouterr().err
+
+    def test_malformed_xpath_in_batch(self, bib_file, capsys):
+        assert main(["query", bib_file, "//author", "//b[["]) == 2
+        assert "error: invalid query:" in capsys.readouterr().err
+
+    def test_unknown_catalog_document(self, tmp_path, capsys):
+        catalog = str(tmp_path / "cat")
+        assert main(["catalog", "evict", "ghost", "-C", catalog]) == 2
+        assert "error: unknown catalog document 'ghost'" in capsys.readouterr().err
+
+    def test_query_input_file_absent(self, capsys):
+        assert main(["query", "/no/such/doc.xml", "//a"]) == 2
+        assert "error: file not found: /no/such/doc.xml" in capsys.readouterr().err
+
+    def test_input_file_is_directory(self, tmp_path, capsys):
+        assert main(["compress", str(tmp_path)]) == 2
+        assert "expected a file" in capsys.readouterr().err
+
+    def test_all_errors_are_single_stderr_lines(self, bib_file, capsys):
+        for argv in (
+            ["gen", "nosuch"],
+            ["compress", "/nonexistent.xml"],
+            ["query", bib_file, "//a[["],
+        ):
+            assert main(argv) == 2
+            err = capsys.readouterr().err.strip()
+            assert err.startswith("error: ") and "\n" not in err
+
+
+class TestCatalogCLI:
+    def test_add_ls_evict_round_trip(self, bib_file, tmp_path, capsys):
+        catalog = str(tmp_path / "cat")
+        assert main(["catalog", "add", "bib", bib_file, "-C", catalog]) == 0
+        out = capsys.readouterr().out
+        assert "added bib" in out and "chunk(s)" in out
+
+        assert main(["catalog", "ls", "-C", catalog]) == 0
+        assert "bib" in capsys.readouterr().out
+
+        assert main(["catalog", "evict", "bib", "-C", catalog]) == 0
+        capsys.readouterr()
+        assert main(["catalog", "ls", "-C", catalog]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_duplicate_add_fails(self, bib_file, tmp_path, capsys):
+        catalog = str(tmp_path / "cat")
+        assert main(["catalog", "add", "bib", bib_file, "-C", catalog]) == 0
+        capsys.readouterr()
+        assert main(["catalog", "add", "bib", bib_file, "-C", catalog]) == 2
+        assert "already in the catalog" in capsys.readouterr().err
+
+    def test_add_missing_file(self, tmp_path, capsys):
+        assert main(["catalog", "add", "x", "/no/such.xml", "-C", str(tmp_path / "c")]) == 2
+        assert "file not found" in capsys.readouterr().err
+
+    def test_invalid_name_rejected(self, bib_file, tmp_path, capsys):
+        code = main(["catalog", "add", "../escape", bib_file, "-C", str(tmp_path / "c")])
+        assert code == 2
+        assert "invalid document name" in capsys.readouterr().err
+
+
+class TestServeParser:
+    def test_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve"])
+        assert args.mode == "snapshot"
+        assert args.window_ms == 0.0
+        assert args.pool_size == 8
+        assert args.catalog == "repro-catalog"
 
 
 class TestExplain:

@@ -1,7 +1,5 @@
 """Tests for compilation to the node-set algebra (Figure 3 semantics)."""
 
-import pytest
-
 from repro.model.schema import string_set
 from repro.xpath.algebra import (
     AllNodes,
