@@ -50,7 +50,7 @@ from repro.corpora import binary_tree, relational
 from repro.corpora.registry import CORPORA
 from repro.engine.pipeline import Engine
 from repro.server.catalog import Catalog
-from repro.server.http import create_server
+from repro.server.http import create_server, wait_ready
 from repro.server.service import decode_result
 
 REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(os.path.abspath(__file__)), ".."))
@@ -117,11 +117,22 @@ def canonical(payload: dict) -> str:
 class ServerUnderTest:
     """A live ``repro serve`` on an ephemeral port over a throwaway catalog."""
 
-    def __init__(self, catalog_dir: str, mode: str):
-        self.server = create_server(catalog_dir, port=0, mode=mode)
+    def __init__(self, catalog_dir: str, mode: str, workers: int = 0):
+        self.server = create_server(catalog_dir, port=0, mode=mode, workers=workers)
         self.host, self.port = self.server.server_address[:2]
         self.thread = threading.Thread(target=self.server.serve_forever, daemon=True)
         self.thread.start()
+        # A failed readiness probe must not leak the serving thread or the
+        # spawned fleet: a leaked earlier config would keep competing for
+        # cores with every later measured one, skewing the scaling curve.
+        try:
+            if not wait_ready(self.host, self.port, timeout=60):
+                raise AssertionError(f"server on port {self.port} never became ready")
+            if not self.server.service.wait_ready(timeout=120):
+                raise AssertionError("the worker fleet never became ready")
+        except BaseException:
+            self.close()
+            raise
 
     def request(self, connection, document: str, query: str, paths: int = 0) -> dict:
         body = json.dumps({"document": document, "query": query, "paths": paths})
@@ -146,6 +157,7 @@ class ServerUnderTest:
     def close(self) -> None:
         self.server.shutdown()
         self.server.server_close()
+        self.server.service.close()
         self.thread.join(timeout=10)
 
 

@@ -12,7 +12,21 @@ serves every report shape:
 
 * ``query_throughput`` — ``geomean_speedup`` (new engine vs seed engine);
 * ``batch_workload``   — ``best_speedup`` (batched vs sequential mix);
-* ``server``           — ``geomean_speedup`` (served vs one-shot).
+* ``server``           — ``geomean_speedup`` (served vs one-shot);
+* ``cluster``          — ``best_scaling`` (fleet vs single-process server).
+
+PR-level smoke mode validates freshly produced smoke artifacts without a
+baseline (smoke corpora are too small for absolute comparison against the
+committed full-run numbers)::
+
+    python benchmarks/check_regression.py --smoke FRESH.json [FRESH2.json ...]
+
+Each report must name a known benchmark, carry a positive headline
+metric, and — when the report embeds its own requirement
+(``min_*_required``) — meet it; a cluster report must additionally have
+passed its byte-identical correctness gate.  This runs on every PR, so a
+benchmark that silently stopped producing its headline (or started
+failing its own floor) is caught at review time, not at the nightly cron.
 
 Exit codes follow the CLI convention: 0 pass, 1 regression, 2 bad inputs.
 """
@@ -28,7 +42,41 @@ HEADLINE = {
     "query_throughput": "geomean_speedup",
     "batch_workload": "best_speedup",
     "server": "geomean_speedup",
+    "cluster": "best_scaling",
 }
+
+#: benchmark name -> (measured key, embedded requirement key) checked in
+#: smoke mode when the requirement key is present and its gate applies.
+SMOKE_FLOORS = {
+    "query_throughput": ("geomean_speedup", "min_speedup_required"),
+    "batch_workload": ("best_speedup", "min_speedup_required"),
+    "server": ("worst_speedup", "min_speedup_required"),
+    "cluster": ("scaling_at_4_workers", "min_scaling_required"),
+}
+
+
+def check_smoke(path: str) -> list[str]:
+    """Problems (empty = healthy) with one freshly produced smoke report."""
+    with open(path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    problems = []
+    try:
+        key, value = headline_value(report, path)
+    except ValueError as error:
+        return [str(error)]
+    print(f"{report['benchmark']}: {key} {value:.3f} (smoke)")
+    measured_key, floor_key = SMOKE_FLOORS.get(report["benchmark"], (None, None))
+    floor = report.get(floor_key)
+    measured = report.get(measured_key)
+    enforced = report.get("scaling_gate_enforced", True)
+    if floor is not None and measured is not None and enforced and measured < floor:
+        problems.append(
+            f"{path}: {measured_key} {measured:.3f} below the report's own "
+            f"floor {floor_key}={floor:.3f}"
+        )
+    if report["benchmark"] == "cluster" and not report.get("checked_byte_identical_total"):
+        problems.append(f"{path}: cluster report ran no byte-identical checks")
+    return problems
 
 
 def headline_value(report: dict, path: str) -> tuple[str, float]:
@@ -44,13 +92,38 @@ def headline_value(report: dict, path: str) -> tuple[str, float]:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline", help="committed BENCH_*.json")
-    parser.add_argument("candidate", help="freshly produced benchmark JSON")
+    parser.add_argument(
+        "reports", nargs="+",
+        help="BASELINE.json CANDIDATE.json — or, with --smoke, one or more "
+        "freshly produced smoke reports",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="validate fresh smoke artifacts against their own embedded "
+        "floors instead of a committed baseline (PR-level check)",
+    )
     parser.add_argument(
         "--tolerance", type=float, default=0.2,
         help="allowed fractional regression (0.2 = fail below 80%% of baseline)",
     )
     args = parser.parse_args(argv)
+
+    if args.smoke:
+        problems = []
+        for path in args.reports:
+            try:
+                problems.extend(check_smoke(path))
+            except (OSError, json.JSONDecodeError) as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1 if problems else 0
+
+    if len(args.reports) != 2:
+        print("error: expected BASELINE.json CANDIDATE.json", file=sys.stderr)
+        return 2
+    args.baseline, args.candidate = args.reports
 
     try:
         with open(args.baseline, "r", encoding="utf-8") as handle:

@@ -11,6 +11,7 @@ Installed as the ``repro`` console script::
     repro explain '//a/b[c or not(following::*)]'
     repro catalog add dblp d.xml          # shred once into the catalog
     repro serve --port 8080               # concurrent query service
+    repro serve --workers 4               # ... sharded over 4 worker processes
 
 Multiple XPaths (positional and/or one per line of a ``--workload`` file)
 are evaluated as one batch: a single load over the union of the queries'
@@ -190,8 +191,23 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server.cluster import default_worker_count
     from repro.server.http import serve
 
+    if args.workers is not None:
+        workers = args.workers
+    else:
+        # One worker per CPU — except on a single-core machine, where a
+        # 1-worker fleet is the in-process server plus IPC tax (measured
+        # ~8%, BENCH_cluster.json): serve in process there instead.
+        cores = default_worker_count()
+        workers = cores if cores > 1 else 0
+    if workers < 0:
+        print("error: --workers must be >= 0", file=sys.stderr)
+        return EXIT_USAGE
+    if args.worker_threads < 1:
+        print("error: --worker-threads must be >= 1", file=sys.stderr)
+        return EXIT_USAGE
     serve(
         args.catalog,
         host=args.host,
@@ -202,6 +218,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         pool_capacity=args.pool_size,
         axes=args.axes,
         quiet=not args.verbose,
+        workers=workers,
+        worker_threads=args.worker_threads,
+        stats_interval=args.stats_interval,
     )
     return 0
 
@@ -340,6 +359,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="max resident (document, schema) instances before LRU eviction",
     )
     serve.add_argument("--axes", choices=("functional", "inplace"), default="functional")
+    serve.add_argument(
+        "--workers", type=int, default=None,
+        help="pre-forked worker processes, requests sharded by "
+        "(document, string-schema) rendezvous hash (default: one per CPU, "
+        "or in-process on a single-core machine; 0 = always in process)",
+    )
+    serve.add_argument(
+        "--worker-threads", type=int, default=4,
+        help="request threads inside each worker (same-shard concurrency "
+        "still coalesces into shared batches)",
+    )
+    serve.add_argument(
+        "--stats-interval", type=float, default=0.0, metavar="S",
+        help="log a one-line stats summary to stderr every S seconds "
+        "(queue depth, shard residency, respawns; 0 = off)",
+    )
     serve.add_argument("--verbose", action="store_true", help="log every request")
     serve.set_defaults(func=_cmd_serve)
 

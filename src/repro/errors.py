@@ -70,3 +70,17 @@ class CorpusError(ReproError):
 
 class CatalogError(ReproError):
     """A document catalog operation failed (unknown document, bad name, ...)."""
+
+
+class ClusterError(ReproError):
+    """A worker-fleet operation failed (spawn, dispatch, shutdown, ...)."""
+
+
+class WorkerUnavailableError(ClusterError):
+    """The shard's worker died with the request in flight.
+
+    The request was routed to a worker process that crashed (or was killed)
+    before producing a response.  The dispatcher respawns the worker, so the
+    condition is transient — the HTTP layer maps this to 503 so clients know
+    to retry, never to a wrong answer or a hang.
+    """

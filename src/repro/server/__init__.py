@@ -1,20 +1,26 @@
 """Concurrent query serving over the persistent store (load once, query forever).
 
-The subsystem has three layers, bottom up:
+The subsystem has four layers, bottom up:
 
 * :mod:`repro.server.catalog` — a directory of documents shredded into the
   chunked store at registration time; warm starts assemble instances from
-  chunks instead of re-parsing XML.
+  chunks instead of re-parsing XML.  The on-disk layout doubles as the
+  fleet's replication channel (safe for concurrent reader processes).
 * :mod:`repro.server.pool` — a bounded LRU of resident master instances
   keyed by ``(document, schema key)``, with per-entry locks.
 * :mod:`repro.server.service` / :mod:`repro.server.http` — the coalescing
   evaluation front (concurrent requests for one document share a single
   :class:`repro.engine.batch.BatchEvaluator` run) and its stdlib JSON/HTTP
   binding (``repro serve``).
+* :mod:`repro.server.cluster` / :mod:`repro.server.worker` — the pre-forked
+  worker fleet (``repro serve --workers N``): rendezvous-hashed shard
+  affinity, crash detection + respawn, graceful drain; each worker process
+  owns its own pool and batch evaluator over the shared catalog.
 """
 
 from repro.server.catalog import Catalog, CatalogEntry
-from repro.server.http import ReproHTTPServer, create_server, serve
+from repro.server.cluster import WorkerFleet, default_worker_count
+from repro.server.http import ReproHTTPServer, create_server, serve, wait_ready
 from repro.server.pool import InstancePool, PoolEntry
 from repro.server.service import QueryService, decode_result
 
@@ -25,7 +31,10 @@ __all__ = [
     "PoolEntry",
     "QueryService",
     "ReproHTTPServer",
+    "WorkerFleet",
     "create_server",
     "decode_result",
+    "default_worker_count",
     "serve",
+    "wait_ready",
 ]

@@ -22,6 +22,15 @@ keyed by their string schema.
 
 All catalog methods are thread-safe: registration and removal serialise on
 one lock, and the manifest is rewritten atomically (temp file + rename).
+
+The on-disk layout is also the fleet's replication channel: any number of
+*reader* processes (the pre-forked workers of :mod:`repro.server.cluster`)
+may open the same directory concurrently with one writer (the front-end).
+A document's chunk files are fully written *before* its manifest entry is
+published, and the manifest itself is replaced atomically, so a reader
+either sees a complete document or none at all; :meth:`Catalog.refresh`
+re-reads the manifest so long-lived readers pick up registrations and
+removals made by the front-end after they started.
 """
 
 from __future__ import annotations
@@ -31,6 +40,7 @@ import os
 import re
 import shutil
 import threading
+import time
 from dataclasses import asdict, dataclass, field
 
 from repro.errors import CatalogError
@@ -58,6 +68,11 @@ class CatalogEntry:
     #: Tag sets available in the shredded schema (queries outside this set
     #: still work: missing sets are materialised empty at serve time).
     tags: list[str] = field(default_factory=list)
+    #: Unique per registration (wall-clock stamp).  A name removed and
+    #: re-registered gets a different stamp even for identical content, so
+    #: :meth:`Catalog.refresh` can tell "same entry" from "replaced entry"
+    #: and long-lived readers never keep a stale chunk-store cache.
+    registered_at: float = 0.0
 
 
 class Catalog:
@@ -68,15 +83,9 @@ class Catalog:
         self._lock = threading.RLock()
         self._entries: dict[str, CatalogEntry] = {}
         self._stores: dict[str, ChunkedStore] = {}
-        manifest_path = os.path.join(root, _MANIFEST)
-        if os.path.exists(manifest_path):
-            with open(manifest_path, "r", encoding="utf-8") as handle:
-                manifest = json.load(handle)
-            if manifest.get("format") != _FORMAT:
-                raise CatalogError(f"not a repro catalog: {root}")
-            for raw in manifest["documents"]:
-                entry = CatalogEntry(**raw)
-                self._entries[entry.name] = entry
+        # One manifest-reading path for open and re-open: refresh() treats
+        # a missing manifest as an empty catalog, same as a fresh directory.
+        self.refresh()
 
     # -- registry --------------------------------------------------------
 
@@ -103,6 +112,40 @@ class Catalog:
                 raise CatalogError(
                     f"unknown catalog document {name!r}; known: {known}"
                 ) from None
+
+    def refresh(self) -> None:
+        """Re-read the manifest from disk, picking up other processes' writes.
+
+        Entries that disappeared **or changed** are dropped (with their
+        cached stores — a re-registered name must never be served from the
+        previous registration's cached chunks); entries that appeared are
+        added.  Safe against a concurrent writer:
+        the manifest is replaced atomically and every entry's chunk files
+        are on disk before the entry is published, so whatever version this
+        read observes is complete.  A missing manifest means the catalog is
+        (still) empty — not an error, matching ``Catalog(dir)`` on a fresh
+        directory.
+        """
+        manifest_path = os.path.join(self.root, _MANIFEST)
+        try:
+            with open(manifest_path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except FileNotFoundError:
+            manifest = {"format": _FORMAT, "documents": []}
+        if manifest.get("format") != _FORMAT:
+            raise CatalogError(f"not a repro catalog: {self.root}")
+        fresh = {}
+        for raw in manifest["documents"]:
+            entry = CatalogEntry(**raw)
+            fresh[entry.name] = entry
+        with self._lock:
+            for name in list(self._stores):
+                # Dataclass equality over every field including the
+                # registration stamp: removal and replacement both
+                # invalidate; an unchanged entry keeps its warm store.
+                if fresh.get(name) != self._entries.get(name):
+                    del self._stores[name]
+            self._entries = fresh
 
     def _write_manifest(self) -> None:
         manifest = {
@@ -136,12 +179,31 @@ class Catalog:
             if name in self._entries:
                 raise CatalogError(f"document {name!r} is already in the catalog")
         result = load(xml, tags=None, attributes=attributes)
-        instance = result.instance
         doc_dir = os.path.join(self.root, name)
-        os.makedirs(doc_dir, exist_ok=True)
-        with open(os.path.join(doc_dir, "document.xml"), "w", encoding="utf-8") as handle:
+        # Shred into a private staging directory and only rename it to the
+        # published path under the registry lock: two racing registrations
+        # of one name never share files, so the loser's cleanup can only
+        # ever delete its own staging area — never the winner's chunks.
+        staging = os.path.join(
+            self.root, f".staging-{name}-{os.getpid()}-{threading.get_ident()}"
+        )
+        try:
+            return self._publish(name, xml, result, staging, doc_dir, attributes)
+        finally:
+            # A successful publish renamed the staging directory away; on
+            # any failure (shred error, disk full, lost registration race)
+            # this is the garbage collection for the half-written files.
+            shutil.rmtree(staging, ignore_errors=True)
+
+    def _publish(
+        self, name: str, xml: str, result, staging: str, doc_dir: str, attributes: str
+    ) -> CatalogEntry:
+        """Stage, then atomically publish, one registration (see :meth:`add`)."""
+        instance = result.instance
+        os.makedirs(staging)
+        with open(os.path.join(staging, "document.xml"), "w", encoding="utf-8") as handle:
             handle.write(xml)
-        store = ChunkedStore.save(instance, os.path.join(doc_dir, "chunks"))
+        store = ChunkedStore.save(instance, os.path.join(staging, "chunks"))
         entry = CatalogEntry(
             name=name,
             attributes=attributes,
@@ -152,12 +214,21 @@ class Catalog:
             chunks=store.num_chunks,
             shred_seconds=result.parse_seconds,
             tags=[set_name for set_name in instance.schema if not set_name.startswith("#")],
+            registered_at=time.time(),
         )
         with self._lock:
             if name in self._entries:
-                # Lost a registration race: drop our files, keep the winner's.
-                shutil.rmtree(doc_dir, ignore_errors=True)
+                # Lost a registration race: keep the winner's files (the
+                # caller's finally clause garbage-collects our staging).
                 raise CatalogError(f"document {name!r} is already in the catalog")
+            if os.path.exists(doc_dir):
+                # Unreferenced leftovers (a crash between a removal's manifest
+                # write and its rmtree): no live entry points here.
+                shutil.rmtree(doc_dir, ignore_errors=True)
+            os.rename(staging, doc_dir)
+            # Re-open at the published path — the staging store's directory
+            # no longer exists, so its lazy chunk loads would miss.
+            store = ChunkedStore(os.path.join(doc_dir, "chunks"))
             self._entries[name] = entry
             self._stores[name] = store
             self._write_manifest()

@@ -1,0 +1,592 @@
+"""Sharded multi-process serving: a pre-forked worker fleet + dispatcher.
+
+PR 3's single-process server keeps compressed masters resident and
+coalesces concurrent requests, but every mask-plane evaluation still
+contends on one GIL — aggregate throughput stops scaling past ~1 core.
+The fleet shards the work the way path-partitioned stores do: each
+**worker process** (:mod:`repro.server.worker`) owns its own
+``InstancePool``/``BatchEvaluator`` and answers only the shards routed to
+it, so N workers evaluate on N cores with no shared interpreter state.
+
+Design points:
+
+* **Spawn-safe replication via the chunk store.**  Workers are started
+  with the ``spawn`` method and receive only the catalog *directory*;
+  they assemble their resident masters from the shredded chunks on disk
+  (or re-scan the kept text for string schemas).  Instances are never
+  pickled across the boundary — the on-disk store is the IPC-free
+  replication channel, so worker startup cost is one warm assemble per
+  resident key, independent of front-end state.
+
+* **Rendezvous (HRW) routing = shard affinity.**  Each request is routed
+  by the highest ``blake2b(worker slot | document | string-schema)``
+  score over the fleet, so a given ``(document, string-schema)`` master
+  is resident in **exactly one** worker: PR 3's micro-batch coalescing
+  and persistent-mode reuse keep working per shard, memory is not
+  duplicated N ways, and adding/removing a slot only remaps the keys
+  that hashed to it.  A respawned worker keeps its slot id, so affinity
+  survives crashes.
+
+* **Crash containment.**  A monitor thread health-checks the fleet;
+  when a worker dies (``kill -9`` included) its in-flight requests fail
+  with :class:`~repro.errors.WorkerUnavailableError` — mapped to HTTP
+  503, never a hang or a wrong answer — and the worker is respawned on
+  fresh queues.  Subsequent requests for the shard hit the respawned
+  worker, which re-assembles its masters from disk.
+
+* **Graceful drain.**  :meth:`WorkerFleet.close` sends a shutdown
+  sentinel to every worker, lets them finish queued work, joins with a
+  deadline, and only then escalates to ``terminate``/``kill``.
+
+:class:`WorkerFleet` exposes the same surface as the in-process
+:class:`~repro.server.service.QueryService` (``query`` / ``stats_dict``
+/ ``evict`` / ``catalog`` / ``mode`` / ``request_timeout`` / ``close`` /
+``wait_ready``), so the HTTP front-end treats ``--workers N`` and
+``--workers 0`` identically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import multiprocessing
+import os
+import queue as stdlib_queue
+import threading
+import time
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+
+from repro.errors import ClusterError, WorkerUnavailableError
+from repro.server.catalog import Catalog
+from repro.server.service import DEFAULT_LIMIT, CompiledQueryCache
+from repro.server.worker import SHUTDOWN, rebuild_error, worker_main
+
+#: Request kinds counted in dispatched/completed/failed — real work, not
+#: the fleet's own control traffic (pings, stats probes).
+_WORK_KINDS = frozenset({"query", "evict"})
+
+
+def default_worker_count() -> int:
+    """The ``--workers`` default: one per CPU the process may use."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+class _WorkerSlot:
+    """One stable shard slot: a worker process and its plumbing.
+
+    The slot *id* is what rendezvous hashing scores, so it survives
+    respawns; the process, queues, pump thread, and in-flight map are
+    per-incarnation and replaced wholesale on crash (a killed process can
+    leave a queue in an unusable state, so queues are never reused).
+    """
+
+    __slots__ = (
+        "id",
+        "lock",
+        "process",
+        "request_queue",
+        "response_queue",
+        "inflight",
+        "pump",
+        "stop_pump",
+        "generation",
+        "dispatched",
+        "completed",
+        "failed",
+        "last_spawn",
+        "strikes",
+        "respawn_at",
+    )
+
+    def __init__(self, slot_id: int):
+        self.id = slot_id
+        self.lock = threading.Lock()
+        self.process = None
+        self.request_queue = None
+        self.response_queue = None
+        #: request id -> (Future, kind), everything handed to this incarnation.
+        self.inflight: dict[int, tuple[Future, str]] = {}
+        self.pump: threading.Thread | None = None
+        self.stop_pump: threading.Event | None = None
+        self.generation = 0
+        self.dispatched = 0
+        self.completed = 0
+        self.failed = 0
+        #: Crash-loop backoff state: when the incarnation started, how many
+        #: consecutive times it died young, and when the next spawn is due.
+        self.last_spawn = 0.0
+        self.strikes = 0
+        self.respawn_at = 0.0
+
+
+class WorkerFleet:
+    """Dispatcher over N pre-forked workers; the ``--workers N`` service."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        workers: int | None = None,
+        mode: str = "snapshot",
+        window: float = 0.0,
+        max_batch: int = 64,
+        pool_capacity: int = 8,
+        axes: str = "functional",
+        request_timeout: float = 120.0,
+        worker_threads: int = 4,
+        health_interval: float = 0.25,
+        drain_timeout: float = 10.0,
+    ):
+        count = default_worker_count() if workers is None else int(workers)
+        if count < 1:
+            raise ClusterError(f"worker fleet needs >= 1 worker, got {count}")
+        self.catalog = catalog
+        self.mode = mode
+        self.request_timeout = request_timeout
+        self.health_interval = health_interval
+        self.drain_timeout = drain_timeout
+        self.workers = count
+        self._config = {
+            "mode": mode,
+            "window": window,
+            "max_batch": max_batch,
+            "pool_capacity": pool_capacity,
+            "axes": axes,
+            "threads": worker_threads,
+        }
+        self._context = multiprocessing.get_context("spawn")
+        self._compiled = CompiledQueryCache()
+        self._ids = itertools.count(1)
+        self._closing = threading.Event()
+        self._respawns = 0
+        self._stats_lock = threading.Lock()
+        self._slots = [_WorkerSlot(slot_id) for slot_id in range(count)]
+        try:
+            for slot in self._slots:
+                self._start_worker(slot)
+        except BaseException:
+            # A partial fleet must not outlive its failed constructor: the
+            # caller gets the exception, never a handle to close() with.
+            self._closing.set()
+            for slot in self._slots:
+                if slot.stop_pump is not None:
+                    slot.stop_pump.set()
+                if slot.process is not None:
+                    slot.process.terminate()
+                    slot.process.join(timeout=2.0)
+            raise
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="fleet-monitor", daemon=True
+        )
+        self._monitor.start()
+
+    # -- worker lifecycle ------------------------------------------------
+
+    def _start_worker(self, slot: _WorkerSlot) -> None:
+        """(Re)incarnate ``slot``: fresh queues, process, and pump thread."""
+        slot.request_queue = self._context.Queue()
+        slot.response_queue = self._context.Queue()
+        slot.inflight = {}
+        slot.stop_pump = threading.Event()
+        slot.generation += 1
+        slot.process = self._context.Process(
+            target=worker_main,
+            args=(
+                slot.id,
+                self.catalog.root,
+                slot.request_queue,
+                slot.response_queue,
+                self._config,
+            ),
+            name=f"repro-worker-{slot.id}",
+            daemon=True,
+        )
+        slot.process.start()
+        slot.last_spawn = time.monotonic()
+        slot.pump = threading.Thread(
+            target=self._pump_loop,
+            args=(slot, slot.response_queue, slot.stop_pump),
+            name=f"fleet-pump-{slot.id}",
+            daemon=True,
+        )
+        slot.pump.start()
+
+    def _pump_loop(self, slot: _WorkerSlot, response_queue, stop: threading.Event) -> None:
+        """Resolve this incarnation's futures from its response queue."""
+        while not stop.is_set():
+            try:
+                message = response_queue.get(timeout=0.1)
+            except stdlib_queue.Empty:
+                continue
+            except Exception:  # noqa: BLE001 - queue torn down mid-read
+                stop.wait(0.05)
+                continue
+            request_id, status = message[0], message[1]
+            with slot.lock:
+                entry = slot.inflight.pop(request_id, None)
+            if entry is None:  # timed out / failed over already
+                continue
+            future, kind = entry
+            counted = kind in _WORK_KINDS
+            if status == "ok":
+                if counted:
+                    with self._stats_lock:
+                        slot.completed += 1
+                future.set_result(message[2])
+            else:
+                if counted:
+                    with self._stats_lock:
+                        slot.failed += 1
+                future.set_exception(rebuild_error(message[2], message[3]))
+
+    def _monitor_loop(self) -> None:
+        """Health-check the fleet; fail over and respawn dead workers.
+
+        The loop must survive anything a single pass throws (a respawn's
+        ``Process.start()`` can raise under memory/process pressure): a
+        dead monitor would silently disable crash detection for the rest
+        of the fleet's life, so failures only skip the pass — the slot
+        stays dead-but-detected and is retried next tick.
+        """
+        while not self._closing.wait(self.health_interval):
+            for slot in self._slots:
+                if self._closing.is_set():
+                    return
+                try:
+                    process = slot.process
+                    if process is not None and not process.is_alive():
+                        self._handle_crash(slot)
+                    elif process is None:
+                        # A crash-looping slot waiting out its backoff window.
+                        with slot.lock:
+                            if (
+                                slot.process is None
+                                and time.monotonic() >= slot.respawn_at
+                                and not self._closing.is_set()
+                            ):
+                                self._start_worker(slot)
+                except Exception:  # noqa: BLE001 - retried on the next tick
+                    with slot.lock:
+                        if slot.process is not None and not slot.process.is_alive():
+                            slot.process = None
+                        slot.respawn_at = time.monotonic() + max(
+                            0.5, self.health_interval
+                        )
+
+    def _handle_crash(self, slot: _WorkerSlot) -> None:
+        """Fail over one dead incarnation and respawn it, atomically.
+
+        The whole swap — dooming the in-flight map, stopping the old pump,
+        installing fresh queues, starting the new process — happens under
+        the slot lock, so a concurrent :meth:`_submit` lands either in the
+        old incarnation (and is doomed here) or entirely in the new one;
+        a request can never strand half-registered across the swap.
+        """
+        exitcode = slot.process.exitcode
+        with slot.lock:
+            slot.stop_pump.set()
+            doomed = list(slot.inflight.values())
+            slot.inflight = {}
+            # Crash-loop backoff: a worker that died young (within 2 s of
+            # spawning — e.g. a corrupted catalog killing every startup)
+            # earns a strike; after 3 strikes respawns are delayed
+            # exponentially up to 5 s so a deterministic startup failure
+            # burns backoff waits, not a continuous spawn storm.  The slot
+            # keeps retrying forever at the capped interval — an operator
+            # sees alive=false + climbing respawns in /stats meanwhile —
+            # and a worker that survives past 2 s clears its strikes.
+            if time.monotonic() - slot.last_spawn < 2.0:
+                slot.strikes += 1
+            else:
+                slot.strikes = 0
+            delay = 0.0 if slot.strikes < 3 else min(5.0, 0.25 * 2 ** (slot.strikes - 3))
+            if self._closing.is_set():
+                pass
+            elif delay == 0.0:
+                try:
+                    self._start_worker(slot)
+                except Exception:  # noqa: BLE001 - spawn failed (EAGAIN/ENOMEM...)
+                    # The in-flight futures below must still be failed; leave
+                    # the slot dead-but-scheduled and let the monitor retry.
+                    slot.process = None
+                    slot.respawn_at = time.monotonic() + max(0.5, self.health_interval)
+            else:
+                slot.process = None  # _submit fails fast while we wait
+                slot.respawn_at = time.monotonic() + delay
+        error = WorkerUnavailableError(
+            f"worker {slot.id} died (exit code {exitcode}) with the request in "
+            f"flight; the shard is respawning — retry"
+        )
+        with self._stats_lock:
+            slot.failed += sum(1 for _, kind in doomed if kind in _WORK_KINDS)
+            self._respawns += 1
+        for future, _ in doomed:
+            if not future.done():
+                future.set_exception(error)
+
+    # -- routing ---------------------------------------------------------
+
+    def _slot_for(self, document: str, strings: tuple[str, ...]) -> _WorkerSlot:
+        """Rendezvous-hash the shard key over the stable slot ids."""
+        if len(self._slots) == 1:
+            return self._slots[0]
+        key = json.dumps([document, list(strings)]).encode("utf-8")
+        best, best_score = None, -1
+        for slot in self._slots:
+            digest = hashlib.blake2b(
+                b"%d|" % slot.id + key, digest_size=8
+            ).digest()
+            score = int.from_bytes(digest, "big")
+            if score > best_score:
+                best, best_score = slot, score
+        return best
+
+    def shard_of(self, document: str, query_text: str) -> int:
+        """The slot id a query for ``document`` routes to (introspection)."""
+        _, _, strings = self._compiled.entry(query_text)
+        return self._slot_for(document, strings).id
+
+    def _submit(self, slot: _WorkerSlot, message_tail: tuple) -> tuple[int, Future]:
+        """Register a future and enqueue ``(kind, id, *tail)`` atomically.
+
+        Registration and enqueue happen under the slot lock so a crash
+        handler swapping the incarnation can never strand a future in a
+        replaced in-flight map with its request in a dead queue.
+        """
+        request_id = next(self._ids)
+        future: Future = Future()
+        kind = message_tail[0]
+        counted = kind in _WORK_KINDS
+        if self._closing.is_set():
+            # close() tears queues down; a late /stats or /query handler
+            # thread must get a clean ClusterError, not a queue ValueError.
+            raise ClusterError("the worker fleet is shutting down")
+        with slot.lock:
+            if slot.process is None or not slot.process.is_alive():
+                # Died since the monitor's last pass: fail fast (503), the
+                # monitor respawns the shard within one health interval.
+                # Count both sides so failed never exceeds dispatched.
+                if counted:
+                    with self._stats_lock:
+                        slot.dispatched += 1
+                        slot.failed += 1
+                raise WorkerUnavailableError(
+                    f"worker {slot.id} is down; the shard is respawning — retry"
+                )
+            slot.inflight[request_id] = (future, kind)
+            try:
+                slot.request_queue.put((kind, request_id, *message_tail[1:]))
+            except Exception as error:  # noqa: BLE001 - queue closed/broken
+                slot.inflight.pop(request_id, None)
+                raise WorkerUnavailableError(
+                    f"worker {slot.id}'s queue is unavailable: {error}"
+                ) from error
+            if counted:
+                # Inside the slot lock: a response cannot be pumped for this
+                # request yet, so completed can never overtake dispatched.
+                with self._stats_lock:
+                    slot.dispatched += 1
+        return request_id, future
+
+    def _await(self, slot: _WorkerSlot, request_id: int, future: Future, timeout: float):
+        """``future.result`` that un-registers the request on timeout.
+
+        Every timed-out wait — query or control probe — must drop its
+        in-flight entry, or a wedged-but-alive worker leaks one entry per
+        probe and ``queue_depth`` (the metric that diagnoses exactly that
+        condition) reads permanently inflated.
+        """
+        try:
+            return future.result(timeout=timeout)
+        except FuturesTimeoutError:
+            with slot.lock:
+                slot.inflight.pop(request_id, None)
+            raise
+
+    # -- the QueryService surface ----------------------------------------
+
+    def query(
+        self, document: str, query_text: str, paths: int = 0, limit: int = DEFAULT_LIMIT
+    ) -> dict:
+        """Route one query to its shard's worker and await the answer.
+
+        Unknown documents and malformed queries fail here, in the
+        front-end, exactly as they do in process (404/400 before any IPC);
+        a worker crash surfaces as :class:`WorkerUnavailableError` (503).
+        """
+        if self._closing.is_set():
+            raise ClusterError("the worker fleet is shutting down")
+        self.catalog.entry(document)  # raises CatalogError when unknown
+        # Full parse+compile (cached), not just the string schema: malformed
+        # and uncompilable queries must 400 here, before any IPC, exactly as
+        # they do on the --workers 0 path — a bad query never reaches a
+        # worker's batch.
+        _, _, strings = self._compiled.entry(query_text)
+        slot = self._slot_for(document, strings)
+        request_id, future = self._submit(
+            slot, ("query", document, query_text, paths, limit)
+        )
+        payload = self._await(slot, request_id, future, self.request_timeout)
+        payload["worker"] = slot.id
+        return payload
+
+    def evict(self, document: str) -> int:
+        """Drop ``document`` residency in every worker; return entries dropped.
+
+        ``request_timeout`` bounds the whole broadcast (one shared deadline
+        across the fleet, same as :meth:`wait_ready`): a wedged worker must
+        not stall the caller — an HTTP handler thread — for a fresh full
+        timeout per slot.
+        """
+        submitted = []
+        for slot in self._slots:
+            try:
+                request_id, future = self._submit(slot, ("evict", document))
+            except ClusterError:
+                continue  # dead worker / shutting down: no residency to drop
+            submitted.append((slot, request_id, future))
+        evicted = 0
+        deadline = time.monotonic() + self.request_timeout
+        for slot, request_id, future in submitted:
+            try:
+                evicted += self._await(
+                    slot, request_id, future, max(0.0, deadline - time.monotonic())
+                )["evicted"]
+            except Exception:  # noqa: BLE001 - crashed mid-evict: nothing resident
+                continue
+        return evicted
+
+    def wait_ready(self, timeout: float = 30.0) -> bool:
+        """Ping every worker; True once the whole fleet answers.
+
+        ``timeout`` bounds the whole call (one shared deadline), not each
+        worker individually.
+        """
+        deadline = time.monotonic() + timeout
+        try:
+            submitted = [
+                (slot, *self._submit(slot, ("ping",))) for slot in self._slots
+            ]
+            for slot, request_id, future in submitted:
+                self._await(
+                    slot, request_id, future, max(0.0, deadline - time.monotonic())
+                )
+        except Exception:  # noqa: BLE001 - dead/slow worker: not ready
+            return False
+        return True
+
+    def stats_dict(self) -> dict:
+        """Dispatcher + per-worker counters (the ``/stats`` payload).
+
+        Per-worker service/pool/residency numbers are fetched live with one
+        short deadline shared across the whole fleet (the probes were all
+        submitted before the first wait, so slow workers overlap); a worker
+        that cannot answer in time (busy, just respawned, mid-crash)
+        reports its dispatcher-side counters only.
+        """
+        with self._stats_lock:
+            respawns = self._respawns
+            snapshot = [
+                {
+                    "worker": slot.id,
+                    "alive": bool(slot.process and slot.process.is_alive()),
+                    "pid": slot.process.pid if slot.process else None,
+                    "generation": slot.generation,
+                    "dispatched": slot.dispatched,
+                    "completed": slot.completed,
+                    "failed": slot.failed,
+                    "queue_depth": len(slot.inflight),
+                }
+                for slot in self._slots
+            ]
+        probes = []
+        for row, slot in zip(snapshot, self._slots):
+            if not row["alive"]:
+                continue
+            try:
+                probes.append((row, slot, *self._submit(slot, ("stats",))))
+            except ClusterError:
+                row["stats"] = "unavailable"
+        probe_deadline = time.monotonic() + 2.0
+        for row, slot, request_id, future in probes:
+            try:
+                worker_stats = self._await(
+                    slot, request_id, future, max(0.0, probe_deadline - time.monotonic())
+                )
+            except Exception:  # noqa: BLE001 - stats are best-effort
+                row["stats"] = "unavailable"
+                continue
+            row["service"] = worker_stats.get("service")
+            row["pool"] = worker_stats.get("pool")
+            row["resident"] = worker_stats.get("resident")
+            row["shards"] = sorted(
+                {document for document, _ in worker_stats.get("resident") or []}
+            )
+        return {
+            "cluster": {
+                "workers": self.workers,
+                "alive": sum(1 for row in snapshot if row["alive"]),
+                "mode": self.mode,
+                "dispatched": sum(row["dispatched"] for row in snapshot),
+                "completed": sum(row["completed"] for row in snapshot),
+                "failed": sum(row["failed"] for row in snapshot),
+                "queue_depth": sum(row["queue_depth"] for row in snapshot),
+                "respawns": respawns,
+            },
+            "workers": snapshot,
+            "mode": self.mode,
+        }
+
+    # -- shutdown --------------------------------------------------------
+
+    def close(self, timeout: float | None = None) -> None:
+        """Graceful drain: sentinel, join with deadline, then escalate.
+
+        ``timeout`` (default ``drain_timeout``) bounds the *whole* drain —
+        one shared deadline across the fleet, like :meth:`evict` and
+        :meth:`wait_ready` — so a wedged 8-worker fleet shuts down in one
+        drain window, not eight.  Every slot's pump, in-flight futures, and
+        queues are torn down even when its worker is already dead or
+        sitting in crash-loop backoff (``process is None``).
+        """
+        if self._closing.is_set():
+            return
+        drain = timeout if timeout is not None else self.drain_timeout
+        self._closing.set()
+        self._monitor.join(timeout=max(1.0, self.health_interval * 4))
+        for slot in self._slots:
+            try:
+                slot.request_queue.put(SHUTDOWN)
+            except Exception:  # noqa: BLE001 - queue already broken: escalate below
+                pass
+        deadline = time.monotonic() + drain
+        for slot in self._slots:
+            process = slot.process
+            if process is not None:
+                process.join(timeout=max(0.0, deadline - time.monotonic()))
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=2.0)
+                if process.is_alive():  # pragma: no cover - terminate() sufficed
+                    process.kill()
+                    process.join(timeout=2.0)
+            slot.stop_pump.set()
+            with slot.lock:
+                doomed = list(slot.inflight.values())
+                slot.inflight = {}
+            for future, _ in doomed:
+                if not future.done():
+                    future.set_exception(ClusterError("the worker fleet shut down"))
+            for queue in (slot.request_queue, slot.response_queue):
+                try:
+                    queue.cancel_join_thread()
+                    queue.close()
+                except Exception:  # noqa: BLE001 - best-effort teardown
+                    pass
+        for slot in self._slots:
+            if slot.pump is not None:
+                slot.pump.join(timeout=2.0)

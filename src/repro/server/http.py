@@ -1,11 +1,16 @@
 """The JSON-over-HTTP front of the query service (stdlib only).
 
 ``repro serve`` runs a :class:`ReproHTTPServer` — a
-``ThreadingHTTPServer`` whose handler threads feed the coalescing
-:class:`repro.server.service.QueryService`.  Endpoints::
+``ThreadingHTTPServer`` whose handler threads feed either the in-process
+coalescing :class:`repro.server.service.QueryService` (``--workers 0``)
+or the pre-forked :class:`repro.server.cluster.WorkerFleet`
+(``--workers N``); both expose the same surface, so the handler code is
+identical at any worker count.  Endpoints::
 
-    GET    /healthz            liveness + catalog summary
+    GET    /healthz            liveness + catalog summary (+ fleet summary)
     GET    /stats              serving / pool / coalescing counters
+                               (per-worker shard/residency/queue-depth
+                               counters under --workers N)
     GET    /catalog            registered documents with shred metadata
     POST   /catalog/<name>     register a document  {"xml": "<...>"}
     DELETE /catalog/<name>     evict: drop pool residency + catalog entry
@@ -15,17 +20,25 @@
 Every response is ``application/json``.  Client errors are mapped to
 status codes the same way the CLI maps them to exit codes: unknown
 documents and malformed queries are 400/404 (the caller's fault), engine
-failures are 500.
+failures are 500.  A request whose shard's worker process died mid-flight
+is 503 — transient by construction, the dispatcher respawns the worker.
 """
 
 from __future__ import annotations
 
 import json
+import time
 # Distinct from builtins.TimeoutError before 3.11, an alias after.
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from repro.errors import CatalogError, ReproError, XPathCompileError, XPathSyntaxError
+from repro.errors import (
+    CatalogError,
+    ReproError,
+    WorkerUnavailableError,
+    XPathCompileError,
+    XPathSyntaxError,
+)
 from repro.server.catalog import Catalog
 from repro.server.service import QueryService
 
@@ -42,7 +55,7 @@ class ReproHTTPServer(ThreadingHTTPServer):
     # connects retry after a full second.  128 rides out real bursts.
     request_queue_size = 128
 
-    def __init__(self, address: tuple[str, int], service: QueryService, quiet: bool = True):
+    def __init__(self, address: tuple[str, int], service, quiet: bool = True):
         self.service = service
         self.quiet = quiet
         super().__init__(address, _Handler)
@@ -101,14 +114,15 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         service = self.server.service
         if self.path == "/healthz":
-            self._reply(
-                200,
-                {
-                    "status": "ok",
-                    "documents": len(service.catalog),
-                    "mode": service.mode,
-                },
-            )
+            payload = {
+                "status": "ok",
+                "documents": len(service.catalog),
+                "mode": service.mode,
+            }
+            workers = getattr(service, "workers", 0)
+            if workers:
+                payload["workers"] = workers
+            self._reply(200, payload)
         elif self.path == "/stats":
             self._reply(200, service.stats_dict())
         elif self.path == "/catalog":
@@ -135,8 +149,14 @@ class _Handler(BaseHTTPRequestHandler):
         name = self.path[len("/catalog/"):]
         service = self.server.service
         try:
-            evicted = service.evict(name)
+            # Remove from the catalog FIRST: under --workers N the evict
+            # broadcast makes every worker re-read the manifest, and only a
+            # post-removal manifest makes them drop their cached entry and
+            # chunk store — evicting first would refresh against a manifest
+            # that still lists the document, leaving workers serving stale
+            # chunks if the name is re-registered.
             service.catalog.remove(name)
+            evicted = service.evict(name)
         except CatalogError as error:
             self._error(404, str(error))
             return
@@ -172,8 +192,18 @@ class _Handler(BaseHTTPRequestHandler):
             self._error(400, f"invalid query: {error}")
         except FuturesTimeoutError:
             self._error(504, f"request timed out after {self.server.service.request_timeout}s")
+        except WorkerUnavailableError as error:
+            # The shard's worker died with this request in flight; the fleet
+            # respawns it, so the failure is transient — tell the client to
+            # retry, never hang or serve a wrong answer.
+            self._error(503, str(error))
         except ReproError as error:
             self._error(500, str(error))
+        except Exception as error:  # noqa: BLE001 - the client must get JSON
+            # e.g. FileNotFoundError when a concurrent DELETE removed the
+            # chunk files mid-load: still a 500 response, never a dropped
+            # connection with a server-side traceback.
+            self._error(500, f"{type(error).__name__}: {error}")
         else:
             self._reply(200, response)
 
@@ -206,33 +236,157 @@ def create_server(
     pool_capacity: int = 8,
     axes: str = "functional",
     quiet: bool = True,
+    workers: int = 0,
+    worker_threads: int = 4,
 ) -> ReproHTTPServer:
-    """Build a ready-to-run server (``port=0`` binds an ephemeral port)."""
-    service = QueryService(
-        Catalog(catalog_dir),
-        mode=mode,
-        window=window,
-        max_batch=max_batch,
-        pool_capacity=pool_capacity,
-        axes=axes,
+    """Build a ready-to-run server (``port=0`` binds an ephemeral port).
+
+    ``workers=0`` serves in process (PR 3's single-process path);
+    ``workers=N`` pre-forks a :class:`repro.server.cluster.WorkerFleet`
+    and the front-end becomes a sharding dispatcher.  Callers own the
+    service lifecycle: call ``server.service.close()`` after
+    ``server_close()`` to drain the fleet.
+    """
+    # Bind the socket *before* building the service: a failed bind (port
+    # in use) must not leave a spawned worker fleet running with no handle
+    # to close it.  The handler only reads ``server.service`` per request,
+    # so the placeholder is never observed.
+    server = ReproHTTPServer((host, port), None, quiet=quiet)
+    try:
+        if workers:
+            from repro.server.cluster import WorkerFleet
+
+            service = WorkerFleet(
+                Catalog(catalog_dir),
+                workers=workers,
+                mode=mode,
+                window=window,
+                max_batch=max_batch,
+                pool_capacity=pool_capacity,
+                axes=axes,
+                worker_threads=worker_threads,
+            )
+        else:
+            service = QueryService(
+                Catalog(catalog_dir),
+                mode=mode,
+                window=window,
+                max_batch=max_batch,
+                pool_capacity=pool_capacity,
+                axes=axes,
+            )
+    except BaseException:
+        server.server_close()
+        raise
+    server.service = service
+    return server
+
+
+def wait_ready(host: str, port: int, timeout: float = 30.0, path: str = "/healthz") -> bool:
+    """Block until the server at ``host:port`` answers ``path`` with 200.
+
+    The shared readiness probe: tests and the benchmark harnesses call
+    this one helper instead of hand-rolled retry loops (or, worse, fixed
+    sleeps), so "server is up" means the same thing everywhere — the
+    socket accepts *and* a real request round-trips.  Returns ``False``
+    instead of raising when the deadline passes, so callers produce their
+    own diagnostics.
+    """
+    import http.client
+
+    deadline = time.monotonic() + timeout
+    while True:
+        # Bound each attempt separately (1 s, or whatever remains of the
+        # overall budget): one hanging connect against a full listen
+        # backlog must not consume the entire deadline in a single try.
+        attempt = max(0.05, min(1.0, deadline - time.monotonic()))
+        try:
+            connection = http.client.HTTPConnection(host, port, timeout=attempt)
+            try:
+                connection.request("GET", path)
+                if connection.getresponse().status == 200:
+                    return True
+            finally:
+                connection.close()
+        except (OSError, http.client.HTTPException):
+            pass
+        if time.monotonic() >= deadline:
+            return False
+        time.sleep(0.02)
+
+
+def _stats_line(service) -> str:
+    """One greppable line of serving counters (the ``--stats-interval`` log)."""
+    stats = service.stats_dict()
+    if "cluster" in stats:
+        cluster = stats["cluster"]
+        depths = ",".join(str(row["queue_depth"]) for row in stats["workers"])
+        shards = ",".join(str(len(row.get("shards", []))) for row in stats["workers"])
+        return (
+            f"workers={cluster['alive']}/{cluster['workers']} "
+            f"dispatched={cluster['dispatched']} completed={cluster['completed']} "
+            f"failed={cluster['failed']} respawns={cluster['respawns']} "
+            f"depth=[{depths}] shards=[{shards}]"
+        )
+    inner, pool = stats["service"], stats["pool"]
+    return (
+        f"requests={inner['requests']} batches={inner['batches']} "
+        f"coalesced={inner['coalesced_requests']} errors={inner['errors']} "
+        f"pool={pool['resident']}/{pool['capacity']} "
+        f"hits={pool['hits']} misses={pool['misses']}"
     )
-    return ReproHTTPServer((host, port), service, quiet=quiet)
 
 
-def serve(catalog_dir: str, **kwargs) -> None:
-    """Run the server until interrupted (the ``repro serve`` entry point)."""
+def serve(catalog_dir: str, stats_interval: float = 0.0, **kwargs) -> None:
+    """Run the server until interrupted (the ``repro serve`` entry point).
+
+    ``stats_interval=S`` (seconds, 0 = off) logs one :func:`_stats_line`
+    to stderr every S seconds, so CI smoke runs and operators can watch
+    queue depth and shard residency without curling ``/stats``.
+
+    SIGTERM (and SIGINT, even when the process was started as a shell
+    background job with SIGINT ignored) triggers the same graceful path:
+    the HTTP socket closes and the worker fleet drains — the standard
+    ``kill``/systemd/docker stop signal must never orphan workers.
+    """
+    import signal
     import sys
+    import threading
 
     server = create_server(catalog_dir, **kwargs)
-    documents = server.service.catalog.names()
+
+    def _signal_shutdown(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _signal_shutdown)
+        signal.signal(signal.SIGINT, _signal_shutdown)
+    except ValueError:  # pragma: no cover - not the main thread (embedded use)
+        pass
+    service = server.service
+    documents = service.catalog.names()
+    workers = getattr(service, "workers", 0)
+    fleet = f" workers={workers}" if workers else ""
     print(
         f"repro serve: {server.url}  catalog={catalog_dir!r} "
-        f"documents={len(documents)} mode={server.service.mode}",
+        f"documents={len(documents)} mode={service.mode}{fleet}",
         file=sys.stderr,
     )
+    stop_stats = threading.Event()
+    if stats_interval > 0:
+        def stats_loop() -> None:
+            while not stop_stats.wait(stats_interval):
+                try:
+                    print(f"repro serve: stats {_stats_line(service)}", file=sys.stderr)
+                except Exception as error:  # noqa: BLE001 - logging must not kill serving
+                    print(f"repro serve: stats unavailable: {error}", file=sys.stderr)
+
+        threading.Thread(target=stats_loop, name="stats-log", daemon=True).start()
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("repro serve: shutting down", file=sys.stderr)
     finally:
+        stop_stats.set()
         server.server_close()
+        service.close()

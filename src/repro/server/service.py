@@ -82,6 +82,47 @@ def decode_result(result: QueryResult, paths: int = 0, limit: int = DEFAULT_LIMI
     return payload
 
 
+class CompiledQueryCache:
+    """Bounded LRU of ``query text -> (expr, tags, strings)``.
+
+    Shared seam between the in-process :class:`QueryService` and the
+    cluster dispatcher (:mod:`repro.server.cluster`): the dispatcher needs
+    a query's *string schema* to route by ``(document, string-schema)``
+    without evaluating anything, and caching here keeps repeat routing
+    decisions parse-free.  Thread-safe.
+    """
+
+    def __init__(self, limit: int = 1024):
+        self.limit = limit
+        self._entries: OrderedDict[
+            str, tuple[AlgebraExpr, tuple[str, ...], tuple[str, ...]]
+        ] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def entry(self, query_text: str) -> tuple[AlgebraExpr, tuple[str, ...], tuple[str, ...]]:
+        """``(expr, tags, strings)`` for a query text, LRU-cached."""
+        with self._lock:
+            entry = self._entries.get(query_text)
+            if entry is not None:
+                self._entries.move_to_end(query_text)
+                return entry
+        ast = parse_query(query_text)  # outside the lock: parsing may be slow
+        expr = compile_query(ast)
+        entry = (
+            expr,
+            tuple(sorted(required_tags(ast))),
+            tuple(sorted(required_strings(ast))),
+        )
+        with self._lock:
+            # A racing thread may have inserted this key already; evicting
+            # then would drop an unrelated entry for a no-op overwrite.
+            if query_text not in self._entries:
+                while len(self._entries) >= self.limit:
+                    self._entries.popitem(last=False)
+            self._entries[query_text] = entry
+        return entry
+
+
 @dataclass
 class ServiceStats:
     """Aggregate serving counters (returned by ``/stats``)."""
@@ -155,32 +196,13 @@ class QueryService:
         self._stats_lock = threading.Lock()
         self._pending: dict[tuple, _Pending] = {}
         self._pending_lock = threading.Lock()
-        self._compiled: OrderedDict[
-            str, tuple[AlgebraExpr, tuple[str, ...], tuple[str, ...]]
-        ] = OrderedDict()
-        self._compiled_lock = threading.Lock()
+        self._compiled = CompiledQueryCache(limit=self.COMPILED_CACHE_LIMIT)
 
     # -- compilation -----------------------------------------------------
 
     def _compiled_entry(self, query_text: str):
         """``(expr, tags, strings)`` for a query text, LRU-cached."""
-        with self._compiled_lock:
-            entry = self._compiled.get(query_text)
-            if entry is not None:
-                self._compiled.move_to_end(query_text)
-                return entry
-        ast = parse_query(query_text)  # outside the lock: parsing may be slow
-        expr = compile_query(ast)
-        entry = (
-            expr,
-            tuple(sorted(required_tags(ast))),
-            tuple(sorted(required_strings(ast))),
-        )
-        with self._compiled_lock:
-            while len(self._compiled) >= self.COMPILED_CACHE_LIMIT:
-                self._compiled.popitem(last=False)
-            self._compiled[query_text] = entry
-        return entry
+        return self._compiled.entry(query_text)
 
     # -- the public entry point ------------------------------------------
 
@@ -193,7 +215,7 @@ class QueryService:
         the usual XPath errors for malformed queries — both *before* the
         request joins a batch, so bad requests never poison good ones.
         """
-        self.catalog.entry(document)  # raises CatalogError when unknown
+        catalog_entry = self.catalog.entry(document)  # raises when unknown
         expr, tags, strings = self._compiled_entry(query_text)
         request = _Request(
             query_text=query_text,
@@ -202,7 +224,12 @@ class QueryService:
             paths=paths,
             limit=limit,
         )
-        key = (document, strings)
+        # The registration stamp is part of the residency key: a document
+        # removed and re-registered under the same name gets fresh keys, so
+        # a master loaded by a query racing the removal (it can land in the
+        # pool *after* the eviction scan) is unreachable to later queries —
+        # stale data is never served, it just ages out of the LRU.
+        key = (document, strings, catalog_entry.registered_at)
         future: Future = Future()
         pending = self._pending_for(key)
         with pending.mutex:
@@ -224,6 +251,19 @@ class QueryService:
         with self._stats_lock:
             service = self.stats.as_dict()
         return {"service": service, "pool": self.pool.stats(), "mode": self.mode}
+
+    def resident_keys(self) -> list[tuple]:
+        """The ``(document, strings)`` pairs currently resident in the pool."""
+        return [(key[0], key[1]) for key in self.pool.keys()]
+
+    # -- lifecycle (uniform surface with the cluster dispatcher) ---------
+
+    def wait_ready(self, timeout: float = 10.0) -> bool:
+        """In-process service: always ready once constructed."""
+        return True
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Nothing to tear down: the in-process service owns no processes."""
 
     # -- coalescing ------------------------------------------------------
 
@@ -274,11 +314,11 @@ class QueryService:
     # -- evaluation ------------------------------------------------------
 
     def _load_master(self, key: tuple) -> Instance:
-        document, strings = key
+        document, strings = key[0], key[1]
         return self.catalog.load_instance(document, strings)
 
     def _execute(self, key: tuple, batch: list[tuple[_Request, Future]]) -> None:
-        document, _ = key
+        document = key[0]
         entry = self.pool.get_or_load(key, lambda: self._load_master(key))
         pool_hit = entry.hits > 0
         if self.mode == "snapshot":

@@ -1,0 +1,174 @@
+"""The worker-process half of the pre-forked serving fleet.
+
+:func:`worker_main` is the spawn entry point: a fresh interpreter (the
+fleet uses the ``spawn`` start method, so nothing is inherited except the
+two queues and a config dict of primitives) builds its **own**
+:class:`repro.server.service.QueryService` — own
+:class:`~repro.server.pool.InstancePool`, own
+:class:`~repro.engine.batch.BatchEvaluator` runs, own GIL — over the
+shared on-disk :class:`~repro.server.catalog.Catalog`.
+
+The chunked store is the replication channel: a worker *assembles* its
+resident masters from the document's shredded chunks (or re-scans the
+kept text for string schemas), exactly like the single-process server.
+No instance ever crosses the process boundary — requests and responses
+are tuples of primitives, so there is no pickling of engine state, no
+shared memory, and a worker crash can never corrupt a sibling.
+
+Wire protocol (multiprocessing queues, all values picklable primitives):
+
+* requests  — ``("query", id, document, query_text, paths, limit)``,
+  ``("stats", id)``, ``("ping", id)``, ``("evict", id, document)``,
+  ``("shutdown",)``;
+* responses — ``(id, "ok", payload)`` or ``(id, "error", kind, message)``
+  where ``kind`` names the error family (see :data:`ERROR_KINDS`) so the
+  dispatcher re-raises the *same* exception type the in-process service
+  would have raised — HTTP status mapping is identical at any worker
+  count.
+
+A worker runs a small pool of threads over its request queue, so
+concurrent requests for one ``(document, schema)`` shard still coalesce
+into shared batches inside its ``QueryService`` (the dispatcher's shard
+affinity guarantees all requests for a key land here).  Documents
+registered by the front-end *after* the worker spawned are picked up
+lazily: an unknown-document miss triggers one :meth:`Catalog.refresh`
+retry before the error is returned.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+
+from repro.errors import (
+    CatalogError,
+    ClusterError,
+    ReproError,
+    WorkerUnavailableError,
+    XPathCompileError,
+    XPathSyntaxError,
+)
+
+#: Error-family names crossing the process boundary, mapped back to the
+#: exception type the dispatcher re-raises.  Exceptions themselves are
+#: never pickled — custom ones may not round-trip, and a malformed one
+#: could take down the response pump.
+ERROR_KINDS = {
+    "catalog": CatalogError,
+    "xpath-syntax": XPathSyntaxError,
+    "xpath-compile": XPathCompileError,
+    "timeout": FuturesTimeoutError,
+    "worker-unavailable": WorkerUnavailableError,
+    "cluster": ClusterError,
+    "engine": ReproError,
+}
+
+SHUTDOWN = ("shutdown",)
+
+
+def error_kind(error: BaseException) -> str:
+    """The wire name of ``error``'s family.
+
+    Derived from :data:`ERROR_KINDS`, whose insertion order is
+    most-specific-first (``worker-unavailable`` before its parent
+    ``cluster``, every family before the catch-all ``engine``), so the
+    two directions of the mapping cannot drift apart.
+    """
+    for kind, exception_type in ERROR_KINDS.items():
+        if isinstance(error, exception_type):
+            return kind
+    return "engine"
+
+
+def rebuild_error(kind: str, message: str) -> Exception:
+    """The dispatcher-side inverse of :func:`error_kind`."""
+    return ERROR_KINDS.get(kind, ReproError)(message)
+
+
+def _serve_one(service, message, response_queue) -> None:
+    """Handle one request tuple; every outcome becomes exactly one response."""
+    kind = message[0]
+    request_id = message[1]
+    try:
+        if kind == "query":
+            _, _, document, query_text, paths, limit = message
+            try:
+                payload = service.query(document, query_text, paths=paths, limit=limit)
+            except CatalogError:
+                # The front-end may have registered the document after this
+                # worker spawned; one manifest re-read settles it.
+                service.catalog.refresh()
+                payload = service.query(document, query_text, paths=paths, limit=limit)
+        elif kind == "stats":
+            payload = service.stats_dict()
+            payload["resident"] = [
+                [document, list(strings)] for document, strings in service.resident_keys()
+            ]
+            payload["pid"] = os.getpid()
+        elif kind == "ping":
+            payload = {"pid": os.getpid()}
+        elif kind == "evict":
+            _, _, document = message
+            evicted = service.evict(document)
+            service.catalog.refresh()
+            payload = {"evicted": evicted}
+        else:
+            raise ClusterError(f"unknown worker request kind {kind!r}")
+    except BaseException as error:  # noqa: BLE001 - every outcome must answer
+        response_queue.put((request_id, "error", error_kind(error), str(error)))
+    else:
+        response_queue.put((request_id, "ok", payload))
+
+
+def worker_main(worker_id: int, catalog_dir: str, request_queue, response_queue, config: dict):
+    """Run one worker until a shutdown sentinel arrives (spawn entry point).
+
+    ``config`` carries the service knobs as primitives: ``mode``,
+    ``window``, ``max_batch``, ``pool_capacity``, ``axes``, ``threads``.
+    """
+    # Imported here so the spawn interpreter pays for the engine exactly
+    # once, after the process exists (keeps module import light for the
+    # dispatcher side, which only needs the protocol helpers above).
+    from repro.server.catalog import Catalog
+    from repro.server.service import QueryService
+
+    service = QueryService(
+        Catalog(catalog_dir),
+        mode=config.get("mode", "snapshot"),
+        window=config.get("window", 0.0),
+        max_batch=config.get("max_batch", 64),
+        pool_capacity=config.get("pool_capacity", 8),
+        axes=config.get("axes", "functional"),
+    )
+    threads = max(1, int(config.get("threads", 4)))
+
+    # Orphan watchdog: if the dispatcher dies without draining (SIGKILL,
+    # OOM), this process would otherwise block on the request queue
+    # forever.  Re-parenting to init is the detectable signal.
+    parent = os.getppid()
+
+    def watch_parent() -> None:
+        while True:
+            time.sleep(1.0)
+            if os.getppid() != parent:
+                os._exit(0)
+
+    threading.Thread(target=watch_parent, daemon=True, name="parent-watch").start()
+
+    def loop() -> None:
+        while True:
+            message = request_queue.get()
+            if message == SHUTDOWN:
+                # Re-post so sibling threads drain and exit too.
+                request_queue.put(SHUTDOWN)
+                return
+            _serve_one(service, message, response_queue)
+
+    workers = [threading.Thread(target=loop, daemon=True) for _ in range(threads - 1)]
+    for thread in workers:
+        thread.start()
+    loop()
+    for thread in workers:
+        thread.join()

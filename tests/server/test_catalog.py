@@ -87,3 +87,53 @@ class TestWarmStart:
         with_strings = catalog.load_instance("doc", ("alpha",))
         result = evaluate(with_strings, '//item[@id["alpha"]]')
         assert result.tree_count() == 1
+
+
+class TestRefresh:
+    """Cross-process visibility: refresh() re-reads the shared manifest."""
+
+    def test_picks_up_registration_by_another_handle(self, catalog, tmp_path):
+        catalog.add("bib", BIB_XML)
+        reader = Catalog(str(tmp_path / "cat"))  # opened before the write below
+        catalog.add("tiny", "<r><x/></r>")
+        assert "tiny" not in reader
+        reader.refresh()
+        assert reader.names() == ["bib", "tiny"]
+        assert evaluate(reader.load_instance("tiny"), "//x").tree_count() == 1
+
+    def test_picks_up_removal_and_drops_cached_store(self, catalog, tmp_path):
+        catalog.add("bib", BIB_XML)
+        reader = Catalog(str(tmp_path / "cat"))
+        reader.load_instance("bib")  # caches the chunk store
+        catalog.remove("bib")
+        reader.refresh()
+        assert "bib" not in reader
+        with pytest.raises(CatalogError, match="unknown catalog document"):
+            reader.entry("bib")
+
+    def test_refresh_on_missing_manifest_means_empty(self, tmp_path):
+        catalog = Catalog(str(tmp_path / "fresh"))
+        catalog.refresh()
+        assert len(catalog) == 0
+
+    def test_refresh_keeps_existing_entries(self, catalog):
+        catalog.add("bib", BIB_XML)
+        catalog.refresh()
+        assert catalog.names() == ["bib"]
+        assert catalog.entry("bib").chunks == 2
+
+    def test_refresh_invalidates_replaced_entry(self, catalog, tmp_path):
+        """remove + re-register under one name must drop the cached store.
+
+        Long-lived readers (fleet workers) may only learn of the swap
+        *after* the new registration is already in the manifest; entry
+        equality (including the registration stamp) must invalidate the
+        cached chunks, or the reader serves the old document forever.
+        """
+        catalog.add("doc", "<d><x/><x/></d>")
+        reader = Catalog(str(tmp_path / "cat"))
+        assert evaluate(reader.load_instance("doc"), "//x").tree_count() == 2
+        catalog.remove("doc")
+        catalog.add("doc", "<d><x/><x/><x/><x/><x/></d>")
+        reader.refresh()  # sees only the final state: 'doc' present both times
+        assert evaluate(reader.load_instance("doc"), "//x").tree_count() == 5

@@ -8,7 +8,7 @@ import pytest
 
 from repro.engine.pipeline import Engine
 from repro.server.catalog import Catalog
-from repro.server.http import create_server
+from repro.server.http import create_server, wait_ready
 from repro.server.service import decode_result
 
 from tests.skeleton.test_loader import BIB_XML
@@ -16,10 +16,16 @@ from tests.skeleton.test_loader import BIB_XML
 
 @pytest.fixture
 def server(tmp_path):
+    # Always port 0: the kernel hands out a free ephemeral port, so any
+    # number of parallel CI runs can never collide; the real port is read
+    # back off the socket and readiness is probed (not assumed) through
+    # the same helper the benchmarks use.
     Catalog(str(tmp_path / "cat")).add("bib", BIB_XML)
     server = create_server(str(tmp_path / "cat"), port=0)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
+    host, port = server.server_address[:2]
+    assert wait_ready(host, port, timeout=30)
     try:
         yield server
     finally:

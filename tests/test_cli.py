@@ -246,6 +246,26 @@ class TestServeParser:
         assert args.window_ms == 0.0
         assert args.pool_size == 8
         assert args.catalog == "repro-catalog"
+        assert args.workers is None  # resolved to one per CPU at run time
+        assert args.worker_threads == 4
+        assert args.stats_interval == 0.0
+
+    def test_fleet_flags(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--workers", "4", "--worker-threads", "2", "--stats-interval", "5"]
+        )
+        assert args.workers == 4
+        assert args.worker_threads == 2
+        assert args.stats_interval == 5.0
+
+    def test_negative_workers_rejected(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["serve", "--workers", "-1", "-C", str(tmp_path / "cat")])
+        assert code == 2
+        assert "--workers must be >= 0" in capsys.readouterr().err
 
 
 class TestExplain:
@@ -257,3 +277,12 @@ class TestExplain:
     def test_upward_only_noted(self, capsys):
         assert main(["explain", "/self::*[a/b]"]) == 0
         assert "Corollary 3.7" in capsys.readouterr().out
+
+
+class TestServeValidation:
+    def test_zero_worker_threads_rejected(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["serve", "--worker-threads", "0", "-C", str(tmp_path / "cat")])
+        assert code == 2
+        assert "--worker-threads must be >= 1" in capsys.readouterr().err
