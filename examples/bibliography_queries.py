@@ -1,9 +1,11 @@
 """Scenario: querying a DBLP-scale bibliography (paper section 5, DBLP rows).
 
 Generates the synthetic DBLP corpus, then runs the paper's five Appendix A
-DBLP queries through the measured pipeline: one scan extracts a compressed
-instance over exactly the schema each query needs, evaluation happens purely
-in memory on the DAG.
+DBLP queries through the measured pipeline via the :mod:`repro.api` façade:
+``repro.open(..., reparse_per_query=True)`` reproduces the paper's setup —
+one scan extracts a compressed instance over exactly the schema each query
+needs, evaluation happens purely in memory on the DAG, and the per-query
+parse cost is read back off ``db.last_load``.
 
 Run:  python examples/bibliography_queries.py [scale]
 """
@@ -11,10 +13,9 @@ Run:  python examples/bibliography_queries.py [scale]
 import sys
 import time
 
+import repro
 from repro.bench.queries import queries_for
 from repro.corpora import generate
-from repro.engine.evaluator import CompressedEvaluator
-from repro.engine.pipeline import load_for_query
 
 
 def main(scale: int = 5000) -> None:
@@ -23,21 +24,22 @@ def main(scale: int = 5000) -> None:
     corpus = generate("dblp", scale)
     print(f"  {corpus.megabytes:.1f} MB of XML in {time.perf_counter() - started:.2f}s\n")
 
-    for query_id, xpath in queries_for("dblp").items():
-        loaded = load_for_query(corpus.xml, xpath)
-        result = CompressedEvaluator(loaded.instance, copy=False).evaluate(xpath)
-        after_v, after_e = result.after
-        print(f"{query_id}: {xpath}")
-        print(
-            f"    parse+compress {loaded.parse_seconds:6.2f}s -> "
-            f"{result.before[0]:>6} vertices / {result.before[1]:>6} edges "
-            f"(from {loaded.skeleton_nodes:,} skeleton nodes)"
-        )
-        print(
-            f"    query {1000 * result.seconds:9.2f}ms -> "
-            f"{after_v:>6} vertices / {after_e:>6} edges | "
-            f"selected {result.dag_count()} dag / {result.tree_count()} tree"
-        )
+    with repro.open(corpus.xml, reparse_per_query=True) as db:
+        for query_id, xpath in queries_for("dblp").items():
+            result = db.execute(xpath)
+            loaded = db.last_load
+            after_v, after_e = result.after
+            print(f"{query_id}: {xpath}")
+            print(
+                f"    parse+compress {loaded.parse_seconds:6.2f}s -> "
+                f"{result.before[0]:>6} vertices / {result.before[1]:>6} edges "
+                f"(from {loaded.skeleton_nodes:,} skeleton nodes)"
+            )
+            print(
+                f"    query {1000 * result.seconds:9.2f}ms -> "
+                f"{after_v:>6} vertices / {after_e:>6} edges | "
+                f"selected {result.dag_count()} dag / {result.tree_count()} tree"
+            )
     print(
         "\nThe bibliography compresses to a few dozen vertices no matter the"
         "\nscale — record shapes repeat — so queries run in milliseconds on"

@@ -3,26 +3,28 @@
 Compresses a sample of every synthetic corpus in both of the paper's
 settings (structure only vs all tags) plus the two analytic extremes — the
 XML-ised relational table and the complete binary tree — and prints the
-resulting ratios side by side with the paper's measurements.
+resulting ratios side by side with the paper's measurements.  Each corpus
+is opened once through the :mod:`repro.api` façade;
+:meth:`repro.api.Database.compression_stats` runs the two Figure 6 load
+settings over the same database object.
 
 Run:  python examples/compression_explorer.py
 """
 
+import repro
 from repro.bench.tables import format_table
-from repro.compress.stats import instance_stats
 from repro.corpora import CORPORA, generate
 from repro.corpora.binary_tree import compressed_instance
 from repro.corpora.relational import direct_instance
 from repro.model.paths import tree_size
-from repro.skeleton.loader import load_instance
 
 
 def main() -> None:
     rows = []
     for name, info in CORPORA.items():
-        xml = generate(name, max(1, info.default_scale // 4)).xml
-        bare = instance_stats(load_instance(xml, tags=()))
-        full = instance_stats(load_instance(xml, tags=None))
+        with repro.open(generate(name, max(1, info.default_scale // 4)).xml) as db:
+            bare = db.compression_stats(tags=())     # Figure 6 "-": structure only
+            full = db.compression_stats(tags=None)   # Figure 6 "+": every tag
         rows.append(
             [
                 name,

@@ -3,15 +3,17 @@
 Every Core XPath query compiles to the node-set algebra of section 3.1:
 the main path runs forward from {root}, predicates are *reversed* (child
 becomes parent, following becomes preceding, ...) so conditions flow toward
-the query root as plain set operations.  This example prints the algebra
-tree for the paper's Figure 3 query and a few Appendix A queries, and flags
-which are upward-only (Corollary 3.7: never decompress).
+the query root as plain set operations.  This example prepares the paper's
+Figure 3 query and a few Appendix A queries through the :mod:`repro.api`
+façade and prints each :class:`repro.api.Plan` twice — the ASCII tree and
+the structured JSON every serving surface shares (``repro explain --json``,
+``repro query --explain-json``, the HTTP ``/explain`` route) — and flags
+which plans are upward-only (Corollary 3.7: never decompress).
 
 Run:  python examples/query_plans.py
 """
 
-from repro.xpath.compiler import compile_query
-from repro.xpath.algebra import axis_applications, uses_only_upward_axes
+from repro.api import PreparedQuery
 
 QUERIES = [
     # Figure 3 / Example 3.1 — verbatim from the paper.
@@ -27,16 +29,19 @@ QUERIES = [
 
 def main() -> None:
     for query_text in QUERIES:
-        expr = compile_query(query_text)
+        prepared = PreparedQuery.compile(query_text)
+        plan = prepared.plan()
         print("=" * 72)
         print(f"Query: {query_text}\n")
-        print(expr.render())
-        axes = axis_applications(expr)
-        print(f"\n  axis applications (evaluation order): {', '.join(axes)}")
-        if uses_only_upward_axes(expr):
+        print(plan.render())
+        print(f"\n  schema the one-scan load must extract: tags={list(plan.required_tags)}"
+              f" strings={list(plan.required_strings)}")
+        if plan.upward_only:
             print("  upward-only: evaluation will NOT decompress (Corollary 3.7)")
         else:
-            print(f"  |Q| = {expr.size()} -> worst-case growth 2^|Q| (Theorem 3.6)")
+            print(f"  |Q| = {plan.size()} -> worst-case growth 2^|Q| (Theorem 3.6)")
+        print("\n  the same plan as structured JSON (what /explain serves):")
+        print("  " + plan.to_json())
         print()
 
 

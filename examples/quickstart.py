@@ -1,14 +1,16 @@
-"""Quickstart: Example 1.1 of the paper, end to end.
+"""Quickstart: Example 1.1 of the paper, end to end, through ``repro.api``.
 
 Builds the bibliographic document of section 1, shows the three
 representations of Figure 1 (tree skeleton, shared-subtree DAG, multiplicity
-edges), then evaluates path queries directly on the compressed instance.
+edges), then evaluates path queries directly on the compressed instance —
+decoding each answer through all three :class:`repro.api.ResultSet`
+materialisation tiers: DAG vertices, tree paths, actual XML fragments.
 
 Run:  python examples/quickstart.py
 """
 
+import repro
 from repro.compress.stats import instance_stats
-from repro.engine.pipeline import query
 from repro.skeleton.loader import load
 
 BIB = """\
@@ -38,7 +40,8 @@ def main() -> None:
     instance = result.instance
     stats = instance_stats(instance)
 
-    print(f"skeleton tree nodes |V^T|   : {stats.tree_vertices}  (Figure 1 (a), + document root)")
+    print(f"skeleton tree nodes |V^T|   : {stats.tree_vertices}  "
+          "(Figure 1 (a), + document root)")
     print(f"compressed vertices |V^M|   : {stats.vertices}  (Figure 1 (b))")
     print(f"multiplicity edges  |E^M|   : {stats.edge_entries}  (Figure 1 (c))")
     print(f"compression ratio |E^M|/|E^T|: {stats.edge_ratio:.0%}\n")
@@ -49,20 +52,29 @@ def main() -> None:
     print("\nString containers (XMILL-style skeleton/text separation):")
     print(result.containers.summary())
 
-    print("\n=== Queries on the compressed instance ===\n")
-    for xpath in (
-        "/bib/book/author",
-        "//author",
-        '//paper[author["Codd"]]/title',
-        "//title/following-sibling::author",
-        "/self::*[bib/book/author]",
-    ):
-        answer = query(BIB, xpath)
-        print(f"{xpath}")
-        print(f"    -> {answer.dag_count()} DAG vertex(es) standing for "
-              f"{answer.tree_count()} tree node(s); {answer.summary()}")
-        for path in answer.tree_paths(limit=1000)[:5]:
-            print(f"       tree node at edge path {'.'.join(map(str, path)) or '(root)'}")
+    print("\n=== Queries on the compressed instance (the repro.api façade) ===\n")
+    with repro.open(BIB) as db:
+        for xpath in (
+            "/bib/book/author",
+            "//author",
+            '//paper[author["Codd"]]/title',
+            "//title/following-sibling::author",
+            "/self::*[bib/book/author]",
+        ):
+            answer = db.execute(xpath)
+            print(f"{xpath}")
+            print(f"    -> {answer.dag_count()} DAG vertex(es) standing for "
+                  f"{answer.tree_count()} tree node(s); {answer.summary()}")
+            # Tier 2: tree paths, streamed lazily in document order.
+            for path in answer.paths(3):
+                print(f"       tree node at edge path {'.'.join(map(str, path)) or '(root)'}")
+            # Tier 3: the actual XML, reassembled from skeleton + containers.
+            for fragment in answer.fragments(2):
+                one_line = " ".join(fragment.split())
+                print(f"       fragment: {one_line[:68]}")
+
+        print("\nThe structured plan of the string-predicate query:")
+        print(db.explain('//paper[author["Codd"]]/title').to_json(indent=2))
     print("\nNote the sharing: //author selects 5 tree nodes as ONE DAG vertex,")
     print("and querying never rebuilt the document tree.")
 

@@ -4,41 +4,108 @@ A complete reproduction of the paper's system: XML skeletons compressed into
 DAGs by subtree sharing (bisimulation) with multiplicity edges, queried
 directly with a Core XPath algebra under partial decompression.
 
-Quick start::
+Quick start — the :mod:`repro.api` façade::
 
-    from repro import load_instance, query
+    import repro
 
-    instance = load_instance(xml_text, query_text="//book/author")
-    result = query(instance, "//book/author")
-    print(result.dag_count(), result.tree_count())
+    with repro.open(xml_text) as db:            # or a file path / catalog dir
+        result = db.execute("//book/author")    # a lazy ResultSet
+        print(result.dag_count(), result.tree_count())
+        for path in result.paths(5):            # tree paths, streamed
+            print(path)
+        for fragment in result.fragments(3):    # actual XML, reassembled
+            print(fragment)
+        print(db.explain("//book/author").to_json(indent=2))
+
+The same ``Database`` object fronts a served catalog
+(``repro.api.Database.from_catalog(dir)``), prepared queries compile once
+and run anywhere (``db.prepare`` / ``repro.api.PreparedQuery``), and every
+surface — CLI, HTTP server, cluster workers — speaks the same canonical
+JSON result encoding.
 
 See README.md for the architecture overview and examples/ for runnable
 scenarios.
 """
 
+import warnings
+
 from repro.model import Instance, equivalent, tree_instance
 from repro.compress import DagBuilder, common_extension, decompress, instance_stats, minimize
 
-__version__ = "1.0.0"
+
+def _version() -> str:
+    """Single-source the version from package metadata (pyproject.toml)."""
+    from importlib import metadata
+
+    try:
+        return metadata.version("repro")
+    except metadata.PackageNotFoundError:  # running from a source checkout
+        return "1.0.0+src"
+
+
+__version__ = _version()
+
+#: Deprecated quick-start entry points, kept as thin shims over the engine
+#: pipeline.  Use the :mod:`repro.api` façade (``repro.open``) instead.
+_DEPRECATED_EXPORTS = {
+    "Engine": "use repro.open(...) — a repro.api.Database wrapping an Engine",
+    "load_instance": "use repro.open(...), which loads and owns the instance",
+    "query": "use repro.open(...).execute(query)",
+    "query_batch": "use repro.open(...).execute_batch(queries)",
+}
+
+#: Façade names importable from the top level, resolved lazily so that
+#: ``import repro`` stays cheap for model-only users.
+_API_EXPORTS = ("Database", "Plan", "PreparedQuery", "ResultSet", "open")
 
 __all__ = [
     "DagBuilder",
+    "Database",
+    "Engine",
     "Instance",
+    "Plan",
+    "PreparedQuery",
+    "ResultSet",
+    "api",
     "common_extension",
     "decompress",
     "equivalent",
     "instance_stats",
+    "load_instance",
     "minimize",
+    "open",
+    "query",
+    "query_batch",
     "tree_instance",
     "__version__",
 ]
 
 
 def __getattr__(name: str):
-    # Heavy subsystems (engine, xpath, skeleton) are imported lazily so that
-    # `import repro` stays cheap for model-only users.
-    if name in {"load_instance", "query", "query_batch", "Engine"}:
+    # Heavy subsystems (engine, xpath, skeleton, server) are imported
+    # lazily, on first attribute access.
+    if name in _API_EXPORTS or name == "api":
+        # import_module, not ``from repro import api``: the from-import
+        # form resolves the attribute through this very __getattr__ while
+        # the submodule is still loading, recursing forever.
+        from importlib import import_module
+
+        api = import_module("repro.api")
+        return api if name == "api" else getattr(api, name)
+    if name in _DEPRECATED_EXPORTS:
+        warnings.warn(
+            f"repro.{name} is deprecated; {_DEPRECATED_EXPORTS[name]} "
+            "(the repro.api façade)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         from repro.engine import pipeline
 
         return getattr(pipeline, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+def __dir__() -> list:
+    # Lazily-exported names must be discoverable: dir(repro) lists the
+    # façade and the deprecated shims alongside the eager exports.
+    return sorted(set(globals()) | set(__all__))

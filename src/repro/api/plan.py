@@ -1,0 +1,175 @@
+"""Structured query plans: the JSON-able view of a compiled algebra tree.
+
+``Engine.explain`` renders the Figure 3 algebra tree as ASCII; every other
+surface (the CLI's ``explain --json``, ``repro query --explain-json``, the
+HTTP ``/explain`` route) needs the *same* tree as data.  A :class:`Plan`
+wraps one compiled query: the per-node operator tree, the schema the query
+requires (tags and string-containment needles — exactly what the one-scan
+loader extracts), the upward-only flag of Corollary 3.7, and — when a
+:class:`repro.api.Database` or a query service produced the plan — where
+the instance answering it would come from (engine schema cache, pool
+residency, worker shard).
+
+The ASCII rendering of :meth:`Plan.render` is byte-identical to
+``AlgebraExpr.render``, so the human-facing ``repro explain`` output did
+not change when it moved onto this structure.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.xpath.algebra import (
+    AlgebraExpr,
+    AllNodes,
+    AxisApply,
+    ContextSet,
+    Difference,
+    Intersect,
+    NamedSet,
+    RootFilter,
+    RootSet,
+    Union,
+    uses_only_upward_axes,
+)
+
+#: Operator names used in plan JSON, keyed by algebra node class.
+_OPS = {
+    RootSet: "root-set",
+    AllNodes: "all-nodes",
+    ContextSet: "context",
+    NamedSet: "named-set",
+    AxisApply: "axis",
+    Union: "union",
+    Intersect: "intersect",
+    Difference: "difference",
+    RootFilter: "root-filter",
+}
+
+
+@dataclass(frozen=True)
+class PlanNode:
+    """One operator of the plan tree (a mirror of one algebra node)."""
+
+    #: Operator name: ``axis``, ``named-set``, ``union``, ... (see ``_OPS``).
+    op: str
+    #: ASCII label, identical to ``AlgebraExpr.label()`` (drives rendering).
+    label: str
+    #: The axis applied (``op == "axis"`` only).
+    axis: str | None = None
+    #: The schema set read (``op == "named-set"`` only).
+    set_name: str | None = None
+    children: tuple["PlanNode", ...] = ()
+
+    def to_dict(self) -> dict:
+        node: dict = {"op": self.op}
+        if self.axis is not None:
+            node["axis"] = self.axis
+        if self.set_name is not None:
+            node["set"] = self.set_name
+        if self.children:
+            node["children"] = [child.to_dict() for child in self.children]
+        return node
+
+    def render(self, indent: str = "") -> str:
+        lines = [indent + self.label]
+        for child in self.children:
+            lines.append(child.render(indent + "    "))
+        return "\n".join(lines)
+
+    def size(self) -> int:
+        return 1 + sum(child.size() for child in self.children)
+
+
+def _node_from_expr(expr: AlgebraExpr) -> PlanNode:
+    op = _OPS.get(type(expr))
+    if op is None:  # pragma: no cover - future algebra nodes
+        op = type(expr).__name__.lower()
+    return PlanNode(
+        op=op,
+        label=expr.label(),
+        axis=expr.axis if isinstance(expr, AxisApply) else None,
+        set_name=expr.name if isinstance(expr, NamedSet) else None,
+        children=tuple(_node_from_expr(child) for child in expr.children()),
+    )
+
+
+@dataclass
+class Plan:
+    """A compiled query as structured data (one per :class:`PreparedQuery`).
+
+    ``instance`` is optional provenance describing where the answering
+    instance would come from; it is attached by whichever surface produced
+    the plan (embedded engine cache state, pool residency for a served
+    document, shard id under a worker fleet) and is ``None`` for a plan of
+    a bare query text.
+    """
+
+    query: str | None
+    root: PlanNode
+    required_tags: tuple[str, ...]
+    required_strings: tuple[str, ...]
+    upward_only: bool
+    #: Where the instance answering this plan would come from (see class doc).
+    instance: dict | None = field(default=None)
+
+    @classmethod
+    def from_compiled(
+        cls,
+        query_text: str | None,
+        expr: AlgebraExpr,
+        tags: tuple[str, ...],
+        strings: tuple[str, ...],
+    ) -> "Plan":
+        """Build a plan from an already-compiled query (no re-parse)."""
+        return cls(
+            query=query_text,
+            root=_node_from_expr(expr),
+            required_tags=tuple(tags),
+            required_strings=tuple(strings),
+            upward_only=uses_only_upward_axes(expr),
+        )
+
+    @classmethod
+    def from_query(cls, query_text: str) -> "Plan":
+        """Parse + compile ``query_text`` and build its plan."""
+        from repro.xpath.compiler import compile_query, required_strings, required_tags
+        from repro.xpath.parser import parse_query
+
+        ast = parse_query(query_text)
+        return cls.from_compiled(
+            query_text,
+            compile_query(ast),
+            tuple(sorted(required_tags(ast))),
+            tuple(sorted(required_strings(ast))),
+        )
+
+    def size(self) -> int:
+        """Number of operator nodes — the |Q| of Theorem 3.6."""
+        return self.root.size()
+
+    def render(self) -> str:
+        """The ASCII tree (byte-identical to ``AlgebraExpr.render``)."""
+        return self.root.render()
+
+    def to_dict(self) -> dict:
+        plan: dict = {
+            "query": self.query,
+            "nodes": self.size(),
+            "upward_only": self.upward_only,
+            "required": {
+                "tags": list(self.required_tags),
+                "strings": list(self.required_strings),
+            },
+            "algebra": self.root.to_dict(),
+        }
+        if self.instance is not None:
+            plan["instance"] = self.instance
+        return plan
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, ensure_ascii=False)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -8,7 +8,9 @@ Installed as the ``repro`` console script::
     repro compress d.xml --tags none      # ... structure only (Figure 6 "-")
     repro query d.xml '//article[author["Codd"]]'
     repro query d.xml '//article' '//inproceedings' --workload mix.txt
+    repro query d.xml '//article' --explain-json   # structured plan, no eval
     repro explain '//a/b[c or not(following::*)]'
+    repro explain --json '//a/b'                   # the same plan as JSON
     repro catalog add dblp d.xml          # shred once into the catalog
     repro serve --port 8080               # concurrent query service
     repro serve --workers 4               # ... sharded over 4 worker processes
@@ -125,16 +127,17 @@ def _print_result(result, paths: int, limit: int) -> None:
     print(f"selected dag nodes  : {result.dag_count():,}")
     print(f"selected tree nodes : {result.tree_count():,}")
     if paths:
-        # islice over the lazy iterator: printing the first N matches does
+        # islice over the lazy cursor: printing the first N matches does
         # bounded work even when the selection unfolds to millions of tree
         # nodes (the full materialise-then-slice of the old code blew up).
-        for path, _ in islice(result.iter_tree_matches(limit=limit), paths):
+        for path in islice(result.iter_paths(limit=limit), paths):
             print("  " + (".".join(map(str, path)) or "(root)"))
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    from repro.engine.evaluator import CompressedEvaluator
-    from repro.engine.pipeline import load_for_queries, load_for_query
+    import json
+
+    from repro.api import Database, PreparedQuery
 
     queries = list(args.xpath)
     if args.workload:
@@ -143,51 +146,53 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print("error: no queries given (positional XPaths or --workload)", file=sys.stderr)
         return EXIT_USAGE
 
-    if len(queries) > 1:
-        # Parse each query text once: the ASTs feed both the union-schema
-        # load and compilation.
-        from repro.xpath.compiler import compile_query
-        from repro.xpath.parser import parse_query
+    # Each text is parsed and compiled exactly once, up front: malformed
+    # queries fail before the (possibly huge) document is even read, and
+    # the same PreparedQuery objects feed planning and execution.
+    prepared = [PreparedQuery.compile(text) for text in queries]
 
-        asts = [parse_query(text) for text in queries]
+    if args.explain_json:
+        # Plans only — no document load, no evaluation (like SQL EXPLAIN).
+        plans = [one.plan().to_dict() for one in prepared]
+        print(json.dumps(plans[0] if len(plans) == 1 else plans, indent=2))
+        return 0
 
     if args.file.endswith(".dag"):
         # A previously saved compressed instance: skip the XML parse.
         from repro.model.serialize import load_file as load_dag
 
-        instance = load_dag(args.file)
+        database = Database.from_instance(load_dag(args.file), axes=args.axes)
         parse_seconds = 0.0
-    elif len(queries) == 1:
-        loaded = load_for_query(_read(args.file), queries[0])
-        instance = loaded.instance
-        parse_seconds = loaded.parse_seconds
     else:
-        # Batch: one scan over the union of all the queries' schemas.
-        loaded = load_for_queries(_read(args.file), asts)
-        instance = loaded.instance
-        parse_seconds = loaded.parse_seconds
-
-    print(f"parse+compress time : {parse_seconds:.3f}s")
-    if len(queries) == 1:
-        result = CompressedEvaluator(instance, copy=False, axes=args.axes).evaluate(
-            queries[0]
+        database = Database.from_text(
+            _read(args.file), axes=args.axes, reparse_per_query=False
         )
-        _print_result(result, args.paths, args.limit)
+        parse_seconds = None  # known only after the one-scan load runs
+
+    with database as db:
+        if len(prepared) == 1:
+            result = db.execute(prepared[0])
+            if parse_seconds is None:
+                parse_seconds = db.last_load.parse_seconds
+            print(f"parse+compress time : {parse_seconds:.3f}s")
+            _print_result(result, args.paths, args.limit)
+            return 0
+
+        # Batch: one scan over the union of all the queries' schemas, one
+        # shared working copy, cross-query subexpression reuse.
+        batch = db.execute_batch(prepared)
+        if parse_seconds is None:
+            parse_seconds = db.last_load.parse_seconds
+        stats = batch.stats
+        print(f"parse+compress time : {parse_seconds:.3f}s")
+        print(f"batch               : {len(queries)} queries in "
+              f"{1000 * batch.seconds:.2f}ms")
+        print(f"shared work         : {stats.nodes_reused:,} of {stats.nodes_total:,} "
+              f"algebra nodes reused ({100 * stats.sharing_ratio:.0f}%)")
+        for query_text, result in zip(queries, batch):
+            print(f"--- {query_text}")
+            _print_result(result, args.paths, args.limit)
         return 0
-
-    from repro.engine.batch import BatchEvaluator
-
-    evaluator = BatchEvaluator(instance, copy=False, axes=args.axes)
-    batch = evaluator.evaluate_batch(compile_query(ast) for ast in asts)
-    stats = batch.stats
-    print(f"batch               : {len(queries)} queries in "
-          f"{1000 * batch.seconds:.2f}ms")
-    print(f"shared work         : {stats.nodes_reused:,} of {stats.nodes_total:,} "
-          f"algebra nodes reused ({100 * stats.sharing_ratio:.0f}%)")
-    for query_text, result in zip(queries, batch):
-        print(f"--- {query_text}")
-        _print_result(result, args.paths, args.limit)
-    return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -266,12 +271,14 @@ def _cmd_catalog_evict(args: argparse.Namespace) -> int:
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
-    from repro.xpath.algebra import uses_only_upward_axes
-    from repro.xpath.compiler import compile_query
+    from repro.api import Plan
 
-    expr = compile_query(args.xpath)
-    print(expr.render())
-    if uses_only_upward_axes(expr):
+    plan = Plan.from_query(args.xpath)
+    if args.json:
+        print(plan.to_json(indent=2))
+        return 0
+    print(plan.render())
+    if plan.upward_only:
         print("\nupward-only: evaluation never decompresses (Corollary 3.7)")
     return 0
 
@@ -323,10 +330,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--axes", choices=("functional", "inplace"), default="functional",
         help="axis implementation (inplace = the paper's Figure 4)",
     )
+    query.add_argument(
+        "--explain-json", action="store_true",
+        help="print the structured query plan(s) as JSON and exit without "
+        "loading the document or evaluating anything",
+    )
     query.set_defaults(func=_cmd_query)
 
     explain = commands.add_parser("explain", help="print a query's algebra plan")
     explain.add_argument("xpath")
+    explain.add_argument(
+        "--json", action="store_true",
+        help="structured plan JSON (per-node algebra ops + required schema) "
+        "instead of the ASCII tree",
+    )
     explain.set_defaults(func=_cmd_explain)
 
     def add_catalog_dir(target) -> None:

@@ -142,9 +142,52 @@ class Engine:
         #: True when the last load was served from the per-schema cache.
         self.last_load_cached: bool = False
 
+    @property
+    def text(self) -> str:
+        """The document text this engine answers queries over."""
+        return self._text
+
+    @property
+    def axes(self) -> str:
+        """The axis implementation (``"functional"`` or ``"inplace"``)."""
+        return self._axes
+
+    @property
+    def reparse_per_query(self) -> bool:
+        """True when the paper's re-extract-per-query setup is reproduced."""
+        return self._reparse
+
     def compiled(self, query_text: str) -> AlgebraExpr:
         """The compiled algebra of ``query_text`` (cached per query text)."""
         return self._compiled_entry(query_text)[0]
+
+    def compiled_entry(self, query_text: str) -> tuple[AlgebraExpr, SchemaKey]:
+        """``(compiled algebra, schema key)`` — the full per-text cache entry.
+
+        The seam :class:`repro.api.PreparedQuery` is built from: both
+        derivations of one parse, LRU-cached by query text.
+        """
+        return self._compiled_entry(query_text)
+
+    def adopt_compiled(self, query_text: str, expr: AlgebraExpr, key: SchemaKey) -> None:
+        """Seed the compiled-algebra cache with an externally-compiled query.
+
+        Lets a :class:`repro.api.PreparedQuery` compiled elsewhere feed this
+        engine without re-parsing its text; an existing entry is kept (and
+        refreshed, like any cache hit).
+        """
+        if query_text in self._compiled:
+            self._compiled.move_to_end(query_text)
+            return
+        while len(self._compiled) >= self.COMPILED_CACHE_LIMIT:
+            self._compiled.popitem(last=False)
+        self._compiled[query_text] = (expr, key)
+
+    def instance_cached(self, query_text: str) -> bool:
+        """Would :meth:`query` serve this text's schema from the cache?"""
+        if self._reparse:
+            return False
+        return self._compiled_entry(query_text)[1] in self._cache
 
     #: Bound on distinct query texts kept compiled (least recently *used*
     #: evicted first), so a long-lived engine fed generated queries cannot

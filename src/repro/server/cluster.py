@@ -434,6 +434,63 @@ class WorkerFleet:
         payload["worker"] = slot.id
         return payload
 
+    def compiled_entry(self, query_text: str):
+        """``(expr, tags, strings)`` — the seam ``repro.api`` prepares through."""
+        return self._compiled.entry(query_text)
+
+    def seed_compiled(
+        self,
+        query_text: str,
+        expr,
+        tags: tuple[str, ...],
+        strings: tuple[str, ...],
+    ) -> None:
+        """Adopt an externally-compiled query into the dispatcher's LRU."""
+        self._compiled.seed(query_text, expr, tags, strings)
+
+    def instance_info(self, document: str, strings: tuple[str, ...]) -> dict:
+        """Plan provenance under a fleet: shard affinity plus residency.
+
+        The shard id is exact (rendezvous routing is deterministic);
+        residency is probed live from that shard's worker with a short
+        deadline and reported as ``"unknown"`` when the worker cannot
+        answer in time — explain must never block behind a busy shard.
+        """
+        self.catalog.entry(document)  # raises CatalogError when unknown
+        strings = tuple(strings)
+        slot = self._slot_for(document, strings)
+        info: dict = {
+            "source": "worker",
+            "mode": self.mode,
+            "workers": self.workers,
+            "shard": slot.id,
+            "strings": list(strings),
+            "resident": "unknown",
+        }
+        try:
+            request_id, future = self._submit(slot, ("stats",))
+            worker_stats = self._await(slot, request_id, future, 2.0)
+        except Exception:  # noqa: BLE001 - residency is best-effort provenance
+            return info
+        resident = worker_stats.get("resident") or []
+        info["resident"] = [document, list(strings)] in resident
+        return info
+
+    def explain(self, document: str, query_text: str) -> dict:
+        """The structured plan of ``query_text``, fleet provenance attached.
+
+        The plan itself is computed dispatcher-side (it is a pure function
+        of the query text, so no IPC round-trip is needed); only the
+        residency probe touches the shard's worker.  Same payload shape as
+        :meth:`repro.server.service.QueryService.explain`.
+        """
+        from repro.api.plan import Plan
+
+        expr, tags, strings = self._compiled.entry(query_text)
+        plan = Plan.from_compiled(query_text, expr, tags, strings)
+        plan.instance = self.instance_info(document, strings)
+        return {"document": document, "query": query_text, "plan": plan.to_dict()}
+
     def evict(self, document: str) -> int:
         """Drop ``document`` residency in every worker; return entries dropped.
 

@@ -16,22 +16,30 @@ identical at any worker count.  Endpoints::
     DELETE /catalog/<name>     evict: drop pool residency + catalog entry
     POST   /query              {"document": d, "query": q,
                                 "paths": N?, "limit": N?}
+    GET    /explain            ?document=d&query=q -> structured Plan JSON
+    POST   /explain            {"document": d?, "query": q}
 
-Every response is ``application/json``.  Client errors are mapped to
-status codes the same way the CLI maps them to exit codes: unknown
-documents and malformed queries are 400/404 (the caller's fault), engine
-failures are 500.  A request whose shard's worker process died mid-flight
-is 503 — transient by construction, the dispatcher respawns the worker.
+Every response is ``application/json``.  Every error body is the uniform
+envelope of :func:`repro.api.envelope.error_envelope` —
+``{"error": {"kind", "message", "detail"}}`` — whose ``kind`` strings are
+the same families the cluster worker wire protocol round-trips, so a
+client sees identical error payloads at any worker count.  Status codes
+map the same way the CLI maps errors to exit codes: unknown documents
+and malformed queries are 400/404 (the caller's fault), engine failures
+are 500.  A request whose shard's worker process died mid-flight is 503
+— transient by construction, the dispatcher respawns the worker.
 """
 
 from __future__ import annotations
 
 import json
 import time
+import urllib.parse
 # Distinct from builtins.TimeoutError before 3.11, an alias after.
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro.api.envelope import error_envelope
 from repro.errors import (
     CatalogError,
     ReproError,
@@ -88,8 +96,42 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _error(self, status: int, message: str) -> None:
-        self._reply(status, {"error": message})
+    def _error(self, status: int, message: str, kind: str = "bad-request") -> None:
+        """A request-shape failure as the uniform error envelope."""
+        self._reply(status, error_envelope(kind=kind, message=message))
+
+    def _fail(self, status: int, error: BaseException, message: str | None = None) -> None:
+        """An exception as the uniform envelope (kind derived from its family)."""
+        self._reply(status, error_envelope(error, message=message))
+
+    def _serve_errors(self, error: BaseException) -> None:
+        """Map one service-layer exception to its status + envelope.
+
+        Shared by ``/query`` and ``/explain`` so the two routes can never
+        disagree on how an error family is presented.
+        """
+        if isinstance(error, CatalogError):
+            self._fail(404, error)
+        elif isinstance(error, (XPathSyntaxError, XPathCompileError)):
+            self._fail(400, error, message=f"invalid query: {error}")
+        elif isinstance(error, FuturesTimeoutError):
+            self._fail(
+                504,
+                error,
+                message=f"request timed out after {self.server.service.request_timeout}s",
+            )
+        elif isinstance(error, WorkerUnavailableError):
+            # The shard's worker died with this request in flight; the fleet
+            # respawns it, so the failure is transient — tell the client to
+            # retry, never hang or serve a wrong answer.
+            self._fail(503, error)
+        elif isinstance(error, ReproError):
+            self._fail(500, error)
+        else:
+            # e.g. FileNotFoundError when a concurrent DELETE removed the
+            # chunk files mid-load: still a JSON envelope, never a dropped
+            # connection with a server-side traceback.
+            self._error(500, f"{type(error).__name__}: {error}", kind="internal")
 
     def _read_json(self) -> dict | None:
         length = int(self.headers.get("Content-Length", 0))
@@ -97,7 +139,7 @@ class _Handler(BaseHTTPRequestHandler):
             self._error(400, "missing request body")
             return None
         if length > MAX_BODY:
-            self._error(413, f"request body over {MAX_BODY} bytes")
+            self._error(413, f"request body over {MAX_BODY} bytes", kind="payload-too-large")
             return None
         try:
             payload = json.loads(self.rfile.read(length).decode("utf-8"))
@@ -131,20 +173,34 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply(
                 200, {"documents": [asdict(entry) for entry in service.catalog.entries()]}
             )
+        elif self.path.split("?", 1)[0] == "/explain":
+            query_string = self.path.partition("?")[2]
+            params = urllib.parse.parse_qs(query_string)
+            self._explain(
+                document=(params.get("document") or [None])[0],
+                query_text=(params.get("query") or [None])[0],
+            )
         else:
-            self._error(404, f"no such endpoint: GET {self.path}")
+            self._error(404, f"no such endpoint: GET {self.path}", kind="not-found")
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         if self.path == "/query":
             self._post_query()
+        elif self.path == "/explain":
+            payload = self._read_json()
+            if payload is None:
+                return
+            self._explain(
+                document=payload.get("document"), query_text=payload.get("query")
+            )
         elif self.path.startswith("/catalog/"):
             self._post_catalog(self.path[len("/catalog/"):])
         else:
-            self._error(404, f"no such endpoint: POST {self.path}")
+            self._error(404, f"no such endpoint: POST {self.path}", kind="not-found")
 
     def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
         if not self.path.startswith("/catalog/"):
-            self._error(404, f"no such endpoint: DELETE {self.path}")
+            self._error(404, f"no such endpoint: DELETE {self.path}", kind="not-found")
             return
         name = self.path[len("/catalog/"):]
         service = self.server.service
@@ -158,7 +214,7 @@ class _Handler(BaseHTTPRequestHandler):
             service.catalog.remove(name)
             evicted = service.evict(name)
         except CatalogError as error:
-            self._error(404, str(error))
+            self._fail(404, error)
             return
         self._reply(200, {"removed": name, "pool_entries_evicted": evicted})
 
@@ -186,24 +242,37 @@ class _Handler(BaseHTTPRequestHandler):
             kwargs["limit"] = limit
         try:
             response = self.server.service.query(document, query_text, **kwargs)
-        except CatalogError as error:
-            self._error(404, str(error))
-        except (XPathSyntaxError, XPathCompileError) as error:
-            self._error(400, f"invalid query: {error}")
-        except FuturesTimeoutError:
-            self._error(504, f"request timed out after {self.server.service.request_timeout}s")
-        except WorkerUnavailableError as error:
-            # The shard's worker died with this request in flight; the fleet
-            # respawns it, so the failure is transient — tell the client to
-            # retry, never hang or serve a wrong answer.
-            self._error(503, str(error))
-        except ReproError as error:
-            self._error(500, str(error))
         except Exception as error:  # noqa: BLE001 - the client must get JSON
-            # e.g. FileNotFoundError when a concurrent DELETE removed the
-            # chunk files mid-load: still a 500 response, never a dropped
-            # connection with a server-side traceback.
-            self._error(500, f"{type(error).__name__}: {error}")
+            self._serve_errors(error)
+        else:
+            self._reply(200, response)
+
+    def _explain(self, document: str | None, query_text: str | None) -> None:
+        """Answer ``/explain``: the structured Plan of one query as JSON.
+
+        With a ``document`` the service attaches instance provenance (pool
+        residency in process, shard affinity + residency under a fleet);
+        without one the plan of the bare query text is returned.
+        """
+        if not isinstance(query_text, str) or not query_text:
+            self._error(400, "explain needs a string field 'query'")
+            return
+        if document is not None and not isinstance(document, str):
+            self._error(400, "'document' must be a string when given")
+            return
+        try:
+            if document is None:
+                from repro.api.plan import Plan
+
+                response = {
+                    "document": None,
+                    "query": query_text,
+                    "plan": Plan.from_query(query_text).to_dict(),
+                }
+            else:
+                response = self.server.service.explain(document, query_text)
+        except Exception as error:  # noqa: BLE001 - the client must get JSON
+            self._serve_errors(error)
         else:
             self._reply(200, response)
 
@@ -219,7 +288,7 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             entry = self.server.service.catalog.add(name, xml, attributes=attributes)
         except ReproError as error:
-            self._error(400, str(error))
+            self._fail(400, error)
             return
         from dataclasses import asdict
 

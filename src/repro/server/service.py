@@ -42,8 +42,10 @@ import time
 from collections import OrderedDict
 from concurrent.futures import Future
 from dataclasses import dataclass
-from itertools import islice
 
+# MAX_PATHS is re-exported: it was public here before the encodings moved
+# to the shared envelope module, and callers still read the cap from us.
+from repro.api.envelope import DEFAULT_LIMIT, MAX_PATHS, encode_result  # noqa: F401
 from repro.engine.batch import BatchEvaluator
 from repro.engine.results import QueryResult
 from repro.errors import ReproError
@@ -54,32 +56,17 @@ from repro.xpath.algebra import AlgebraExpr
 from repro.xpath.compiler import compile_query, required_strings, required_tags
 from repro.xpath.parser import parse_query
 
-#: Decompression guard when decoding result paths (same default as the CLI).
-DEFAULT_LIMIT = 1_000_000
-
-#: Server-side cap on how many result paths one response may carry.
-MAX_PATHS = 10_000
-
 
 def decode_result(result: QueryResult, paths: int = 0, limit: int = DEFAULT_LIMIT) -> dict:
     """Decode a :class:`QueryResult` into a plain response payload.
 
-    This is the canonical wire shape — the benchmark builds its expected
-    payloads through the same function, so "server response == direct
+    A thin alias of :func:`repro.api.envelope.encode_result` — THE
+    canonical wire shape, shared with :meth:`repro.api.ResultSet.to_json`
+    — kept under its historical name because the benchmarks build their
+    expected payloads through it, so "server response == direct
     evaluation" is a byte comparison of canonical JSON.
     """
-    payload: dict = {
-        "dag_count": result.dag_count(),
-        "tree_count": result.tree_count(),
-    }
-    if paths:
-        payload["paths"] = [
-            ".".join(map(str, path)) or "(root)"
-            for path, _ in islice(
-                result.iter_tree_matches(limit=limit), min(paths, MAX_PATHS)
-            )
-        ]
-    return payload
+    return encode_result(result, paths=paths, limit=limit)
 
 
 class CompiledQueryCache:
@@ -121,6 +108,26 @@ class CompiledQueryCache:
                     self._entries.popitem(last=False)
             self._entries[query_text] = entry
         return entry
+
+    def seed(
+        self,
+        query_text: str,
+        expr: AlgebraExpr,
+        tags: tuple[str, ...],
+        strings: tuple[str, ...],
+    ) -> None:
+        """Adopt an externally-compiled query (a ``repro.api.PreparedQuery``).
+
+        An existing entry is kept (and refreshed, like any cache hit), so
+        racing seeds and lookups of one text are harmless.
+        """
+        with self._lock:
+            if query_text in self._entries:
+                self._entries.move_to_end(query_text)
+                return
+            while len(self._entries) >= self.limit:
+                self._entries.popitem(last=False)
+            self._entries[query_text] = (expr, tuple(tags), tuple(strings))
 
 
 @dataclass
@@ -204,6 +211,20 @@ class QueryService:
         """``(expr, tags, strings)`` for a query text, LRU-cached."""
         return self._compiled.entry(query_text)
 
+    def compiled_entry(self, query_text: str):
+        """``(expr, tags, strings)`` — the seam ``repro.api`` prepares through."""
+        return self._compiled.entry(query_text)
+
+    def seed_compiled(
+        self,
+        query_text: str,
+        expr: AlgebraExpr,
+        tags: tuple[str, ...],
+        strings: tuple[str, ...],
+    ) -> None:
+        """Adopt an externally-compiled query into the shared LRU."""
+        self._compiled.seed(query_text, expr, tags, strings)
+
     # -- the public entry point ------------------------------------------
 
     def query(
@@ -246,6 +267,41 @@ class QueryService:
     def evict(self, document: str) -> int:
         """Drop every resident pool instance of ``document``; return count."""
         return self.pool.evict(lambda key: key[0] == document)
+
+    # -- plans -----------------------------------------------------------
+
+    def instance_info(self, document: str, strings: tuple[str, ...]) -> dict:
+        """Where a query over ``(document, strings)`` would be answered from.
+
+        The cached-instance provenance attached to structured plans:
+        whether the master is currently resident in the pool (a pool hit)
+        and which evaluation mode batches would run under.  Raises
+        :class:`repro.errors.CatalogError` for unknown documents.
+        """
+        entry = self.catalog.entry(document)
+        key = (document, tuple(strings), entry.registered_at)
+        return {
+            "source": "pool",
+            "mode": self.mode,
+            "resident": key in self.pool.keys(),
+            "strings": list(strings),
+        }
+
+    def explain(self, document: str, query_text: str) -> dict:
+        """The structured plan of ``query_text`` against a served document.
+
+        The ``/explain`` payload: the :class:`repro.api.Plan` as JSON with
+        pool-residency provenance attached.  Compilation goes through the
+        same LRU as :meth:`query`, so explaining is parse-free for hot
+        texts and a malformed query fails with the same error the query
+        path would raise.
+        """
+        from repro.api.plan import Plan
+
+        expr, tags, strings = self._compiled_entry(query_text)
+        plan = Plan.from_compiled(query_text, expr, tags, strings)
+        plan.instance = self.instance_info(document, strings)
+        return {"document": document, "query": query_text, "plan": plan.to_dict()}
 
     def stats_dict(self) -> dict:
         with self._stats_lock:

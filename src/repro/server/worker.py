@@ -40,51 +40,15 @@ from __future__ import annotations
 import os
 import threading
 import time
-from concurrent.futures import TimeoutError as FuturesTimeoutError
 
-from repro.errors import (
-    CatalogError,
-    ClusterError,
-    ReproError,
-    WorkerUnavailableError,
-    XPathCompileError,
-    XPathSyntaxError,
-)
-
-#: Error-family names crossing the process boundary, mapped back to the
-#: exception type the dispatcher re-raises.  Exceptions themselves are
-#: never pickled — custom ones may not round-trip, and a malformed one
-#: could take down the response pump.
-ERROR_KINDS = {
-    "catalog": CatalogError,
-    "xpath-syntax": XPathSyntaxError,
-    "xpath-compile": XPathCompileError,
-    "timeout": FuturesTimeoutError,
-    "worker-unavailable": WorkerUnavailableError,
-    "cluster": ClusterError,
-    "engine": ReproError,
-}
+# The error families crossing the process boundary are defined once, in
+# the shared envelope module, so the worker wire protocol and the HTTP
+# error envelope can never disagree on a kind string.  Re-exported here
+# because this module *is* the wire protocol's home for fleet code.
+from repro.api.envelope import ERROR_KINDS, error_kind, rebuild_error  # noqa: F401
+from repro.errors import CatalogError, ClusterError
 
 SHUTDOWN = ("shutdown",)
-
-
-def error_kind(error: BaseException) -> str:
-    """The wire name of ``error``'s family.
-
-    Derived from :data:`ERROR_KINDS`, whose insertion order is
-    most-specific-first (``worker-unavailable`` before its parent
-    ``cluster``, every family before the catch-all ``engine``), so the
-    two directions of the mapping cannot drift apart.
-    """
-    for kind, exception_type in ERROR_KINDS.items():
-        if isinstance(error, exception_type):
-            return kind
-    return "engine"
-
-
-def rebuild_error(kind: str, message: str) -> Exception:
-    """The dispatcher-side inverse of :func:`error_kind`."""
-    return ERROR_KINDS.get(kind, ReproError)(message)
 
 
 def _serve_one(service, message, response_queue) -> None:

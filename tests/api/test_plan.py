@@ -1,0 +1,78 @@
+"""Structured plans: node shapes, JSON stability, render identity."""
+
+import json
+
+from repro.api import Plan
+from repro.xpath.compiler import compile_query
+
+
+class TestPlanStructure:
+    def test_figure3_query_plan(self):
+        plan = Plan.from_query(
+            "/descendant::a/child::b[child::c/child::d or not(following::*)]"
+        )
+        assert plan.query.startswith("/descendant::a")
+        assert plan.required_tags == ("a", "b", "c", "d")
+        assert plan.required_strings == ()
+        assert not plan.upward_only
+        assert plan.size() == compile_query(plan.query).size()
+
+    def test_ops_and_leaves(self):
+        plan = Plan.from_query('//a[b["needle"]]')
+        as_dict = plan.to_dict()
+
+        def collect(node, out):
+            out.append(node["op"])
+            for child in node.get("children", ()):
+                collect(child, out)
+            return out
+
+        ops = collect(as_dict["algebra"], [])
+        assert "axis" in ops and "named-set" in ops and "intersect" in ops
+        assert as_dict["required"]["strings"] == ["needle"]
+
+        def leaves(node, out):
+            if node["op"] == "named-set":
+                out.append(node["set"])
+            for child in node.get("children", ()):
+                leaves(child, out)
+            return out
+
+        assert set(leaves(as_dict["algebra"], [])) >= {"a", "b"}
+
+    def test_axis_nodes_name_their_axis(self):
+        as_dict = Plan.from_query("//a/following-sibling::b").to_dict()
+
+        def axes(node, out):
+            if node["op"] == "axis":
+                out.append(node["axis"])
+            for child in node.get("children", ()):
+                axes(child, out)
+            return out
+
+        assert "following-sibling" in axes(as_dict["algebra"], [])
+
+    def test_upward_only_flag(self):
+        assert Plan.from_query("/self::*[a/b]").upward_only
+        assert not Plan.from_query("//a/b").upward_only
+
+    def test_render_is_byte_identical_to_algebra_render(self):
+        for query_text in (
+            "//a/b",
+            '//a[b["x"] and not(following::*)]',
+            "/self::*[a/b/c]",
+            "//a/parent::b/preceding-sibling::c",
+        ):
+            assert Plan.from_query(query_text).render() == compile_query(query_text).render()
+
+    def test_json_round_trips(self):
+        plan = Plan.from_query("//a[b or c]")
+        assert json.loads(plan.to_json()) == plan.to_dict()
+        # Plans are pure data: no instance provenance unless attached.
+        assert "instance" not in plan.to_dict()
+        plan.instance = {"source": "engine", "cached": True}
+        assert plan.to_dict()["instance"] == {"source": "engine", "cached": True}
+
+    def test_str_is_render(self):
+        plan = Plan.from_query("//a")
+        assert str(plan) == plan.render()

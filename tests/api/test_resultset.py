@@ -1,0 +1,138 @@
+"""ResultSet materialisation tiers: vertices -> paths -> XML fragments."""
+
+import pytest
+
+import repro
+from repro.api import ResultSet
+from repro.api.envelope import decode_path, encode_path
+from repro.api.results import fragment_at
+from repro.errors import ReproError
+from repro.server.service import decode_result
+from repro.xmlio.dom import parse_document
+
+XML = """\
+<library>
+  <shelf><book id="b1"><title>One</title></book><book id="b2"><title>Two</title>\
+</book></shelf>
+  <shelf><book id="b3"><title>Three</title></book></shelf>
+</library>
+"""
+
+
+@pytest.fixture
+def db():
+    return repro.open(XML)
+
+
+class TestStreaming:
+    def test_streaming_equals_eager(self, db):
+        result = db.execute("//book/title")
+        assert list(result.iter_paths()) == result.paths()
+        assert list(result.iter_fragments()) == result.fragments()
+
+    def test_prefix_consumption_is_bounded(self, db):
+        result = db.execute("//book")
+        cursor = result.iter_paths()
+        first = next(cursor)
+        assert first == next(iter(result.paths(1)))
+        assert len(result.paths(2)) == 2
+        assert len(result.fragments(2)) == 2
+
+    def test_paths_in_document_order(self, db):
+        result = db.execute("//book")
+        paths = result.paths()
+        assert paths == sorted(paths)
+        assert len(paths) == result.tree_count() == 3
+
+    def test_limit_guards_decompression(self, db):
+        from repro.errors import DecompressionLimitError
+
+        with pytest.raises(DecompressionLimitError):
+            db.execute("//book").paths(limit=2)
+
+
+class TestFragments:
+    def test_fragment_text(self, db):
+        fragments = db.execute("//book/title").fragments()
+        assert fragments == [
+            "<title>One</title>",
+            "<title>Two</title>",
+            "<title>Three</title>",
+        ]
+
+    def test_fragment_reparse_round_trip(self, db):
+        # reassemble -> reparse -> the fragment answers the same query shape.
+        for fragment in db.execute("//book").fragments():
+            inner = repro.open(fragment)
+            assert inner.execute("/book/title").tree_count() == 1
+
+    def test_attribute_fragment_is_its_value(self, db):
+        values = db.execute("//book/@id").fragments()
+        assert values == ["b1", "b2", "b3"]
+
+    def test_root_fragment_is_whole_document(self, db):
+        result = db.execute("/self::*[library]")
+        assert result.paths() == [()]
+        fragment = result.fragments()[0]
+        assert fragment.startswith("<library>") and fragment.endswith("</library>")
+
+    def test_fragment_at_rejects_bad_paths(self):
+        root = parse_document("<a><b/></a>").root
+        with pytest.raises(ReproError):
+            fragment_at(root, (2,))
+        with pytest.raises(ReproError):
+            fragment_at(root, (1, 9))
+
+
+class TestCanonicalEncoding:
+    def test_to_json_matches_wire_format(self, db):
+        from repro.engine.pipeline import Engine
+
+        result = db.execute("//book")
+        expected = decode_result(Engine(XML).query("//book"), paths=10)
+        assert result.to_json(paths=10) == expected
+
+    def test_path_codec_round_trips(self):
+        for path in ((), (1,), (1, 2, 3), (10, 1)):
+            assert decode_path(encode_path(path)) == path
+
+    def test_served_resultset_decodes_paths(self):
+        payload = {"dag_count": 2, "tree_count": 3, "paths": ["1.1", "1.2", "(root)"],
+                   "seconds": 0.001, "document": "d"}
+        result = ResultSet.from_payload(payload)
+        assert result.served
+        assert result.paths() == [(1, 1), (1, 2), ()]
+        assert result.to_json(paths=2) == {
+            "dag_count": 2, "tree_count": 3, "paths": ["1.1", "1.2"],
+        }
+        assert result.info == {"seconds": 0.001, "document": "d"}
+
+    def test_served_resultset_without_paths_is_explicit(self):
+        result = ResultSet.from_payload({"dag_count": 1, "tree_count": 1})
+        with pytest.raises(ReproError, match="paths=N"):
+            result.paths()
+        with pytest.raises(ReproError, match="paths=N"):
+            result.to_json(paths=3)
+        with pytest.raises(ReproError):
+            result.vertices()
+
+    def test_resultset_wraps_exactly_one_backend(self):
+        with pytest.raises(ReproError):
+            ResultSet()
+
+
+class TestMetadata:
+    def test_embedded_metadata(self, db):
+        result = db.execute("//book")
+        assert result.before is not None and result.after is not None
+        assert result.seconds >= 0
+        assert not result.is_empty()
+        assert "selected" in result.summary()
+        assert "embedded" in repr(result)
+
+    def test_served_summary(self):
+        result = ResultSet.from_payload({"dag_count": 0, "tree_count": 0, "seconds": 0.0})
+        assert result.is_empty()
+        assert result.before is None and result.after is None
+        assert "selected 0 dag" in result.summary()
+        assert "served" in repr(result)

@@ -300,7 +300,8 @@ class TestClusterHTTP:
             assert payload["tree_count"] == expected["tree_count"]
         else:
             assert status == 503
-            assert "respawning" in payload["error"]
+            assert payload["error"]["kind"] == "worker-unavailable"
+            assert "respawning" in payload["error"]["message"]
 
     def test_register_then_query_through_fleet(self, server):
         status, payload = self.request(

@@ -87,20 +87,42 @@ class TestEndpoints:
         assert status == 404
 
 
+def assert_envelope(payload: dict, kind: str) -> dict:
+    """Every error body is the uniform ``{"error": {kind,message,detail}}``."""
+    assert set(payload) == {"error"}
+    envelope = payload["error"]
+    assert set(envelope) == {"kind", "message", "detail"}
+    assert envelope["kind"] == kind
+    assert isinstance(envelope["message"], str) and envelope["message"]
+    assert envelope["detail"] is None or isinstance(envelope["detail"], dict)
+    return envelope
+
+
 class TestErrorMapping:
+    """Regression-pins the uniform error envelope on every route.
+
+    The ``kind`` strings are the same families the cluster worker wire
+    protocol round-trips (``repro.api.envelope.ERROR_KINDS``), so these
+    bodies are identical at any worker count.
+    """
+
     def test_unknown_document_is_404(self, server):
         status, payload = request(
             server, "POST", "/query", {"document": "ghost", "query": "//a"}
         )
         assert status == 404
-        assert "unknown catalog document" in payload["error"]
+        envelope = assert_envelope(payload, "catalog")
+        assert "unknown catalog document" in envelope["message"]
 
     def test_malformed_query_is_400(self, server):
         status, payload = request(
             server, "POST", "/query", {"document": "bib", "query": "//a[["}
         )
         assert status == 400
-        assert "invalid query" in payload["error"]
+        envelope = assert_envelope(payload, "xpath-syntax")
+        assert "invalid query" in envelope["message"]
+        # Syntax errors carry their machine-readable location.
+        assert envelope["detail"]["position"] == 4
 
     def test_malformed_json_is_400(self, server):
         host, port = server.server_address[:2]
@@ -109,22 +131,108 @@ class TestErrorMapping:
             connection.request("POST", "/query", "{not json")
             response = connection.getresponse()
             assert response.status == 400
-            assert "malformed JSON" in json.loads(response.read())["error"]
+            payload = json.loads(response.read())
+            envelope = assert_envelope(payload, "bad-request")
+            assert "malformed JSON" in envelope["message"]
         finally:
             connection.close()
 
     def test_missing_fields_is_400(self, server):
         status, payload = request(server, "POST", "/query", {"document": "bib"})
         assert status == 400
-        assert "'document' and 'query'" in payload["error"]
+        envelope = assert_envelope(payload, "bad-request")
+        assert "'document' and 'query'" in envelope["message"]
 
     def test_unknown_endpoint_is_404(self, server):
-        status, _ = request(server, "GET", "/nope")
+        status, payload = request(server, "GET", "/nope")
         assert status == 404
+        assert_envelope(payload, "not-found")
 
     def test_bad_delete_is_404(self, server):
-        status, _ = request(server, "DELETE", "/catalog/ghost")
+        status, payload = request(server, "DELETE", "/catalog/ghost")
         assert status == 404
+        assert_envelope(payload, "catalog")
+
+    def test_bad_registration_is_400(self, server):
+        status, payload = request(server, "POST", "/catalog/bad%20name!", {"xml": "<r/>"})
+        assert status == 400
+        assert_envelope(payload, "catalog")
+
+    def test_worker_unavailable_is_503(self, tmp_path):
+        # The in-process service cannot lose a worker, so pin the mapping
+        # through a stub service raising what a fleet dispatcher raises.
+        from repro.errors import WorkerUnavailableError
+        from repro.server.http import ReproHTTPServer
+
+        class DownService:
+            request_timeout = 1.0
+
+            def query(self, document, query_text, **kwargs):
+                raise WorkerUnavailableError("worker 3 is down; the shard is respawning")
+
+        server = ReproHTTPServer(("127.0.0.1", 0), DownService())
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            status, payload = request(
+                server, "POST", "/query", {"document": "d", "query": "//a"}
+            )
+            assert status == 503
+            envelope = assert_envelope(payload, "worker-unavailable")
+            assert "respawning" in envelope["message"]
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+
+
+class TestExplain:
+    def test_explain_get_and_post_agree(self, server):
+        status, via_get = request(
+            server, "GET", "/explain?document=bib&query=%2F%2Fbook%2Fauthor"
+        )
+        assert status == 200
+        status, via_post = request(
+            server, "POST", "/explain", {"document": "bib", "query": "//book/author"}
+        )
+        assert status == 200
+        assert via_get == via_post
+        plan = via_get["plan"]
+        assert plan["required"]["tags"] == ["author", "book"]
+        assert plan["algebra"]["op"] == "intersect"
+        assert plan["instance"]["source"] == "pool"
+
+    def test_explain_reports_pool_residency(self, server):
+        _, before = request(server, "POST", "/explain", {"document": "bib", "query": "//a"})
+        assert before["plan"]["instance"]["resident"] is False
+        request(server, "POST", "/query", {"document": "bib", "query": "//a"})
+        _, after = request(server, "POST", "/explain", {"document": "bib", "query": "//a"})
+        assert after["plan"]["instance"]["resident"] is True
+
+    def test_explain_without_document_is_plan_only(self, server):
+        status, payload = request(server, "POST", "/explain", {"query": "//a/b"})
+        assert status == 200
+        assert payload["document"] is None
+        assert "instance" not in payload["plan"]
+
+    def test_explain_unknown_document_is_404(self, server):
+        status, payload = request(
+            server, "POST", "/explain", {"document": "ghost", "query": "//a"}
+        )
+        assert status == 404
+        assert_envelope(payload, "catalog")
+
+    def test_explain_malformed_query_is_400(self, server):
+        status, payload = request(
+            server, "POST", "/explain", {"document": "bib", "query": "//a[["}
+        )
+        assert status == 400
+        assert_envelope(payload, "xpath-syntax")
+
+    def test_explain_missing_query_is_400(self, server):
+        status, payload = request(server, "GET", "/explain")
+        assert status == 400
+        assert_envelope(payload, "bad-request")
 
 
 class TestConcurrentClients:

@@ -1,0 +1,61 @@
+"""Every script in examples/ must actually run (the façade's first users).
+
+Each example executes in a subprocess at a tiny corpus scale — this is a
+smoke gate, not a benchmark: an example that crashes (an API drift, a
+renamed symbol, a bad import) fails here before it fails in a reader's
+hands.  CI runs the same scripts at slightly larger scales in the
+examples-smoke step.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+#: script -> argv tail (small scales keep the suite fast).
+EXAMPLES = {
+    "quickstart.py": [],
+    "query_plans.py": [],
+    "auction_analytics.py": ["40"],
+    "bibliography_queries.py": ["60"],
+    "shakespeare_concordance.py": ["20"],
+}
+
+
+def run_example(name: str, args: list[str]) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=env,
+    )
+
+
+def test_every_example_is_covered():
+    # A new example script must be added to the smoke table (or this test).
+    scripts = {
+        name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+    }
+    missing = scripts - set(EXAMPLES) - {"compression_explorer.py"}
+    assert not missing, f"examples missing from the smoke table: {sorted(missing)}"
+
+
+@pytest.mark.parametrize("name", sorted(EXAMPLES))
+def test_example_runs(name):
+    completed = run_example(name, EXAMPLES[name])
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "examples must print their findings"
+
+
+def test_compression_explorer_runs_in_ci_only():
+    # compression_explorer generates a sample of EVERY corpus at a fixed
+    # fraction of its default scale — minutes of work, exercised by the CI
+    # examples-smoke step instead of the tier-1 suite.
+    assert os.path.exists(os.path.join(EXAMPLES_DIR, "compression_explorer.py"))
