@@ -13,7 +13,9 @@ serves every report shape:
 * ``query_throughput`` — ``geomean_speedup`` (new engine vs seed engine);
 * ``batch_workload``   — ``best_speedup`` (batched vs sequential mix);
 * ``server``           — ``geomean_speedup`` (served vs one-shot);
-* ``cluster``          — ``best_scaling`` (fleet vs single-process server).
+* ``cluster``          — ``best_scaling`` (fleet vs single-process server);
+* ``overload``         — ``accepted_rps`` (admitted throughput while
+  shedding the excess of a 2x-capacity offered load with honest 429s).
 
 PR-level smoke mode validates freshly produced smoke artifacts without a
 baseline (smoke corpora are too small for absolute comparison against the
@@ -43,6 +45,7 @@ HEADLINE = {
     "batch_workload": "best_speedup",
     "server": "geomean_speedup",
     "cluster": "best_scaling",
+    "overload": "accepted_rps",
 }
 
 #: benchmark name -> (measured key, embedded requirement key) checked in
@@ -52,6 +55,7 @@ SMOKE_FLOORS = {
     "batch_workload": ("best_speedup", "min_speedup_required"),
     "server": ("worst_speedup", "min_speedup_required"),
     "cluster": ("scaling_at_4_workers", "min_scaling_required"),
+    "overload": ("accepted_rps", "min_accepted_rps_required"),
 }
 
 
@@ -76,6 +80,13 @@ def check_smoke(path: str) -> list[str]:
         )
     if report["benchmark"] == "cluster" and not report.get("checked_byte_identical_total"):
         problems.append(f"{path}: cluster report ran no byte-identical checks")
+    if report["benchmark"] == "overload":
+        if not report.get("passed"):
+            problems.append(f"{path}: the overload run failed its own gates")
+        if not report.get("honest_429s"):
+            problems.append(f"{path}: overload run saw dishonest non-429 sheds")
+        if not report.get("p99_bounded"):
+            problems.append(f"{path}: accepted p99 was not bounded under overload")
     return problems
 
 

@@ -27,6 +27,10 @@ from concurrent.futures import TimeoutError as FuturesTimeoutError
 from repro.errors import (
     CatalogError,
     ClusterError,
+    DeadlineExceededError,
+    IntegrityError,
+    OverloadedError,
+    QuarantinedError,
     ReproError,
     WorkerUnavailableError,
     XPathCompileError,
@@ -47,9 +51,13 @@ MAX_PATHS = 10_000
 #: ``cluster``, every family before the catch-all ``engine``), so the two
 #: directions of the mapping cannot drift apart.
 ERROR_KINDS = {
+    "quarantined": QuarantinedError,
+    "integrity": IntegrityError,
     "catalog": CatalogError,
     "xpath-syntax": XPathSyntaxError,
     "xpath-compile": XPathCompileError,
+    "deadline_exceeded": DeadlineExceededError,
+    "overloaded": OverloadedError,
     "timeout": FuturesTimeoutError,
     "worker-unavailable": WorkerUnavailableError,
     "cluster": ClusterError,
@@ -81,6 +89,9 @@ def error_detail(error: BaseException) -> dict | None:
         value = getattr(error, attribute, None)
         if isinstance(value, int) and value >= 0:
             detail[attribute] = value
+    retry_after = getattr(error, "retry_after", None)
+    if isinstance(retry_after, (int, float)) and retry_after >= 0:
+        detail["retry_after"] = retry_after
     return detail or None
 
 

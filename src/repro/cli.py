@@ -213,6 +213,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.worker_threads < 1:
         print("error: --worker-threads must be >= 1", file=sys.stderr)
         return EXIT_USAGE
+    if args.deadline_ms < 0 or args.max_queue < 0 or args.rate_limit < 0:
+        print(
+            "error: --deadline-ms, --max-queue and --rate-limit must be >= 0",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
     serve(
         args.catalog,
         host=args.host,
@@ -226,6 +232,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=workers,
         worker_threads=args.worker_threads,
         stats_interval=args.stats_interval,
+        deadline_ms=args.deadline_ms,
+        max_queue=args.max_queue,
+        rate_limit=args.rate_limit,
     )
     return 0
 
@@ -268,6 +277,36 @@ def _cmd_catalog_evict(args: argparse.Namespace) -> int:
     Catalog(args.catalog).remove(args.name)
     print(f"evicted {args.name}", file=sys.stderr)
     return 0
+
+
+def _cmd_catalog_verify(args: argparse.Namespace) -> int:
+    from repro.server.catalog import Catalog
+
+    catalog = Catalog(args.catalog)
+    report = catalog.verify(repair=args.repair)
+    worst = 0
+    for name in sorted(report):
+        entry = report[name]
+        status = entry["status"]
+        chunks = entry.get("chunks", "?")
+        corrupt = entry.get("corrupt") or []
+        line = f"{name:20s} {status:12s} {chunks} chunk(s)"
+        if corrupt:
+            line += f"  corrupt: {', '.join(map(str, corrupt))}"
+        print(line)
+        if status == "corrupt":
+            worst = EXIT_ERROR
+    if not report:
+        print(f"catalog {args.catalog!r} is empty")
+    recovery = catalog.last_recovery
+    if recovery.get("staging_removed") or recovery.get("manifest_tmp_removed"):
+        removed = recovery.get("staging_removed") or []
+        print(
+            f"startup recovery: removed {len(removed)} orphaned staging dir(s)"
+            + (", torn manifest tmp" if recovery.get("manifest_tmp_removed") else ""),
+            file=sys.stderr,
+        )
+    return worst
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
@@ -392,6 +431,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="log a one-line stats summary to stderr every S seconds "
         "(queue depth, shard residency, respawns; 0 = off)",
     )
+    serve.add_argument(
+        "--deadline-ms", type=float, default=0.0,
+        help="default end-to-end deadline for requests that carry none "
+        "(expired requests get a structured deadline_exceeded; 0 = unbounded)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=0,
+        help="max concurrently admitted requests before shedding with "
+        "429 + Retry-After (0 = unbounded)",
+    )
+    serve.add_argument(
+        "--rate-limit", type=float, default=0.0,
+        help="per-client requests/second token-bucket limit, keyed by the "
+        "X-Repro-Client header or peer address (0 = off)",
+    )
     serve.add_argument("--verbose", action="store_true", help="log every request")
     serve.set_defaults(func=_cmd_serve)
 
@@ -421,6 +475,16 @@ def build_parser() -> argparse.ArgumentParser:
     catalog_evict.add_argument("name")
     add_catalog_dir(catalog_evict)
     catalog_evict.set_defaults(func=_cmd_catalog_evict)
+
+    catalog_verify = actions.add_parser(
+        "verify", help="check every document's chunk checksums; exit 1 on corruption"
+    )
+    catalog_verify.add_argument(
+        "--repair", action="store_true",
+        help="re-shred corrupt documents from their kept source text",
+    )
+    add_catalog_dir(catalog_verify)
+    catalog_verify.set_defaults(func=_cmd_catalog_verify)
 
     return parser
 

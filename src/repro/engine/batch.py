@@ -30,7 +30,7 @@ queries additionally share the evaluator's single context selection).
 from __future__ import annotations
 
 import time
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from repro.engine.evaluator import CompressedEvaluator
 from repro.engine.results import BatchResult, BatchStats, QueryResult
@@ -86,7 +86,10 @@ class BatchEvaluator(CompressedEvaluator):
                 return name
 
     def evaluate_batch(
-        self, queries: Iterable[str | AlgebraExpr], keep_temps: bool = False
+        self,
+        queries: Iterable[str | AlgebraExpr],
+        keep_temps: bool = False,
+        check: Callable[[], None] | None = None,
     ) -> BatchResult:
         """Evaluate ``queries`` (strings or compiled algebra) as one workload.
 
@@ -95,6 +98,13 @@ class BatchEvaluator(CompressedEvaluator):
         ``#q<i>`` snapshot selection.  Temporaries (and with them the
         common-subexpression cache) are dropped at the end unless
         ``keep_temps`` is set.
+
+        ``check`` is the cooperative cancellation seam: called before each
+        per-query evaluation, it may raise (e.g.
+        :class:`~repro.errors.DeadlineExceededError` from the serving layer
+        once no waiter's deadline is still live) to abort the rest of the
+        batch — bounding how long a slow workload occupies a batch slot to
+        one query's evaluation, without preemption inside the engine.
         """
         exprs: Sequence[AlgebraExpr] = [
             compile_query(q) if isinstance(q, str) else q for q in queries
@@ -112,6 +122,8 @@ class BatchEvaluator(CompressedEvaluator):
         snapshots: list[str] = []
         timings: list[float] = []
         for expr in exprs:
+            if check is not None:
+                check()
             self.stats.queries += 1
             started = time.perf_counter()
             name = self._eval(expr)

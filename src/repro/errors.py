@@ -72,6 +72,52 @@ class CatalogError(ReproError):
     """A document catalog operation failed (unknown document, bad name, ...)."""
 
 
+class IntegrityError(CatalogError):
+    """Stored data failed its integrity check (checksum mismatch, torn write).
+
+    Raised when a chunk file's bytes no longer hash to the checksum recorded
+    in its manifest at shred time.  The catalog reacts by *quarantining* the
+    document (queries then fail fast with :class:`QuarantinedError`) rather
+    than silently serving wrong answers from corrupt chunks.
+    """
+
+
+class QuarantinedError(CatalogError):
+    """The document is quarantined after failing an integrity check.
+
+    The registry entry still exists (metadata was readable) but the shredded
+    chunks are known-corrupt, so serving is refused until the document is
+    reloaded — ``repro catalog verify --repair`` or
+    :meth:`repro.server.catalog.Catalog.reload` re-shreds it from the kept
+    original text.  Mapped to HTTP 503: transient, operator action restores
+    service, never a wrong answer.
+    """
+
+
+class DeadlineExceededError(ReproError):
+    """The request's end-to-end deadline expired before a result was ready.
+
+    Carried from the HTTP header / CLI flag through coalescing into batch
+    evaluation and across the worker wire; wherever the budget runs out, the
+    caller gets this error (HTTP 504) instead of a stale result or a request
+    silently occupying a batch slot nobody is waiting on.
+    """
+
+
+class OverloadedError(ReproError):
+    """The service shed this request at admission (queue full or rate limit).
+
+    Mapped to HTTP 429 with a ``Retry-After`` header; ``retry_after`` is the
+    suggested backoff in seconds.  Shedding at the door keeps the latency of
+    *accepted* requests bounded instead of letting every request queue into
+    collapse.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 class ClusterError(ReproError):
     """A worker-fleet operation failed (spawn, dispatch, shutdown, ...)."""
 

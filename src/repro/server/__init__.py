@@ -16,21 +16,40 @@ The subsystem has four layers, bottom up:
   worker fleet (``repro serve --workers N``): rendezvous-hashed shard
   affinity, crash detection + respawn, graceful drain; each worker process
   owns its own pool and batch evaluator over the shared catalog.
+* :mod:`repro.server.resilience` — the failure-handling primitives shared
+  by every layer above: end-to-end :class:`Deadline` budgets, bounded
+  admission with load shedding (:class:`AdmissionController`), per-shard
+  :class:`CircuitBreaker` route-around, and the :data:`FAULTS` injection
+  seam the chaos suite drives.
 """
 
 from repro.server.catalog import Catalog, CatalogEntry
 from repro.server.cluster import WorkerFleet, default_worker_count
 from repro.server.http import ReproHTTPServer, create_server, serve, wait_ready
 from repro.server.pool import InstancePool, PoolEntry
+from repro.server.resilience import (
+    FAULTS,
+    AdmissionController,
+    CircuitBreaker,
+    Deadline,
+    FaultInjector,
+    TokenBucket,
+)
 from repro.server.service import QueryService, decode_result
 
 __all__ = [
+    "AdmissionController",
     "Catalog",
     "CatalogEntry",
+    "CircuitBreaker",
+    "Deadline",
+    "FAULTS",
+    "FaultInjector",
     "InstancePool",
     "PoolEntry",
     "QueryService",
     "ReproHTTPServer",
+    "TokenBucket",
     "WorkerFleet",
     "create_server",
     "decode_result",

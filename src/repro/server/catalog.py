@@ -43,13 +43,22 @@ import threading
 import time
 from dataclasses import asdict, dataclass, field
 
-from repro.errors import CatalogError
+from repro.errors import CatalogError, IntegrityError, QuarantinedError, ReproError
+from repro.server.resilience import FAULTS
 from repro.skeleton.loader import load
 from repro.storage.chunked import ChunkedStore
 
 _MANIFEST = "catalog.json"
 _FORMAT = "repro-catalog-1"
 _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+#: Orphaned staging directories older than this are GCed even when their
+#: recorded pid appears alive (pids recycle; no registration takes an hour).
+_STAGING_MAX_AGE = 3600.0
+
+#: A manifest temp file older than this is a torn write (a live writer
+#: renames it within milliseconds) and is swept at startup recovery.
+_MANIFEST_TMP_MAX_AGE = 60.0
 
 
 @dataclass
@@ -83,6 +92,12 @@ class Catalog:
         self._lock = threading.RLock()
         self._entries: dict[str, CatalogEntry] = {}
         self._stores: dict[str, ChunkedStore] = {}
+        #: Names whose chunks failed an integrity check; serving is refused
+        #: (:class:`QuarantinedError`) until :meth:`reload` re-shreds them.
+        self._quarantined: set[str] = set()
+        #: What startup recovery swept (observability; see :meth:`recover`).
+        self.last_recovery: dict = {}
+        self.recover()
         # One manifest-reading path for open and re-open: refresh() treats
         # a missing manifest as an empty catalog, same as a fresh directory.
         self.refresh()
@@ -127,11 +142,20 @@ class Catalog:
         directory.
         """
         manifest_path = os.path.join(self.root, _MANIFEST)
+        FAULTS.fire("catalog.manifest", path=manifest_path)
         try:
             with open(manifest_path, "r", encoding="utf-8") as handle:
                 manifest = json.load(handle)
         except FileNotFoundError:
             manifest = {"format": _FORMAT, "documents": []}
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            # A torn manifest (crash mid-write without the atomic rename, or
+            # disk corruption) must be a diagnosable failure, not a raw
+            # JSONDecodeError bubbling out of a serving path.
+            raise CatalogError(
+                f"torn or corrupt catalog manifest {manifest_path}: {error}; "
+                f"restore it from backup or re-register the documents"
+            ) from error
         if manifest.get("format") != _FORMAT:
             raise CatalogError(f"not a repro catalog: {self.root}")
         fresh = {}
@@ -145,7 +169,73 @@ class Catalog:
                 # invalidate; an unchanged entry keeps its warm store.
                 if fresh.get(name) != self._entries.get(name):
                     del self._stores[name]
+            # A quarantined name that was removed or re-registered has
+            # fresh (or no) chunks; the old verdict no longer applies.
+            for name in list(self._quarantined):
+                if fresh.get(name) != self._entries.get(name):
+                    self._quarantined.discard(name)
             self._entries = fresh
+
+    def recover(self) -> dict:
+        """Crash recovery: GC orphaned staging dirs, sweep torn manifest temps.
+
+        Run at every :class:`Catalog` construction (front-end and workers
+        alike), so a crashed registration never leaks half-written files
+        forever.  Only provably dead garbage is touched:
+
+        * ``.staging-<name>-<pid>-<tid>`` directories whose recorded pid is
+          gone (the registering process died between staging and publish) —
+          or, as a pid-recycling backstop, older than an hour;
+        * ``catalog.json.tmp`` older than a minute (a live writer renames
+          within milliseconds; an old temp is a crash between write and
+          rename — the canonical manifest is whichever version the atomic
+          replace last published, so the temp is garbage by construction).
+
+        Returns (and stores on ``last_recovery``) what was swept.
+        """
+        report: dict = {"staging_removed": [], "manifest_tmp_removed": False}
+        self.last_recovery = report
+        try:
+            names = os.listdir(self.root)
+        except FileNotFoundError:
+            return report  # fresh directory: nothing to recover
+        now = time.time()
+        for name in names:
+            if not name.startswith(".staging-"):
+                continue
+            path = os.path.join(self.root, name)
+            try:
+                age = now - os.path.getmtime(path)
+            except OSError:
+                continue  # a racing publish/GC renamed or removed it
+            if self._staging_owner_dead(name) or age > _STAGING_MAX_AGE:
+                shutil.rmtree(path, ignore_errors=True)
+                report["staging_removed"].append(name)
+        tmp_path = os.path.join(self.root, _MANIFEST + ".tmp")
+        try:
+            if now - os.path.getmtime(tmp_path) > _MANIFEST_TMP_MAX_AGE:
+                os.remove(tmp_path)
+                report["manifest_tmp_removed"] = True
+        except OSError:
+            pass  # absent, or a live writer just renamed it away
+        return report
+
+    @staticmethod
+    def _staging_owner_dead(staging_name: str) -> bool:
+        """Is the process that created ``.staging-<name>-<pid>-<tid>`` gone?"""
+        try:
+            pid = int(staging_name.rsplit("-", 2)[1])
+        except (IndexError, ValueError):
+            return False  # unrecognised layout: leave it to the age backstop
+        if pid == os.getpid():
+            return False  # our own in-flight registration
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return True
+        except (PermissionError, OSError):
+            return False  # alive (owned by someone else) or unknowable
+        return False
 
     def _write_manifest(self) -> None:
         manifest = {
@@ -245,6 +335,8 @@ class Catalog:
             self.entry(name)  # raises CatalogError when unknown
             del self._entries[name]
             self._stores.pop(name, None)
+            # The quarantine verdict was about chunks that no longer exist.
+            self._quarantined.discard(name)
             self._write_manifest()
             shutil.rmtree(os.path.join(self.root, name), ignore_errors=True)
 
@@ -276,10 +368,117 @@ class Catalog:
         chunk, run-length repetition from the manifest) — the XML is never
         re-parsed.  With string constraints the original text is re-scanned
         once to compute the containment sets; callers cache the result.
+
+        A chunk failing its checksum quarantines the document on the spot
+        (the first observer gets the precise :class:`IntegrityError`; later
+        requests fail fast with :class:`QuarantinedError` without touching
+        disk) — corrupt chunks are never decoded into a served instance.
         """
+        self.check_serveable(name)
+        FAULTS.fire("catalog.load_instance", name=name, strings=strings)
         if not strings:
-            return self.store(name).assemble()
+            try:
+                return self.store(name).assemble()
+            except IntegrityError:
+                self.quarantine(name)
+                raise
         entry = self.entry(name)
         return load(
             self.xml(name), tags=None, strings=list(strings), attributes=entry.attributes
         ).instance
+
+    # -- integrity -------------------------------------------------------
+
+    def check_serveable(self, name: str) -> CatalogEntry:
+        """The entry for ``name`` — unless it is quarantined (then raise).
+
+        A quarantined name probes the manifest first: an operator's
+        ``repro catalog verify --repair`` (or re-register) runs in another
+        process and publishes a fresh ``registered_at`` stamp, which
+        :meth:`refresh` turns into a lifted quarantine — so service comes
+        back without a restart.  The probe costs one manifest read per
+        refused request, on a path that is already the error path.
+        """
+        entry = self.entry(name)
+        with self._lock:
+            quarantined = name in self._quarantined
+        if quarantined:
+            self.refresh()
+            entry = self.entry(name)
+            with self._lock:
+                if name in self._quarantined:
+                    raise QuarantinedError(
+                        f"document {name!r} is quarantined after an "
+                        f"integrity failure; reload it (repro catalog "
+                        f"verify --repair) to restore service"
+                    )
+        return entry
+
+    def quarantine(self, name: str) -> None:
+        """Refuse to serve ``name`` until it is reloaded."""
+        with self._lock:
+            if name in self._entries:
+                self._quarantined.add(name)
+            self._stores.pop(name, None)  # drop any cache of the bad chunks
+
+    def quarantined(self) -> list[str]:
+        with self._lock:
+            return sorted(self._quarantined)
+
+    def verify(self, repair: bool = False) -> dict:
+        """Checksum every registered document's chunks; optionally repair.
+
+        Returns ``{name: {"status", "chunks", "corrupt"}}`` where status is
+        ``ok`` / ``corrupt`` / ``repaired`` / ``unverifiable`` (pre-checksum
+        store).  Corrupt documents are quarantined; with ``repair=True``
+        they are immediately re-shredded from the kept original text (see
+        :meth:`reload` for why re-shred, not patch).
+        """
+        report: dict = {}
+        for name in self.names():
+            try:
+                verdict = self.store(name).verify()
+            except (OSError, ReproError) as error:
+                # Missing chunks dir / torn chunk manifest: corrupt wholesale.
+                verdict = {"chunks": 0, "corrupt": [], "error": str(error)}
+                verdict["corrupt"] = ["*"]
+            row = {
+                "status": "ok",
+                "chunks": verdict["chunks"],
+                "corrupt": verdict["corrupt"],
+            }
+            if verdict.get("unverifiable"):
+                row["status"] = "unverifiable"
+            elif verdict["corrupt"]:
+                self.quarantine(name)
+                row["status"] = "corrupt"
+                if repair:
+                    self.reload(name)
+                    row["status"] = "repaired"
+            report[name] = row
+        return report
+
+    def reload(self, name: str) -> CatalogEntry:
+        """Re-shred ``name`` from its kept original text; clears quarantine.
+
+        Recovery always re-shreds rather than patching chunks in place: the
+        kept text is the only trustworthy source once a chunk's bytes are
+        wrong, and per the recompression-cost analysis in *Optimizing XML
+        Compression* the shred cost is dominated by the parse — which a
+        chunk-level repair would pay anyway to recompute the subtree — so
+        in-place repair saves almost nothing while adding a second publish
+        path to get crash-safe.  The re-registration gets a fresh
+        ``registered_at`` stamp, so pools and fleet shards drop any cached
+        master built from the old chunks.
+        """
+        entry = self.entry(name)
+        xml = self.xml(name)  # read the kept text BEFORE dropping the entry
+        with self._lock:
+            self.entry(name)  # re-check under the lock (racing remove/reload)
+            del self._entries[name]
+            self._stores.pop(name, None)
+            self._quarantined.discard(name)
+            self._write_manifest()
+        # add() stages fresh chunks and atomically republishes over the old
+        # directory (its publish path GCs the unreferenced leftover files).
+        return self.add(name, xml, attributes=entry.attributes)

@@ -58,8 +58,9 @@ import time
 from concurrent.futures import Future
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 
-from repro.errors import ClusterError, WorkerUnavailableError
+from repro.errors import ClusterError, DeadlineExceededError, WorkerUnavailableError
 from repro.server.catalog import Catalog
+from repro.server.resilience import FAULTS, AdmissionController, CircuitBreaker, Deadline
 from repro.server.service import DEFAULT_LIMIT, CompiledQueryCache
 from repro.server.worker import SHUTDOWN, rebuild_error, worker_main
 
@@ -101,10 +102,13 @@ class _WorkerSlot:
         "last_spawn",
         "strikes",
         "respawn_at",
+        "breaker",
     )
 
-    def __init__(self, slot_id: int):
+    def __init__(self, slot_id: int, breaker: CircuitBreaker):
         self.id = slot_id
+        #: Route-around state: opens after consecutive shard failures.
+        self.breaker = breaker
         self.lock = threading.Lock()
         self.process = None
         self.request_queue = None
@@ -140,6 +144,14 @@ class WorkerFleet:
         worker_threads: int = 4,
         health_interval: float = 0.25,
         drain_timeout: float = 10.0,
+        max_queue: int = 0,
+        rate_limit: float = 0.0,
+        degraded_shed_rate: float = 1.0,
+        breaker_threshold: int = 5,
+        breaker_cooldown: float = 2.0,
+        young_death_window: float = 2.0,
+        backoff_healthy_window: float = 30.0,
+        faults: dict | None = None,
     ):
         count = default_worker_count() if workers is None else int(workers)
         if count < 1:
@@ -150,6 +162,14 @@ class WorkerFleet:
         self.health_interval = health_interval
         self.drain_timeout = drain_timeout
         self.workers = count
+        #: A worker that dies within this many seconds of spawning earns a
+        #: crash-loop strike.
+        self.young_death_window = young_death_window
+        #: A worker alive this long has proven itself: its strikes reset,
+        #: so the *next* crash starts from a clean backoff schedule.
+        self.backoff_healthy_window = backoff_healthy_window
+        self.admission = AdmissionController(max_queue=max_queue, rate_limit=rate_limit)
+        self.degraded_shed_rate = degraded_shed_rate
         self._config = {
             "mode": mode,
             "window": window,
@@ -157,6 +177,10 @@ class WorkerFleet:
             "pool_capacity": pool_capacity,
             "axes": axes,
             "threads": worker_threads,
+            # Primitives-only fault spec; each spawned worker arms its own
+            # process-local injector from it (the chaos suite's channel for
+            # injecting faults *inside* workers).
+            "faults": faults,
         }
         self._context = multiprocessing.get_context("spawn")
         self._compiled = CompiledQueryCache()
@@ -164,7 +188,13 @@ class WorkerFleet:
         self._closing = threading.Event()
         self._respawns = 0
         self._stats_lock = threading.Lock()
-        self._slots = [_WorkerSlot(slot_id) for slot_id in range(count)]
+        self._slots = [
+            _WorkerSlot(
+                slot_id,
+                CircuitBreaker(threshold=breaker_threshold, cooldown=breaker_cooldown),
+            )
+            for slot_id in range(count)
+        ]
         try:
             for slot in self._slots:
                 self._start_worker(slot)
@@ -260,7 +290,20 @@ class WorkerFleet:
                     process = slot.process
                     if process is not None and not process.is_alive():
                         self._handle_crash(slot)
-                    elif process is None:
+                    elif process is not None:
+                        # Sustained-health amnesty: strikes used to persist
+                        # until the *next* crash, so a worker that crash-
+                        # looped once carried its backoff schedule forever.
+                        # A full healthy window wipes the slate.
+                        if (
+                            slot.strikes
+                            and time.monotonic() - slot.last_spawn
+                            >= self.backoff_healthy_window
+                        ):
+                            with slot.lock:
+                                if slot.process is process and process.is_alive():
+                                    slot.strikes = 0
+                    else:
                         # A crash-looping slot waiting out its backoff window.
                         with slot.lock:
                             if (
@@ -291,15 +334,17 @@ class WorkerFleet:
             slot.stop_pump.set()
             doomed = list(slot.inflight.values())
             slot.inflight = {}
-            # Crash-loop backoff: a worker that died young (within 2 s of
-            # spawning — e.g. a corrupted catalog killing every startup)
-            # earns a strike; after 3 strikes respawns are delayed
-            # exponentially up to 5 s so a deterministic startup failure
-            # burns backoff waits, not a continuous spawn storm.  The slot
-            # keeps retrying forever at the capped interval — an operator
-            # sees alive=false + climbing respawns in /stats meanwhile —
-            # and a worker that survives past 2 s clears its strikes.
-            if time.monotonic() - slot.last_spawn < 2.0:
+            # Crash-loop backoff: a worker that died young (within
+            # ``young_death_window`` seconds of spawning — e.g. a corrupted
+            # catalog killing every startup) earns a strike; after 3 strikes
+            # respawns are delayed exponentially up to 5 s so a
+            # deterministic startup failure burns backoff waits, not a
+            # continuous spawn storm.  The slot keeps retrying forever at
+            # the capped interval — an operator sees alive=false + climbing
+            # respawns in /stats meanwhile.  Strikes clear on a crash past
+            # the young-death window, and (the monitor's amnesty pass) after
+            # a sustained ``backoff_healthy_window`` without crashing.
+            if time.monotonic() - slot.last_spawn < self.young_death_window:
                 slot.strikes += 1
             else:
                 slot.strikes = 0
@@ -317,6 +362,7 @@ class WorkerFleet:
             else:
                 slot.process = None  # _submit fails fast while we wait
                 slot.respawn_at = time.monotonic() + delay
+        slot.breaker.record_failure()  # a crash counts against the shard
         error = WorkerUnavailableError(
             f"worker {slot.id} died (exit code {exitcode}) with the request in "
             f"flight; the shard is respawning — retry"
@@ -330,20 +376,42 @@ class WorkerFleet:
 
     # -- routing ---------------------------------------------------------
 
-    def _slot_for(self, document: str, strings: tuple[str, ...]) -> _WorkerSlot:
-        """Rendezvous-hash the shard key over the stable slot ids."""
+    def _ranked_slots(self, document: str, strings: tuple[str, ...]) -> list[_WorkerSlot]:
+        """Every slot, best rendezvous score first (the HRW preference list)."""
         if len(self._slots) == 1:
-            return self._slots[0]
+            return list(self._slots)
         key = json.dumps([document, list(strings)]).encode("utf-8")
-        best, best_score = None, -1
-        for slot in self._slots:
-            digest = hashlib.blake2b(
-                b"%d|" % slot.id + key, digest_size=8
-            ).digest()
-            score = int.from_bytes(digest, "big")
-            if score > best_score:
-                best, best_score = slot, score
-        return best
+
+        def score(slot: _WorkerSlot) -> int:
+            digest = hashlib.blake2b(b"%d|" % slot.id + key, digest_size=8).digest()
+            return int.from_bytes(digest, "big")
+
+        return sorted(self._slots, key=score, reverse=True)
+
+    def _slot_for(self, document: str, strings: tuple[str, ...]) -> _WorkerSlot:
+        """Rendezvous-hash the shard key over the stable slot ids.
+
+        The *primary* slot, ignoring breaker state — used by introspection
+        (:meth:`shard_of`, plans) which must not consume half-open probes.
+        """
+        return self._ranked_slots(document, strings)[0]
+
+    def _route(self, document: str, strings: tuple[str, ...]) -> _WorkerSlot:
+        """The slot a query actually goes to: HRW order, breakers respected.
+
+        Walks the preference list and takes the best-scoring slot whose
+        circuit breaker admits traffic — so a shard whose worker keeps
+        failing is routed around (its keys fail over to their second-choice
+        slot, which loads the masters from the shared chunk store) while
+        the breaker's half-open probes test for recovery.  If *every*
+        breaker is open the primary slot is used anyway: under a fleet-wide
+        hiccup a forced probe beats certain failure.
+        """
+        ranked = self._ranked_slots(document, strings)
+        for slot in ranked:
+            if slot.breaker.allow():
+                return slot
+        return ranked[0]
 
     def shard_of(self, document: str, query_text: str) -> int:
         """The slot id a query for ``document`` routes to (introspection)."""
@@ -410,29 +478,72 @@ class WorkerFleet:
     # -- the QueryService surface ----------------------------------------
 
     def query(
-        self, document: str, query_text: str, paths: int = 0, limit: int = DEFAULT_LIMIT
+        self,
+        document: str,
+        query_text: str,
+        paths: int = 0,
+        limit: int = DEFAULT_LIMIT,
+        deadline: Deadline | None = None,
+        client: str | None = None,
     ) -> dict:
         """Route one query to its shard's worker and await the answer.
 
         Unknown documents and malformed queries fail here, in the
         front-end, exactly as they do in process (404/400 before any IPC);
         a worker crash surfaces as :class:`WorkerUnavailableError` (503).
+        ``deadline`` crosses the wire as its absolute monotonic timestamp
+        (``CLOCK_MONOTONIC`` is machine-wide, so it means the same instant
+        in the worker) — time spent queued in the worker's request pipe
+        keeps counting against the budget.  Shard failures feed the slot's
+        circuit breaker; admission sheds before any routing work.
         """
         if self._closing.is_set():
             raise ClusterError("the worker fleet is shutting down")
-        self.catalog.entry(document)  # raises CatalogError when unknown
-        # Full parse+compile (cached), not just the string schema: malformed
-        # and uncompilable queries must 400 here, before any IPC, exactly as
-        # they do on the --workers 0 path — a bad query never reaches a
-        # worker's batch.
-        _, _, strings = self._compiled.entry(query_text)
-        slot = self._slot_for(document, strings)
-        request_id, future = self._submit(
-            slot, ("query", document, query_text, paths, limit)
-        )
-        payload = self._await(slot, request_id, future, self.request_timeout)
-        payload["worker"] = slot.id
-        return payload
+        if deadline is not None:
+            deadline.check("request")
+        self.admission.admit(client)
+        try:
+            self.catalog.entry(document)  # raises CatalogError when unknown
+            # Full parse+compile (cached), not just the string schema:
+            # malformed and uncompilable queries must 400 here, before any
+            # IPC, exactly as they do on the --workers 0 path — a bad query
+            # never reaches a worker's batch.
+            _, _, strings = self._compiled.entry(query_text)
+            slot = self._route(document, strings)
+            timeout = self.request_timeout
+            if deadline is not None:
+                timeout = min(timeout, max(deadline.remaining(), 0.0))
+            try:
+                # Inside the breaker-accounting block: an injected dispatch
+                # failure must feed the slot's breaker like a real one.
+                FAULTS.fire("cluster.dispatch", worker=slot.id, document=document)
+                request_id, future = self._submit(
+                    slot,
+                    (
+                        "query",
+                        document,
+                        query_text,
+                        paths,
+                        limit,
+                        None if deadline is None else deadline.at,
+                    ),
+                )
+                payload = self._await(slot, request_id, future, timeout)
+            except WorkerUnavailableError:
+                slot.breaker.record_failure()
+                raise
+            except FuturesTimeoutError:
+                if deadline is not None and deadline.expired:
+                    raise DeadlineExceededError(
+                        f"deadline expired before worker {slot.id} answered "
+                        f"{query_text!r}"
+                    ) from None
+                raise
+            slot.breaker.record_success()
+            payload["worker"] = slot.id
+            return payload
+        finally:
+            self.admission.release()
 
     def compiled_entry(self, query_text: str):
         """``(expr, tags, strings)`` — the seam ``repro.api`` prepares through."""
@@ -557,6 +668,8 @@ class WorkerFleet:
                     "completed": slot.completed,
                     "failed": slot.failed,
                     "queue_depth": len(slot.inflight),
+                    "strikes": slot.strikes,
+                    "breaker": slot.breaker.stats(),
                 }
                 for slot in self._slots
             ]
@@ -580,6 +693,7 @@ class WorkerFleet:
             row["service"] = worker_stats.get("service")
             row["pool"] = worker_stats.get("pool")
             row["resident"] = worker_stats.get("resident")
+            row["quarantined"] = worker_stats.get("quarantined") or []
             row["shards"] = sorted(
                 {document for document, _ in worker_stats.get("resident") or []}
             )
@@ -593,9 +707,56 @@ class WorkerFleet:
                 "failed": sum(row["failed"] for row in snapshot),
                 "queue_depth": sum(row["queue_depth"] for row in snapshot),
                 "respawns": respawns,
+                "breakers_open": sum(
+                    1 for row in snapshot if row["breaker"]["state"] == "open"
+                ),
             },
             "workers": snapshot,
             "mode": self.mode,
+            "admission": self.admission.stats(),
+        }
+
+    def health_dict(self) -> dict:
+        """Fleet health beyond alive/dead: ``ok`` or ``degraded`` + reasons.
+
+        Degraded when shards are down or routed around (open breakers),
+        documents are quarantined, or admission is shedding above the
+        configured rate — the fleet still answers what it can, but a probe
+        watching ``/healthz`` should know capacity or fidelity is reduced.
+        """
+        reasons: list[str] = []
+        alive = sum(
+            1 for slot in self._slots if slot.process and slot.process.is_alive()
+        )
+        if alive < self.workers:
+            reasons.append(f"{self.workers - alive} worker(s) down")
+        open_breakers = [
+            slot.id for slot in self._slots if slot.breaker.state == CircuitBreaker.OPEN
+        ]
+        if open_breakers:
+            reasons.append(f"circuit breaker open on shard(s) {open_breakers}")
+        # Quarantine verdicts live where loads happen: in fleet mode that is
+        # each worker's own catalog, so the front-end's view alone would
+        # report "ok" while a shard refuses a corrupt document.  Union the
+        # workers' quarantine sets (best-effort stats probes — a worker too
+        # busy to answer just contributes nothing this round).
+        quarantine_union = set(self.catalog.quarantined())
+        for row in self.stats_dict()["workers"]:
+            quarantine_union.update(row.get("quarantined") or [])
+        quarantined = sorted(quarantine_union)
+        if quarantined:
+            reasons.append(f"{len(quarantined)} quarantined document(s)")
+        shed_rate = self.admission.shed_rate()
+        if shed_rate > self.degraded_shed_rate:
+            reasons.append(f"shedding {shed_rate:.1f} requests/s")
+        return {
+            "status": "degraded" if reasons else "ok",
+            "reasons": reasons,
+            "workers": self.workers,
+            "alive": alive,
+            "open_breakers": open_breakers,
+            "quarantined": quarantined,
+            "shed_rate": round(shed_rate, 3),
         }
 
     # -- shutdown --------------------------------------------------------

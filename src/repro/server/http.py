@@ -42,12 +42,17 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from repro.api.envelope import error_envelope
 from repro.errors import (
     CatalogError,
+    DeadlineExceededError,
+    IntegrityError,
+    OverloadedError,
+    QuarantinedError,
     ReproError,
     WorkerUnavailableError,
     XPathCompileError,
     XPathSyntaxError,
 )
 from repro.server.catalog import Catalog
+from repro.server.resilience import Deadline
 from repro.server.service import QueryService
 
 #: Registration payloads above this size are rejected (bytes).
@@ -63,9 +68,18 @@ class ReproHTTPServer(ThreadingHTTPServer):
     # connects retry after a full second.  128 rides out real bursts.
     request_queue_size = 128
 
-    def __init__(self, address: tuple[str, int], service, quiet: bool = True):
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service,
+        quiet: bool = True,
+        default_deadline_ms: float = 0.0,
+    ):
         self.service = service
         self.quiet = quiet
+        #: Applied to /query requests that carry no deadline of their own
+        #: (0 = requests without a deadline run unbounded, as before).
+        self.default_deadline_ms = default_deadline_ms
         super().__init__(address, _Handler)
 
     @property
@@ -88,11 +102,13 @@ class _Handler(BaseHTTPRequestHandler):
         if not self.server.quiet:
             super().log_message(format, *args)
 
-    def _reply(self, status: int, payload: dict) -> None:
+    def _reply(self, status: int, payload: dict, headers: dict | None = None) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -100,9 +116,15 @@ class _Handler(BaseHTTPRequestHandler):
         """A request-shape failure as the uniform error envelope."""
         self._reply(status, error_envelope(kind=kind, message=message))
 
-    def _fail(self, status: int, error: BaseException, message: str | None = None) -> None:
+    def _fail(
+        self,
+        status: int,
+        error: BaseException,
+        message: str | None = None,
+        headers: dict | None = None,
+    ) -> None:
         """An exception as the uniform envelope (kind derived from its family)."""
-        self._reply(status, error_envelope(error, message=message))
+        self._reply(status, error_envelope(error, message=message), headers=headers)
 
     def _serve_errors(self, error: BaseException) -> None:
         """Map one service-layer exception to its status + envelope.
@@ -110,7 +132,22 @@ class _Handler(BaseHTTPRequestHandler):
         Shared by ``/query`` and ``/explain`` so the two routes can never
         disagree on how an error family is presented.
         """
-        if isinstance(error, CatalogError):
+        if isinstance(error, OverloadedError):
+            # An honest shed: 429 with a machine-readable Retry-After (the
+            # header wants integer seconds; the exact float rides in the
+            # envelope's detail).
+            retry_after = max(0.0, getattr(error, "retry_after", 1.0))
+            self._fail(
+                429, error, headers={"Retry-After": str(max(1, int(retry_after + 0.999)))}
+            )
+        elif isinstance(error, DeadlineExceededError):
+            self._fail(504, error)
+        elif isinstance(error, (QuarantinedError, IntegrityError)):
+            # Before their CatalogError parent: a quarantined or torn
+            # document is the server's problem (503 until verified or
+            # repaired), not a client addressing mistake (404).
+            self._fail(503, error)
+        elif isinstance(error, CatalogError):
             self._fail(404, error)
         elif isinstance(error, (XPathSyntaxError, XPathCompileError)):
             self._fail(400, error, message=f"invalid query: {error}")
@@ -156,15 +193,16 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         service = self.server.service
         if self.path == "/healthz":
-            payload = {
-                "status": "ok",
-                "documents": len(service.catalog),
-                "mode": service.mode,
-            }
+            payload = service.health_dict()
+            payload["documents"] = len(service.catalog)
+            payload["mode"] = service.mode
             workers = getattr(service, "workers", 0)
             if workers:
                 payload["workers"] = workers
-            self._reply(200, payload)
+            # "degraded" is still a 2xx (the server answers what it can) but
+            # a *distinct* one, so probes tell fine from limping without
+            # parsing the body.
+            self._reply(200 if payload["status"] == "ok" else 203, payload)
         elif self.path == "/stats":
             self._reply(200, service.stats_dict())
         elif self.path == "/catalog":
@@ -240,6 +278,27 @@ class _Handler(BaseHTTPRequestHandler):
                 self._error(400, "'limit' must be a positive integer")
                 return
             kwargs["limit"] = limit
+        # End-to-end deadline: body field, else header, else the server's
+        # configured default (0 = unbounded).  The budget starts here —
+        # coalescing wait, pool loads, worker queues all count against it.
+        deadline_ms = payload.get("deadline_ms")
+        if deadline_ms is None:
+            header = self.headers.get("X-Repro-Deadline-Ms")
+            if header is not None:
+                try:
+                    deadline_ms = float(header)
+                except ValueError:
+                    self._error(400, "X-Repro-Deadline-Ms must be a number")
+                    return
+        if deadline_ms is None:
+            deadline_ms = self.server.default_deadline_ms
+        if deadline_ms:
+            if not isinstance(deadline_ms, (int, float)) or deadline_ms <= 0:
+                self._error(400, "'deadline_ms' must be a positive number")
+                return
+            kwargs["deadline"] = Deadline.after_ms(deadline_ms)
+        # Rate-limit identity: an explicit client header, else the peer.
+        kwargs["client"] = self.headers.get("X-Repro-Client") or self.client_address[0]
         try:
             response = self.server.service.query(document, query_text, **kwargs)
         except Exception as error:  # noqa: BLE001 - the client must get JSON
@@ -307,6 +366,9 @@ def create_server(
     quiet: bool = True,
     workers: int = 0,
     worker_threads: int = 4,
+    deadline_ms: float = 0.0,
+    max_queue: int = 0,
+    rate_limit: float = 0.0,
 ) -> ReproHTTPServer:
     """Build a ready-to-run server (``port=0`` binds an ephemeral port).
 
@@ -315,12 +377,18 @@ def create_server(
     and the front-end becomes a sharding dispatcher.  Callers own the
     service lifecycle: call ``server.service.close()`` after
     ``server_close()`` to drain the fleet.
+
+    The resilience knobs: ``deadline_ms`` is the default end-to-end budget
+    for requests that do not carry their own (0 = unbounded),
+    ``max_queue`` caps concurrently admitted requests, and ``rate_limit``
+    is per-client requests/second — both shed with 429 + ``Retry-After``
+    when exceeded (0 disables each).
     """
     # Bind the socket *before* building the service: a failed bind (port
     # in use) must not leave a spawned worker fleet running with no handle
     # to close it.  The handler only reads ``server.service`` per request,
     # so the placeholder is never observed.
-    server = ReproHTTPServer((host, port), None, quiet=quiet)
+    server = ReproHTTPServer((host, port), None, quiet=quiet, default_deadline_ms=deadline_ms)
     try:
         if workers:
             from repro.server.cluster import WorkerFleet
@@ -334,6 +402,8 @@ def create_server(
                 pool_capacity=pool_capacity,
                 axes=axes,
                 worker_threads=worker_threads,
+                max_queue=max_queue,
+                rate_limit=rate_limit,
             )
         else:
             service = QueryService(
@@ -343,6 +413,8 @@ def create_server(
                 max_batch=max_batch,
                 pool_capacity=pool_capacity,
                 axes=axes,
+                max_queue=max_queue,
+                rate_limit=rate_limit,
             )
     except BaseException:
         server.server_close()
@@ -352,7 +424,11 @@ def create_server(
 
 
 def wait_ready(host: str, port: int, timeout: float = 30.0, path: str = "/healthz") -> bool:
-    """Block until the server at ``host:port`` answers ``path`` with 200.
+    """Block until the server at ``host:port`` answers ``path`` with 2xx.
+
+    Both 200 (``ok``) and 203 (``degraded``) count as ready: a degraded
+    server is *serving* — a probe that refused to consider it up would
+    turn partial failures into total ones.
 
     The shared readiness probe: tests and the benchmark harnesses call
     this one helper instead of hand-rolled retry loops (or, worse, fixed
@@ -373,7 +449,7 @@ def wait_ready(host: str, port: int, timeout: float = 30.0, path: str = "/health
             connection = http.client.HTTPConnection(host, port, timeout=attempt)
             try:
                 connection.request("GET", path)
-                if connection.getresponse().status == 200:
+                if connection.getresponse().status in (200, 203):
                     return True
             finally:
                 connection.close()

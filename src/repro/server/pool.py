@@ -101,7 +101,21 @@ class InstancePool:
         with entry.lock:
             if entry.instance is None:
                 started = time.perf_counter()
-                instance = loader()
+                try:
+                    from repro.server.resilience import FAULTS
+
+                    FAULTS.fire("pool.load", key=key)
+                    instance = loader()
+                except BaseException:
+                    # A failed load (deadline-cancelled, corrupt chunks, disk
+                    # error) must not leave a poisoned placeholder squatting
+                    # in the LRU: drop it (if eviction didn't already) so the
+                    # next requester gets a clean retry instead of inheriting
+                    # an instance-less entry that counts against capacity.
+                    with self._lock:
+                        if self._entries.get(key) is entry:
+                            del self._entries[key]
+                    raise
                 instance.preorder()  # warm the traversal cache once, pre-share
                 entry.load_seconds = time.perf_counter() - started
                 entry.instance = instance

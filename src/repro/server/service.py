@@ -41,6 +41,7 @@ import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass
 
 # MAX_PATHS is re-exported: it was public here before the encodings moved
@@ -48,10 +49,11 @@ from dataclasses import dataclass
 from repro.api.envelope import DEFAULT_LIMIT, MAX_PATHS, encode_result  # noqa: F401
 from repro.engine.batch import BatchEvaluator
 from repro.engine.results import QueryResult
-from repro.errors import ReproError
+from repro.errors import DeadlineExceededError, ReproError
 from repro.model.instance import Instance
 from repro.server.catalog import Catalog
 from repro.server.pool import InstancePool, PoolEntry
+from repro.server.resilience import FAULTS, AdmissionController, Deadline
 from repro.xpath.algebra import AlgebraExpr
 from repro.xpath.compiler import compile_query, required_strings, required_tags
 from repro.xpath.parser import parse_query
@@ -140,6 +142,8 @@ class ServiceStats:
     #: Requests that shared their evaluation with at least one other request.
     coalesced_requests: int = 0
     errors: int = 0
+    #: Requests answered with ``deadline_exceeded`` instead of a result.
+    deadline_expired: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -148,6 +152,7 @@ class ServiceStats:
             "max_batch_size": self.max_batch_size,
             "coalesced_requests": self.coalesced_requests,
             "errors": self.errors,
+            "deadline_expired": self.deadline_expired,
         }
 
 
@@ -169,6 +174,7 @@ class _Request:
     tags: tuple[str, ...]
     paths: int
     limit: int
+    deadline: Deadline | None = None
 
 
 class QueryService:
@@ -189,6 +195,9 @@ class QueryService:
         pool_capacity: int = 8,
         axes: str = "functional",
         request_timeout: float = 120.0,
+        max_queue: int = 0,
+        rate_limit: float = 0.0,
+        degraded_shed_rate: float = 1.0,
     ):
         if mode not in ("snapshot", "persistent"):
             raise ReproError(f"unknown evaluation mode {mode!r}")
@@ -199,6 +208,9 @@ class QueryService:
         self.axes = axes
         self.request_timeout = request_timeout
         self.pool = InstancePool(capacity=pool_capacity)
+        self.admission = AdmissionController(max_queue=max_queue, rate_limit=rate_limit)
+        #: Sheds/second above which :meth:`health_dict` reports ``degraded``.
+        self.degraded_shed_rate = degraded_shed_rate
         self.stats = ServiceStats()
         self._stats_lock = threading.Lock()
         self._pending: dict[tuple, _Pending] = {}
@@ -228,14 +240,44 @@ class QueryService:
     # -- the public entry point ------------------------------------------
 
     def query(
-        self, document: str, query_text: str, paths: int = 0, limit: int = DEFAULT_LIMIT
+        self,
+        document: str,
+        query_text: str,
+        paths: int = 0,
+        limit: int = DEFAULT_LIMIT,
+        deadline: Deadline | None = None,
+        client: str | None = None,
     ) -> dict:
         """Answer one query; concurrent callers coalesce into shared batches.
 
         Raises :class:`repro.errors.CatalogError` for unknown documents and
         the usual XPath errors for malformed queries — both *before* the
         request joins a batch, so bad requests never poison good ones.
+        ``deadline`` is the request's end-to-end budget: it is checked at
+        admission, again before the request's batch evaluates (an expired
+        request never occupies a batch slot), and bounds how long the
+        caller blocks on its future.  ``client`` identifies the caller for
+        per-client rate limiting; admission sheds with
+        :class:`repro.errors.OverloadedError` before any work is done.
         """
+        if deadline is not None and deadline.expired:
+            with self._stats_lock:
+                self.stats.deadline_expired += 1
+            deadline.check("request")  # dead on arrival: shed before admission
+        self.admission.admit(client)
+        try:
+            return self._admitted_query(document, query_text, paths, limit, deadline)
+        finally:
+            self.admission.release()
+
+    def _admitted_query(
+        self,
+        document: str,
+        query_text: str,
+        paths: int,
+        limit: int,
+        deadline: Deadline | None,
+    ) -> dict:
         catalog_entry = self.catalog.entry(document)  # raises when unknown
         expr, tags, strings = self._compiled_entry(query_text)
         request = _Request(
@@ -244,6 +286,7 @@ class QueryService:
             tags=tags,
             paths=paths,
             limit=limit,
+            deadline=deadline,
         )
         # The registration stamp is part of the residency key: a document
         # removed and re-registered under the same name gets fresh keys, so
@@ -262,7 +305,19 @@ class QueryService:
             self.stats.requests += 1
         if lead:
             self._drain(key, pending)
-        return future.result(timeout=self.request_timeout)
+        timeout = self.request_timeout
+        if deadline is not None:
+            timeout = min(timeout, max(deadline.remaining(), 0.0))
+        try:
+            return future.result(timeout=timeout)
+        except FuturesTimeoutError:
+            if deadline is not None and deadline.expired:
+                with self._stats_lock:
+                    self.stats.deadline_expired += 1
+                raise DeadlineExceededError(
+                    f"deadline expired before a result for {query_text!r} was ready"
+                ) from None
+            raise
 
     def evict(self, document: str) -> int:
         """Drop every resident pool instance of ``document``; return count."""
@@ -306,7 +361,36 @@ class QueryService:
     def stats_dict(self) -> dict:
         with self._stats_lock:
             service = self.stats.as_dict()
-        return {"service": service, "pool": self.pool.stats(), "mode": self.mode}
+        return {
+            "service": service,
+            "pool": self.pool.stats(),
+            "mode": self.mode,
+            "admission": self.admission.stats(),
+            "quarantined": self.catalog.quarantined(),
+        }
+
+    def health_dict(self) -> dict:
+        """Health beyond alive/dead: ``ok`` or ``degraded`` plus the reasons.
+
+        The service is *degraded* (still serving, but not at full fidelity
+        or capacity) when documents are quarantined after integrity
+        failures or the recent shed rate crossed the configured threshold.
+        The HTTP front-end maps ``degraded`` to a distinct status code so
+        probes can tell "fine" from "limping" without parsing the body.
+        """
+        reasons: list[str] = []
+        quarantined = self.catalog.quarantined()
+        if quarantined:
+            reasons.append(f"{len(quarantined)} quarantined document(s)")
+        shed_rate = self.admission.shed_rate()
+        if shed_rate > self.degraded_shed_rate:
+            reasons.append(f"shedding {shed_rate:.1f} requests/s")
+        return {
+            "status": "degraded" if reasons else "ok",
+            "reasons": reasons,
+            "quarantined": quarantined,
+            "shed_rate": round(shed_rate, 3),
+        }
 
     def resident_keys(self) -> list[tuple]:
         """The ``(document, strings)`` pairs currently resident in the pool."""
@@ -373,8 +457,40 @@ class QueryService:
         document, strings = key[0], key[1]
         return self.catalog.load_instance(document, strings)
 
+    def _prune_expired(
+        self, batch: list[tuple[_Request, Future]]
+    ) -> list[tuple[_Request, Future]]:
+        """Resolve already-expired requests; only live ones get batch slots.
+
+        The deadline contract's cheap half: a request whose budget ran out
+        while queued behind an earlier batch is answered with a structured
+        ``deadline_exceeded`` immediately, instead of being evaluated for a
+        waiter that already gave up.
+        """
+        live: list[tuple[_Request, Future]] = []
+        expired = 0
+        for request, future in batch:
+            if request.deadline is not None and request.deadline.expired:
+                expired += 1
+                if not future.done():
+                    future.set_exception(
+                        DeadlineExceededError(
+                            f"deadline expired before {request.query_text!r} "
+                            f"reached evaluation"
+                        )
+                    )
+            else:
+                live.append((request, future))
+        if expired:
+            with self._stats_lock:
+                self.stats.deadline_expired += expired
+        return live
+
     def _execute(self, key: tuple, batch: list[tuple[_Request, Future]]) -> None:
         document = key[0]
+        batch = self._prune_expired(batch)
+        if not batch:
+            return
         entry = self.pool.get_or_load(key, lambda: self._load_master(key))
         pool_hit = entry.hits > 0
         if self.mode == "snapshot":
@@ -415,6 +531,28 @@ class QueryService:
             future.set_result(outcome)
 
     @staticmethod
+    def _batch_check(batch: list[tuple[_Request, Future]]):
+        """The cooperative cancellation hook for one batch, or ``None``.
+
+        Installed only when *every* request in the batch carries a
+        deadline: the batch is abandoned (between per-query evaluations —
+        the engine is never preempted mid-query) once the **latest** of
+        those deadlines has passed, i.e. once no waiter could still use a
+        result.  Mixed batches keep running for their unbounded waiters;
+        the expired ones are answered by their own ``future.result``
+        timeout converting to ``deadline_exceeded``.
+        """
+        deadlines = [request.deadline for request, _ in batch]
+        if not deadlines or any(d is None for d in deadlines):
+            return None
+        horizon = Deadline(max(d.at for d in deadlines))
+
+        def check() -> None:
+            horizon.check("batch (every waiter's deadline passed)")
+
+        return check
+
+    @staticmethod
     def _prepare(working: Instance, batch) -> Instance:
         """Materialise (empty) sets for tags the document never uses.
 
@@ -444,9 +582,13 @@ class QueryService:
         a half-evaluated instance still carries populated temp sets that a
         later evaluator's fresh counter would silently reuse.
         """
+        FAULTS.fire("service.evaluate", batch=len(batch))
         evaluator = BatchEvaluator(working, copy=False, axes=self.axes)
+        check = self._batch_check(batch)
         try:
-            result = evaluator.evaluate_batch([request.expr for request, _ in batch])
+            result = evaluator.evaluate_batch(
+                [request.expr for request, _ in batch], check=check
+            )
         except BaseException:
             if persistent_entry is not None:
                 persistent_entry.working = None  # re-fork from the pristine master

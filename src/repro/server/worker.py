@@ -17,9 +17,11 @@ shared memory, and a worker crash can never corrupt a sibling.
 
 Wire protocol (multiprocessing queues, all values picklable primitives):
 
-* requests  — ``("query", id, document, query_text, paths, limit)``,
-  ``("stats", id)``, ``("ping", id)``, ``("evict", id, document)``,
-  ``("shutdown",)``;
+* requests  — ``("query", id, document, query_text, paths, limit,
+  deadline_at)`` (``deadline_at`` an absolute ``time.monotonic`` stamp or
+  ``None`` — the monotonic clock is machine-wide, so the instant means
+  the same thing here), ``("stats", id)``, ``("ping", id)``,
+  ``("evict", id, document)``, ``("shutdown",)``;
 * responses — ``(id, "ok", payload)`` or ``(id, "error", kind, message)``
   where ``kind`` names the error family (see :data:`ERROR_KINDS`) so the
   dispatcher re-raises the *same* exception type the in-process service
@@ -47,6 +49,7 @@ import time
 # because this module *is* the wire protocol's home for fleet code.
 from repro.api.envelope import ERROR_KINDS, error_kind, rebuild_error  # noqa: F401
 from repro.errors import CatalogError, ClusterError
+from repro.server.resilience import FAULTS, Deadline
 
 SHUTDOWN = ("shutdown",)
 
@@ -56,16 +59,31 @@ def _serve_one(service, message, response_queue) -> None:
     kind = message[0]
     request_id = message[1]
     try:
+        FAULTS.fire("worker.serve", kind=kind)
         if kind == "query":
-            _, _, document, query_text, paths, limit = message
+            _, _, document, query_text, paths, limit, deadline_at = message
+            # Time queued in the request pipe counted against the budget;
+            # answer dead-on-arrival requests without touching the service.
+            deadline = Deadline.from_wire(deadline_at)
+            if deadline is not None:
+                deadline.check("request (expired in the worker's queue)")
             try:
-                payload = service.query(document, query_text, paths=paths, limit=limit)
+                payload = service.query(
+                    document, query_text, paths=paths, limit=limit, deadline=deadline
+                )
             except CatalogError:
                 # The front-end may have registered the document after this
                 # worker spawned; one manifest re-read settles it.
                 service.catalog.refresh()
-                payload = service.query(document, query_text, paths=paths, limit=limit)
+                payload = service.query(
+                    document, query_text, paths=paths, limit=limit, deadline=deadline
+                )
         elif kind == "stats":
+            if service.catalog.quarantined():
+                # A repair/re-register in another process lifts quarantine
+                # via a fresh manifest stamp; re-read before reporting so
+                # health probes see recovery, not a stale verdict.
+                service.catalog.refresh()
             payload = service.stats_dict()
             payload["resident"] = [
                 [document, list(strings)] for document, strings in service.resident_keys()
@@ -90,13 +108,19 @@ def worker_main(worker_id: int, catalog_dir: str, request_queue, response_queue,
     """Run one worker until a shutdown sentinel arrives (spawn entry point).
 
     ``config`` carries the service knobs as primitives: ``mode``,
-    ``window``, ``max_batch``, ``pool_capacity``, ``axes``, ``threads``.
+    ``window``, ``max_batch``, ``pool_capacity``, ``axes``, ``threads``,
+    and optionally ``faults`` — a primitives-only injection spec this
+    spawned process arms its own :data:`FAULTS` from (the chaos suite's
+    only channel into worker internals).
     """
     # Imported here so the spawn interpreter pays for the engine exactly
     # once, after the process exists (keeps module import light for the
     # dispatcher side, which only needs the protocol helpers above).
     from repro.server.catalog import Catalog
     from repro.server.service import QueryService
+
+    if config.get("faults"):
+        FAULTS.arm_from_spec(config["faults"])
 
     service = QueryService(
         Catalog(catalog_dir),

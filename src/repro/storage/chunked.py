@@ -20,16 +20,26 @@ Layout on disk::
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import threading
 
-from repro.errors import ReproError
+from repro.errors import IntegrityError, ReproError
 from repro.model.instance import Instance, normalize_edges
 from repro.model.serialize import load_file as load_dag, save_file as save_dag
 from repro.storage.prune import prunable_top_tags
 
 _MANIFEST = "manifest.json"
+
+
+def _file_checksum(path: str) -> str:
+    """sha256 of a chunk file, streamed (chunks can be large)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
 
 
 def extract_subdag(instance: Instance, vertex: int) -> Instance:
@@ -71,6 +81,10 @@ class ChunkedStore:
         self._top: list[tuple[int, int]] = [tuple(e) for e in manifest["top"]]
         #: Tags (plain set names) of each chunk's top vertex, for pruning.
         self._chunk_tags: list[list[str]] = manifest["chunk_tags"]
+        #: sha256 per chunk file, recorded at shred time.  Absent from
+        #: stores shredded before checksums existed — those load unverified
+        #: (``verify()`` reports them as unverifiable, not corrupt).
+        self.checksums: list[str] | None = manifest.get("checksums")
         self._cache: dict[int, Instance] = {}
         # Serialises cache fills so concurrent readers (the query service's
         # warm-start path) load each chunk from disk exactly once.
@@ -90,16 +104,16 @@ class ChunkedStore:
 
         chunk_ids: dict[int, int] = {}
         chunk_tags: list[list[str]] = []
+        checksums: list[str] = []
         top: list[tuple[int, int]] = []
         for child, count in instance.children(root_element):
             chunk = chunk_ids.get(child)
             if chunk is None:
                 chunk = len(chunk_ids)
                 chunk_ids[child] = chunk
-                save_dag(
-                    extract_subdag(instance, child),
-                    os.path.join(directory, f"chunk-{chunk}.dag"),
-                )
+                chunk_path = os.path.join(directory, f"chunk-{chunk}.dag")
+                save_dag(extract_subdag(instance, child), chunk_path)
+                checksums.append(_file_checksum(chunk_path))
                 chunk_tags.append(
                     [name for name in instance.sets_at(child) if not name.startswith("#")]
                 )
@@ -112,6 +126,7 @@ class ChunkedStore:
             "root_mask": instance.mask(root_element),
             "top": top,
             "chunk_tags": chunk_tags,
+            "checksums": checksums,
         }
         with open(os.path.join(directory, _MANIFEST), "w", encoding="utf-8") as handle:
             json.dump(manifest, handle)
@@ -124,23 +139,66 @@ class ChunkedStore:
         return len(self._chunk_tags)
 
     def chunk(self, chunk_id: int) -> Instance:
-        """Load (and cache) one chunk's sub-instance.
+        """Load (and cache) one chunk's sub-instance, verifying its checksum.
 
         Thread-safe; the cached instance is shared between callers and must
         be treated as read-only (:meth:`assemble` only reads it).  Its
         traversal caches are warmed under the lock, so concurrent readers
-        never race on the lazy memoisation either.
+        never race on the lazy memoisation either.  A chunk whose bytes no
+        longer hash to the manifest's shred-time checksum (torn write, bit
+        rot, truncation) raises :class:`~repro.errors.IntegrityError`
+        *before* deserialisation — corrupt data is never decoded, cached,
+        or served.
         """
         cached = self._cache.get(chunk_id)
         if cached is None:
             with self._cache_lock:
                 cached = self._cache.get(chunk_id)
                 if cached is None:
-                    cached = load_dag(os.path.join(self.directory, f"chunk-{chunk_id}.dag"))
+                    from repro.server.resilience import FAULTS
+
+                    path = os.path.join(self.directory, f"chunk-{chunk_id}.dag")
+                    FAULTS.fire("catalog.chunk", path=path, chunk_id=chunk_id)
+                    self._verify_chunk(chunk_id, path)
+                    cached = load_dag(path)
                     cached.postorder()  # pre-warm: later readers only read
                     cached.preorder()
                     self._cache[chunk_id] = cached
         return cached
+
+    def _verify_chunk(self, chunk_id: int, path: str) -> None:
+        if self.checksums is None or chunk_id >= len(self.checksums):
+            return  # pre-checksum store: load unverified, as before
+        try:
+            actual = _file_checksum(path)
+        except FileNotFoundError:
+            raise IntegrityError(
+                f"chunk {chunk_id} of {self.directory} is missing"
+            ) from None
+        if actual != self.checksums[chunk_id]:
+            raise IntegrityError(
+                f"chunk {chunk_id} of {self.directory} failed its checksum "
+                f"(stored {self.checksums[chunk_id][:12]}..., actual {actual[:12]}...)"
+            )
+
+    def verify(self) -> dict:
+        """Check every chunk file against its shred-time checksum.
+
+        Returns ``{"chunks": N, "corrupt": [ids], "unverifiable": bool}``
+        without decoding anything — pure byte hashing, so verification of a
+        quarantine candidate never crashes on malformed data.
+        """
+        corrupt: list[int] = []
+        if self.checksums is None:
+            return {"chunks": self.num_chunks, "corrupt": corrupt, "unverifiable": True}
+        for chunk_id in range(self.num_chunks):
+            try:
+                self._verify_chunk(
+                    chunk_id, os.path.join(self.directory, f"chunk-{chunk_id}.dag")
+                )
+            except IntegrityError:
+                corrupt.append(chunk_id)
+        return {"chunks": self.num_chunks, "corrupt": corrupt, "unverifiable": False}
 
     def chunks_with_tags(self, tags: set[str] | None) -> list[int]:
         """Chunk ids whose top vertex carries one of ``tags`` (None = all)."""

@@ -344,3 +344,89 @@ class TestDefaults:
     def test_rejects_zero_workers(self, tmp_path):
         with pytest.raises(ClusterError, match=">= 1 worker"):
             WorkerFleet(Catalog(str(tmp_path / "cat")), workers=0)
+
+
+class TestBackoffAmnesty:
+    """Regression: respawn-backoff strikes must reset after a sustained
+    healthy period, not persist until the next crash."""
+
+    def test_strikes_reset_after_sustained_healthy_window(self, tmp_path):
+        catalog = Catalog(str(tmp_path / "cat"))
+        catalog.add("bib", BIB_XML)
+        fleet = WorkerFleet(
+            catalog, workers=WORKERS, health_interval=0.05, backoff_healthy_window=0.3
+        )
+        try:
+            assert fleet.wait_ready(timeout=60)
+            slot = fleet._slots[0]
+            # Simulate a past crash-loop: strikes high, incarnation healthy
+            # for longer than the amnesty window.
+            slot.strikes = 4
+            slot.last_spawn = time.monotonic() - 1.0
+            assert wait_until(lambda: slot.strikes == 0, timeout=10)
+            # The wiped slate means the *next* young death is strike one,
+            # not strike five: respawn stays immediate, not backed off.
+        finally:
+            fleet.close()
+
+    def test_strikes_persist_within_healthy_window(self, own_fleet):
+        slot = own_fleet._slots[0]
+        slot.strikes = 2
+        slot.last_spawn = time.monotonic()  # freshly (re)spawned: no amnesty yet
+        time.sleep(0.3)  # several monitor ticks at health_interval=0.05
+        assert slot.strikes == 2
+
+
+class TestBreakerRouting:
+    """Open circuit breakers route shards around; a fleet-wide outage
+    still dispatches (the primary absorbs it) instead of failing closed."""
+
+    def test_open_breaker_routes_around_the_shard(self, own_fleet):
+        primary = own_fleet.shard_of("bib", "//author")
+        breaker = own_fleet._slots[primary].breaker
+        for _ in range(breaker.threshold):
+            breaker.record_failure()
+        payload = own_fleet.query("bib", "//author")
+        assert payload["worker"] != primary
+        assert own_fleet.stats_dict()["cluster"]["breakers_open"] == 1
+        health = own_fleet.health_dict()
+        assert health["status"] == "degraded"
+        assert primary in health["open_breakers"]
+
+    def test_all_breakers_open_still_uses_primary(self, own_fleet):
+        primary = own_fleet.shard_of("bib", "//author")
+        for slot in own_fleet._slots:
+            for _ in range(slot.breaker.threshold):
+                slot.breaker.record_failure()
+        payload = own_fleet.query("bib", "//author")  # fail open, not closed
+        assert payload["worker"] == primary
+
+
+class TestFleetQuarantineVisibility:
+    """Quarantine happens inside a worker's own catalog; the front-end's
+    health view must surface it — and see the recovery — across the
+    process boundary."""
+
+    def test_worker_quarantine_degrades_health_then_repair_recovers(
+        self, own_fleet, tmp_path
+    ):
+        from repro.errors import IntegrityError, QuarantinedError
+
+        from tests.server.test_catalog import corrupt_chunk
+
+        corrupt_chunk(str(tmp_path / "cat"), "bib")
+        with pytest.raises((IntegrityError, QuarantinedError)):
+            own_fleet.query("bib", "//author")
+        # The verdict lives in the worker process; the union in
+        # health_dict must still see it.
+        wait_until(lambda: own_fleet.health_dict()["status"] == "degraded")
+        health = own_fleet.health_dict()
+        assert "bib" in health["quarantined"]
+        # Operator repair from an independent handle (separate process in
+        # production): the worker's stats probe re-reads the manifest, so
+        # health recovers without a restart...
+        Catalog(str(tmp_path / "cat")).verify(repair=True)
+        wait_until(lambda: own_fleet.health_dict()["status"] == "ok")
+        # ...and so does service itself.
+        expected = decode_result(Engine(BIB_XML).query("//author"))["tree_count"]
+        assert own_fleet.query("bib", "//author")["tree_count"] == expected

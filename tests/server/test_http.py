@@ -266,3 +266,112 @@ class TestConcurrentClients:
         status, payload = request(server, "GET", "/stats")
         assert status == 200
         assert payload["service"]["requests"] >= 16
+
+
+def raw_request(server, method, path, body=None, headers=None):
+    """Like :func:`request` but also returns the response headers."""
+    host, port = server.server_address[:2]
+    connection = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        payload = json.dumps(body) if body is not None else None
+        connection.request(method, path, payload, headers or {})
+        response = connection.getresponse()
+        data = json.loads(response.read().decode("utf-8"))
+        return response.status, data, dict(response.getheaders())
+    finally:
+        connection.close()
+
+
+class TestResilienceSurface:
+    """Deadlines, admission, and health reporting at the HTTP boundary."""
+
+    def test_deadline_header_is_accepted(self, server):
+        status, payload, _ = raw_request(
+            server, "POST", "/query",
+            {"document": "bib", "query": "//author"},
+            headers={"X-Repro-Deadline-Ms": "30000"},
+        )
+        assert status == 200 and payload["tree_count"] > 0
+
+    def test_bad_deadline_header_is_400(self, server):
+        status, payload, _ = raw_request(
+            server, "POST", "/query",
+            {"document": "bib", "query": "//author"},
+            headers={"X-Repro-Deadline-Ms": "soon"},
+        )
+        assert status == 400
+        assert_envelope(payload, "bad-request")
+
+    def test_negative_deadline_body_is_400(self, server):
+        status, payload = request(
+            server, "POST", "/query",
+            {"document": "bib", "query": "//author", "deadline_ms": -5},
+        )
+        assert status == 400
+        assert_envelope(payload, "bad-request")
+
+    def test_zero_deadline_means_unbounded(self, server):
+        status, payload = request(
+            server, "POST", "/query",
+            {"document": "bib", "query": "//author", "deadline_ms": 0},
+        )
+        assert status == 200
+
+    def test_expired_deadline_is_504_envelope(self, server):
+        status, payload = request(
+            server, "POST", "/query",
+            {"document": "bib", "query": "//author", "deadline_ms": 0.000001},
+        )
+        assert status == 504
+        envelope = assert_envelope(payload, "deadline_exceeded")
+        assert "deadline" in envelope["message"]
+
+    def test_healthz_exposes_the_failure_surface(self, server):
+        status, payload = request(server, "GET", "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["reasons"] == []
+        assert payload["quarantined"] == []
+        assert isinstance(payload["shed_rate"], (int, float))
+
+    def test_quarantined_document_degrades_healthz_to_203(self, server):
+        server.service.catalog._quarantined.add("bib")
+        try:
+            status, payload = request(server, "GET", "/healthz")
+            assert status == 203
+            assert payload["status"] == "degraded"
+            assert payload["quarantined"] == ["bib"]
+            assert any("quarantined" in reason for reason in payload["reasons"])
+        finally:
+            server.service.catalog._quarantined.discard("bib")
+
+    def test_rate_limit_sheds_per_client_with_retry_after(self, tmp_path):
+        Catalog(str(tmp_path / "cat")).add("bib", BIB_XML)
+        server = create_server(str(tmp_path / "cat"), port=0, rate_limit=0.5)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        assert wait_ready(host, port, timeout=30)
+        try:
+            body = {"document": "bib", "query": "//author"}
+            status, _, _ = raw_request(
+                server, "POST", "/query", body, headers={"X-Repro-Client": "alice"}
+            )
+            assert status == 200  # burst of 1 at rate 0.5/s
+            status, payload, headers = raw_request(
+                server, "POST", "/query", body, headers={"X-Repro-Client": "alice"}
+            )
+            assert status == 429
+            envelope = assert_envelope(payload, "overloaded")
+            assert "rate limit" in envelope["message"]
+            assert int(headers["Retry-After"]) >= 1
+            # A different client identity has its own untouched bucket.
+            status, _, _ = raw_request(
+                server, "POST", "/query", body, headers={"X-Repro-Client": "bob"}
+            )
+            assert status == 200
+        finally:
+            server.shutdown()
+            server.server_close()
+            server.service.close()
+            thread.join(timeout=10)

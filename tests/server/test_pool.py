@@ -4,6 +4,7 @@ import threading
 
 import pytest
 
+from repro.errors import DeadlineExceededError
 from repro.model.instance import tree_instance
 from repro.server.pool import InstancePool
 
@@ -117,3 +118,83 @@ class TestConcurrency:
         slow_gate.set()
         slow_thread.join(timeout=10)
         assert order == ["fast", "slow"]
+
+
+class TestEvictionRaces:
+    """Eviction racing in-flight cold loads — including deadline-cancelled
+    loads (the loader raising ``DeadlineExceededError`` mid-flight)."""
+
+    def test_failed_load_leaves_no_poisoned_placeholder(self):
+        pool = InstancePool(capacity=4)
+
+        def doomed_loader():
+            raise DeadlineExceededError("cold load cancelled by deadline")
+
+        with pytest.raises(DeadlineExceededError):
+            pool.get_or_load("k", doomed_loader)
+        assert pool.keys() == []  # the placeholder did not squat in the LRU
+        entry = pool.get_or_load("k", make_instance)  # clean retry
+        assert entry.instance is not None
+        assert pool.stats()["misses"] == 2
+
+    def test_evict_during_inflight_cold_load_is_safe(self):
+        pool = InstancePool(capacity=4)
+        load_started = threading.Event()
+        load_gate = threading.Event()
+        loaded = []
+
+        def slow_loader():
+            load_started.set()
+            load_gate.wait(timeout=10)
+            return make_instance()
+
+        thread = threading.Thread(
+            target=lambda: loaded.append(pool.get_or_load("k", slow_loader))
+        )
+        thread.start()
+        assert load_started.wait(timeout=5)
+        # The placeholder is visible to eviction mid-load; dropping it must
+        # not break the in-flight loader — its caller keeps the entry alive.
+        assert pool.evict(lambda key: True) == 1
+        assert pool.keys() == []
+        load_gate.set()
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert loaded and loaded[0].instance is not None
+        # The pool's next requester cold-loads a fresh master independently.
+        fresh = pool.get_or_load("k", make_instance)
+        assert fresh is not loaded[0]
+        assert fresh.instance is not None
+
+    def test_cancelled_load_does_not_delete_a_successors_fresh_entry(self):
+        """Deadline-cancels an in-flight load *after* eviction already let a
+        successor re-load the key: the canceller's cleanup must only remove
+        its own placeholder, never the successor's live entry."""
+        pool = InstancePool(capacity=4)
+        load_started = threading.Event()
+        load_gate = threading.Event()
+        outcome = []
+
+        def cancelled_loader():
+            load_started.set()
+            load_gate.wait(timeout=10)
+            raise DeadlineExceededError("deadline expired during the cold load")
+
+        def victim():
+            try:
+                pool.get_or_load("k", cancelled_loader)
+            except DeadlineExceededError:
+                outcome.append("cancelled")
+
+        thread = threading.Thread(target=victim)
+        thread.start()
+        assert load_started.wait(timeout=5)
+        assert pool.evict(lambda key: True) == 1  # old placeholder gone
+        successor = pool.get_or_load("k", make_instance)  # fresh entry, loaded
+        assert successor.instance is not None
+        load_gate.set()  # now the first load fails with its deadline
+        thread.join(timeout=10)
+        assert outcome == ["cancelled"]
+        # Identity check in the failure path: the successor entry survives.
+        assert pool.keys() == ["k"]
+        assert pool.get_or_load("k", make_instance) is successor

@@ -5,8 +5,9 @@ import threading
 import pytest
 
 from repro.engine.pipeline import Engine
-from repro.errors import CatalogError, XPathSyntaxError
+from repro.errors import CatalogError, DeadlineExceededError, XPathSyntaxError
 from repro.server.catalog import Catalog
+from repro.server.resilience import Deadline
 from repro.server.service import QueryService, decode_result
 
 from tests.skeleton.test_loader import BIB_XML
@@ -221,3 +222,38 @@ class TestFailureIsolation:
         for needle in ("a", "b", "c", "d"):
             service.query("bib", f'//paper[author["{needle}"]]')
         assert service._pending == {}
+
+
+class TestDeadlines:
+    """End-to-end deadlines inside the coalescing service."""
+
+    def test_expired_request_never_reaches_evaluation(self, catalog):
+        service = QueryService(catalog)
+        try:
+            before = service.stats_dict()["service"]["batches"]
+            with pytest.raises(DeadlineExceededError):
+                service.query("bib", "//author", deadline=Deadline.after(-0.01))
+            stats = service.stats_dict()["service"]
+            assert stats["deadline_expired"] >= 1
+            assert stats["batches"] == before  # no batch slot was occupied
+        finally:
+            service.close()
+
+    def test_generous_deadline_answers_correctly(self, catalog):
+        service = QueryService(catalog)
+        try:
+            payload = service.query("bib", "//author", deadline=Deadline.after(60.0))
+            assert payload["tree_count"] == expected_payload("//author")["tree_count"]
+        finally:
+            service.close()
+
+    def test_stats_expose_admission(self, catalog):
+        service = QueryService(catalog, max_queue=7, rate_limit=2.0)
+        try:
+            service.query("bib", "//author")
+            admission = service.stats_dict()["admission"]
+            assert admission["max_queue"] == 7
+            assert admission["admitted"] >= 1
+            assert admission["inflight"] == 0  # released after every request
+        finally:
+            service.close()

@@ -74,12 +74,18 @@ SNAPSHOT = {
         "tree_axis",
     ],
     "repro.server": [
+        "AdmissionController",
         "Catalog",
         "CatalogEntry",
+        "CircuitBreaker",
+        "Deadline",
+        "FAULTS",
+        "FaultInjector",
         "InstancePool",
         "PoolEntry",
         "QueryService",
         "ReproHTTPServer",
+        "TokenBucket",
         "WorkerFleet",
         "create_server",
         "decode_result",
@@ -89,16 +95,36 @@ SNAPSHOT = {
     ],
 }
 
+#: The exact wire/envelope kind table (most-specific-first order matters
+#: for subclass lookups, but the *set* of kinds is public contract).
+EXPECTED_ERROR_KINDS = [
+    "catalog",
+    "cluster",
+    "deadline_exceeded",
+    "engine",
+    "integrity",
+    "overloaded",
+    "quarantined",
+    "timeout",
+    "worker-unavailable",
+    "xpath-compile",
+    "xpath-syntax",
+]
+
 #: Public (non-underscore) names that must exist on modules without
 #: ``__all__`` discipline — the error hierarchy callers catch by name.
 ERROR_SURFACE = [
     "CatalogError",
     "ClusterError",
     "CorpusError",
+    "DeadlineExceededError",
     "DecompressionLimitError",
     "EvaluationError",
     "IncompatibleInstancesError",
     "InstanceError",
+    "IntegrityError",
+    "OverloadedError",
+    "QuarantinedError",
     "ReproError",
     "SchemaError",
     "WorkerUnavailableError",
@@ -151,3 +177,11 @@ def test_error_kinds_cover_the_wire_protocol():
         rebuilt = rebuild_error(kind, "message")
         assert isinstance(rebuilt, exception_type)
         assert error_kind(rebuilt) == kind
+
+
+def test_error_kind_table_matches_snapshot():
+    # Kind strings are wire protocol: clients branch on them (retry on
+    # "overloaded", give up on "deadline_exceeded"). Renames are breaks.
+    from repro.api import ERROR_KINDS
+
+    assert sorted(ERROR_KINDS) == EXPECTED_ERROR_KINDS
