@@ -57,10 +57,13 @@ def common_extension(a: Instance, b: Instance) -> Instance:
     """
     shared = sorted(set(a.schema) & set(b.schema))
     only_b = [name for name in b.schema if name not in set(a.schema)]
+    # Result schema = a's schema followed by b's extras, so a-masks carry
+    # over unchanged and only b's extra bits need remapping.
     result = Instance(tuple(a.schema) + tuple(only_b))
-    bits_a = {name: a.bit_of(name) for name in a.schema}
     bits_b_extra = [(result.bit_of(name), b.bit_of(name)) for name in only_b]
     bits_shared = [(a.bit_of(name), b.bit_of(name), name) for name in shared]
+    rows_a = a.row_masks()
+    rows_b = b.row_masks()
 
     built: dict[tuple[int, int], int] = {}
     # Iterative postorder over pairs: build children before parents.
@@ -76,17 +79,13 @@ def common_extension(a: Instance, b: Instance) -> Instance:
                 if (ca, cb) not in built:
                     stack.append((ca, cb, False))
             continue
+        mask = rows_a[va]
+        mask_b = rows_b[vb]
         for bit_a, bit_b, name in bits_shared:
-            if (a.mask(va) >> bit_a & 1) != (b.mask(vb) >> bit_b & 1):
+            if (mask >> bit_a & 1) != (mask_b >> bit_b & 1):
                 raise IncompatibleInstancesError(
                     f"instances disagree on shared set {name!r} at pair {pair}"
                 )
-        mask = 0
-        mask_a = a.mask(va)
-        for name, bit in bits_a.items():
-            if mask_a >> bit & 1:
-                mask |= 1 << result.bit_of(name)
-        mask_b = b.mask(vb)
         for result_bit, bit in bits_b_extra:
             if mask_b >> bit & 1:
                 mask |= 1 << result_bit

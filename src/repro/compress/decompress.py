@@ -64,10 +64,11 @@ def decompress(instance: Instance, limit: int = DEFAULT_LIMIT) -> Decompression:
         )
     tree = Instance(instance.schema)
     origin: list[int] = []
+    row_masks = instance.row_masks()
 
     def make(dag_vertex: int) -> int:
         origin.append(dag_vertex)
-        return tree.new_vertex_masked(instance.mask(dag_vertex))
+        return tree.new_vertex_masked(row_masks[dag_vertex])
 
     root = make(instance.root)
     stack: list[tuple[int, int]] = [(root, instance.root)]

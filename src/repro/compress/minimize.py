@@ -23,6 +23,7 @@ def minimize(instance: Instance) -> Instance:
     """
     ids = canonical_ids(instance)
     result = Instance(instance.schema)
+    row_masks = instance.row_masks()
     built: dict[int, int] = {}
     for vertex in instance.postorder():
         canonical = ids[vertex]
@@ -31,7 +32,7 @@ def minimize(instance: Instance) -> Instance:
         edges = normalize_edges(
             (built[ids[child]], count) for child, count in instance.children(vertex)
         )
-        built[canonical] = result.new_vertex_masked(instance.mask(vertex), edges)
+        built[canonical] = result.new_vertex_masked(row_masks[vertex], edges)
     result.set_root(built[ids[instance.root]])
     return result
 

@@ -36,12 +36,41 @@ commits the new selection as an in-place mask pass instead — no rebuild, no
 renumbering, and the instance's cached traversal orders survive.  The
 rebuild remains the general path and the two are property-tested to produce
 equivalent instances.
+
+Kernel tiers (DESIGN.md section 11): with set memberships stored as
+contiguous bit planes, the in-place passes come in two shapes.  When numpy
+is active and the instance has at least :data:`VECTOR_THRESHOLD` edge
+entries, the passes run *level-synchronously* over the cached
+:class:`~repro.model.instance.EdgeCSR` — unpack the source plane to a bool
+vector once, then one gather/scatter per longest-path level (ascending for
+downward propagation, descending for upward), packing the result back into
+the target plane at the end.  Below the threshold, or without numpy, the
+scalar loops walk the cached traversal orders reading single plane bits —
+the historical shape, still O(|E|), and the reference the vectorized tier
+is property-tested against.  The genuinely sequential sibling flag scan
+stays scalar in both tiers.
 """
 
 from __future__ import annotations
 
 from repro.errors import EvaluationError
+from repro.model import planes as _pl
 from repro.model.instance import Instance, normalize_edges
+
+#: Minimum run-length edge entries before the numpy level-synchronous
+#: kernels pay for themselves; tiny instances (the paper's Figure 1 scale)
+#: stay on the scalar loops.
+VECTOR_THRESHOLD = 256
+
+
+def _vectorized(instance: Instance) -> bool:
+    return _pl.numpy_active() and instance.num_edge_entries >= VECTOR_THRESHOLD
+
+
+def _restrict_reachable(instance: Instance, plane) -> None:
+    """``plane &= reachable`` unless every vertex is reachable anyway."""
+    if len(instance.preorder()) != instance.num_vertices:
+        _pl.intersect_into(plane, instance.reachable_plane())
 
 
 def apply_axis(instance: Instance, axis: str, source: str, target: str) -> Instance:
@@ -54,28 +83,29 @@ def apply_axis(instance: Instance, axis: str, source: str, target: str) -> Insta
     """
     if instance.has_set(target):
         raise EvaluationError(f"target set {target!r} already exists")
-    source_bit = instance.bit_of(source)
-    masks = instance.mask_plane()
-    if not any(masks[v] >> source_bit & 1 for v in instance.preorder()):
+    source_plane = instance.plane_of(source)
+    live = _pl.copy_plane(source_plane)
+    _restrict_reachable(instance, live)
+    if not _pl.any_bit(live):
         # chi(empty) = empty for every axis: add an empty target set without
         # touching the structure (a common case for queries over tags the
         # document does not use).
         instance.ensure_set(target)
         return instance
     if axis == "self":
-        return _self(instance, source_bit, target)
+        return _self(instance, live, target)
     if axis == "parent":
-        return _parent(instance, source_bit, target)
+        return _parent(instance, source, target)
     if axis == "ancestor":
-        return _ancestor(instance, source_bit, target, or_self=False)
+        return _ancestor(instance, source, target, or_self=False)
     if axis == "ancestor-or-self":
-        return _ancestor(instance, source_bit, target, or_self=True)
+        return _ancestor(instance, source, target, or_self=True)
     if axis in ("child", "descendant", "descendant-or-self"):
-        return _downward(instance, axis, source_bit, target)
+        return _downward(instance, axis, source, target)
     if axis == "following-sibling":
-        return _sibling(instance, source_bit, target, following=True)
+        return _sibling(instance, source, target, following=True)
     if axis == "preceding-sibling":
-        return _sibling(instance, source_bit, target, following=False)
+        return _sibling(instance, source, target, following=False)
     if axis == "following":
         return _composite(instance, source, target, ("ancestor-or-self", "following-sibling", "descendant-or-self"))
     if axis == "preceding":
@@ -108,45 +138,77 @@ def _composite(instance: Instance, source: str, target: str, chain) -> Instance:
 # ----------------------------------------------------------------------
 
 
-def _self(instance: Instance, source_bit: int, target: str) -> Instance:
-    target_bit = 1 << instance.ensure_set(target)
-    masks = instance.mask_plane()
-    for vertex in instance.preorder():
-        if masks[vertex] >> source_bit & 1:
-            masks[vertex] |= target_bit
+def _self(instance: Instance, live, target: str) -> Instance:
+    # ``live`` is already source & reachable: one plane OR commits the axis.
+    _pl.or_into(instance.ensure_plane(target), live)
     return instance
 
 
-def _parent(instance: Instance, source_bit: int, target: str) -> Instance:
-    target_bit = 1 << instance.ensure_set(target)
-    masks = instance.mask_plane()
+def _parent(instance: Instance, source: str, target: str) -> Instance:
+    source_plane = instance.plane_of(source)
+    if _vectorized(instance):
+        numpy = _pl._numpy
+        esrc, edst = instance.edge_flat().np_arrays()
+        # One gather + one scatter: a vertex is selected iff any of its
+        # run-length edges points into S.  No level schedule needed.
+        source_bool = _pl.unpack_bool(source_plane, instance.num_vertices)
+        selected = numpy.zeros(instance.num_vertices, dtype=numpy.uint8)
+        selected[esrc[source_bool[edst].astype(bool)]] = 1
+        _pl.or_into(
+            instance.ensure_plane(target), _pl.pack_bool(selected, instance.nwords)
+        )
+        return instance
+    target_plane = instance.ensure_plane(target)
     children = instance.edge_table()
     for vertex in instance.preorder():
         for child, _ in children[vertex]:
-            if masks[child] >> source_bit & 1:
-                masks[vertex] |= target_bit
+            if source_plane[child >> 6] >> (child & 63) & 1:
+                target_plane[vertex >> 6] |= 1 << (vertex & 63)
                 break
     return instance
 
 
-def _ancestor(instance: Instance, source_bit: int, target: str, or_self: bool) -> Instance:
-    target_bit_index = instance.ensure_set(target)
-    target_bit = 1 << target_bit_index
-    masks = instance.mask_plane()
+def _ancestor(instance: Instance, source: str, target: str, or_self: bool) -> Instance:
+    source_plane = instance.plane_of(source)
+    if _vectorized(instance):
+        numpy = _pl._numpy
+        csr = instance.edge_csr()
+        esrc, edst = csr.np_arrays()
+        source_bool = _pl.unpack_bool(source_plane, instance.num_vertices)
+        # strict[v] = "v has a proper descendant in S".  Levels descending:
+        # every child sits at a strictly greater level than its parents, so
+        # strict[child] is final before any of the child's in-edges fire.
+        # The recurrence is the same for both variants: or-self only changes
+        # the final commit (strict | S), not what flows upward.
+        strict = numpy.zeros(instance.num_vertices, dtype=numpy.uint8)
+        for start, end in reversed(csr.spans):
+            if start == end:
+                continue
+            dst = edst[start:end]
+            hit = (source_bool[dst] | strict[dst]).astype(bool)
+            strict[esrc[start:end][hit]] = 1
+        result = _pl.pack_bool(strict, instance.nwords)
+        if or_self:
+            _pl.or_into(result, source_plane)
+            _restrict_reachable(instance, result)
+        _pl.or_into(instance.ensure_plane(target), result)
+        return instance
+    target_plane = instance.ensure_plane(target)
     children = instance.edge_table()
     # Children before parents: selection flows upward.
     for vertex in instance.postorder():
-        mask = masks[vertex]
-        selected = bool(or_self and (mask >> source_bit & 1))
+        selected = bool(
+            or_self and source_plane[vertex >> 6] >> (vertex & 63) & 1
+        )
         if not selected:
             for child, _ in children[vertex]:
-                child_mask = masks[child]
-                if child_mask >> source_bit & 1 or child_mask >> target_bit_index & 1:
+                word, shift = child >> 6, child & 63
+                if (source_plane[word] | target_plane[word]) >> shift & 1:
                     selected = True
                     break
         # ancestor-or-self additionally keeps S itself selected.
         if selected:
-            masks[vertex] = mask | target_bit
+            target_plane[vertex >> 6] |= 1 << (vertex & 63)
     return instance
 
 
@@ -155,25 +217,65 @@ def _ancestor(instance: Instance, source_bit: int, target: str, or_self: bool) -
 # ----------------------------------------------------------------------
 
 
-def _downward(instance: Instance, axis: str, source_bit: int, target: str) -> Instance:
-    fast = _downward_inplace(instance, axis, source_bit, target)
+def _downward(instance: Instance, axis: str, source: str, target: str) -> Instance:
+    fast = _downward_inplace(instance, axis, source, target)
     if fast is not None:
         return fast
-    return _downward_rebuild(instance, axis, source_bit, target)
+    return _downward_rebuild(instance, axis, source, target)
 
 
 def _downward_inplace(
-    instance: Instance, axis: str, source_bit: int, target: str
+    instance: Instance, axis: str, source: str, target: str
 ) -> Instance | None:
     """Split-avoiding fast path: commit the selection in place, or ``None``.
 
-    One topological pass computes the context bit every reachable vertex
-    receives from its parents; if some shared vertex receives both bits the
-    product genuinely splits and the caller falls back to the rebuild.
+    One pass computes the context bit every reachable vertex receives from
+    its parents; if some shared vertex receives both bits the product
+    genuinely splits and the caller falls back to the rebuild.
     """
     descend = axis in ("descendant", "descendant-or-self")
     or_self = axis == "descendant-or-self"
-    masks = instance.mask_plane()
+    source_plane = instance.plane_of(source)
+    if _vectorized(instance):
+        numpy = _pl._numpy
+        nvertices = instance.num_vertices
+        source_bool = _pl.unpack_bool(source_plane, nvertices)
+        got0 = numpy.zeros(nvertices, dtype=numpy.uint8)
+        got1 = numpy.zeros(nvertices, dtype=numpy.uint8)
+        got0[instance.root] = 1
+        if descend:
+            # Levels ascending: a parent's own context bit (got1) is final
+            # once its level is reached, because all of its in-edges fired
+            # earlier.
+            csr = instance.edge_csr()
+            esrc, edst = csr.np_arrays()
+            for start, end in csr.spans:
+                if start == end:
+                    continue
+                src = esrc[start:end]
+                sel = (source_bool[src] | got1[src]).astype(bool)
+                dst = edst[start:end]
+                got1[dst[sel]] = 1
+                got0[dst[~sel]] = 1
+        else:
+            # The child bit depends only on the parent's own membership, so
+            # no level schedule is needed: one scatter over the flat edges.
+            esrc, edst = instance.edge_flat().np_arrays()
+            sel = source_bool[esrc].astype(bool)
+            got1[edst[sel]] = 1
+            got0[edst[~sel]] = 1
+        # The fixpoint is monotone, so a both-bits vertex exists here iff the
+        # truncated scalar scan would find one: fall back identically.
+        if bool((got0 & got1).any()):
+            return None
+        if or_self:
+            numpy.bitwise_or(got1, source_bool, out=got1)
+            result = _pl.pack_bool(got1, instance.nwords)
+            _restrict_reachable(instance, result)
+        else:
+            result = _pl.pack_bool(got1, instance.nwords)
+        _pl.or_into(instance.ensure_plane(target), result)
+        return instance
     children = instance.edge_table()
     order = instance.topological_order()
     got0 = bytearray(len(children))
@@ -183,56 +285,104 @@ def _downward_inplace(
         bit = got1[vertex]
         if bit and got0[vertex]:
             return None
-        if masks[vertex] >> source_bit & 1 or (descend and bit):
+        if source_plane[vertex >> 6] >> (vertex & 63) & 1 or (descend and bit):
             received = got1
         else:
             received = got0
         for child, _ in children[vertex]:
             received[child] = 1
-    target_bit = 1 << instance.ensure_set(target)
+    target_plane = instance.ensure_plane(target)
     if or_self:
         for vertex in order:
-            if got1[vertex] or masks[vertex] >> source_bit & 1:
-                masks[vertex] |= target_bit
+            if got1[vertex] or source_plane[vertex >> 6] >> (vertex & 63) & 1:
+                target_plane[vertex >> 6] |= 1 << (vertex & 63)
     else:
         for vertex in order:
             if got1[vertex]:
-                masks[vertex] |= target_bit
+                target_plane[vertex >> 6] |= 1 << (vertex & 63)
     return instance
 
 
-def _downward_rebuild(instance: Instance, axis: str, source_bit: int, target: str) -> Instance:
+def _downward_rebuild(instance: Instance, axis: str, source: str, target: str) -> Instance:
     result = Instance(instance.schema)
-    target_bit = 1 << result.ensure_set(target)
     descend = axis in ("descendant", "descendant-or-self")
     or_self = axis == "descendant-or-self"
-    masks = instance.mask_plane()
+    source_plane = instance.plane_of(source)
     children = instance.edge_table()
+    order = instance.topological_order()
+    nvertices = len(children)
     new_vertex = result.new_vertex_masked
 
-    memo: dict[tuple[int, int], int] = {}
-    # Iterative postorder over (vertex, bit) product states.
-    stack: list[tuple[int, int, bool]] = [(instance.root, 0, False)]
-    while stack:
-        vertex, bit, expanded = stack.pop()
-        state = (vertex, bit)
-        if state in memo:
+    # Pass 1 — which product states are reachable.  Parents precede their
+    # children in the topological order, so by the time a vertex is visited
+    # both of its potential states are final and can be expanded at once.
+    has0 = bytearray(nvertices)
+    has1 = bytearray(nvertices)
+    in_src = bytearray(nvertices)
+    has0[instance.root] = 1
+    for vertex in order:
+        word = source_plane[vertex >> 6] >> (vertex & 63) & 1
+        in_src[vertex] = word
+        edges = children[vertex]
+        if not edges:
             continue
-        in_source = masks[vertex] >> source_bit & 1
-        child_bit = 1 if (in_source or (descend and bit)) else 0
-        if not expanded:
-            stack.append((vertex, bit, True))
-            for child, _ in children[vertex]:
-                if (child, child_bit) not in memo:
-                    stack.append((child, child_bit, False))
-            continue
-        edges = tuple(
-            (memo[(child, child_bit)], count) for child, count in children[vertex]
-        )
-        selected = bit or (or_self and in_source)
-        mask = masks[vertex] | (target_bit if selected else 0)
-        memo[state] = new_vertex(mask, edges)
-    result.set_root(memo[(instance.root, 0)])
+        if has0[vertex]:
+            received = has1 if word else has0
+            for child, _ in edges:
+                received[child] = 1
+        if has1[vertex]:
+            received = has1 if (word or descend) else has0
+            for child, _ in edges:
+                received[child] = 1
+
+    # Pass 2 — materialize states children-first, wiring edges through flat
+    # id maps instead of a DFS memo.  Vertices are created bare; memberships
+    # are carried over afterwards with one gather per plane via the origin
+    # map.  The emitted edges double as the new instance's flat edge list.
+    id0 = [0] * nvertices
+    id1 = [0] * nvertices
+    origin: list[int] = []
+    selected: list[int] = []
+    fsrc: list[int] = []
+    fdst: list[int] = []
+    fcnt: list[int] = []
+    for vertex in reversed(order):
+        in_source = in_src[vertex]
+        edges = children[vertex]
+        wired = None
+        if has0[vertex]:
+            ids = id1 if in_source else id0
+            wired = tuple((ids[c], m) for c, m in edges)
+            new_id = id0[vertex] = new_vertex(0, wired)
+            origin.append(vertex)
+            selected.append(or_self and in_source)
+            for c, m in wired:
+                fsrc.append(new_id)
+                fdst.append(c)
+                fcnt.append(m)
+        if has1[vertex]:
+            if in_source or not descend:
+                # Same child bit as the 0-state (for ``child`` the bit never
+                # depends on the parent's own bit) — reuse its wiring.
+                if wired is None:
+                    ids = id1 if in_source else id0
+                    wired = tuple((ids[c], m) for c, m in edges)
+            else:
+                wired = tuple((id1[c], m) for c, m in edges)
+            new_id = id1[vertex] = new_vertex(0, wired)
+            origin.append(vertex)
+            selected.append(1)
+            for c, m in wired:
+                fsrc.append(new_id)
+                fdst.append(c)
+                fcnt.append(m)
+    result.gather_sets_from(instance, origin)
+    target_plane = result.ensure_plane(target)
+    for new_id, flag in enumerate(selected):
+        if flag:
+            target_plane[new_id >> 6] |= 1 << (new_id & 63)
+    result.set_root(id0[instance.root])
+    result.adopt_edge_flat(fsrc, fdst, fcnt)
     return result
 
 
@@ -241,15 +391,15 @@ def _downward_rebuild(instance: Instance, axis: str, source_bit: int, target: st
 # ----------------------------------------------------------------------
 
 
-def _sibling(instance: Instance, source_bit: int, target: str, following: bool) -> Instance:
-    fast = _sibling_inplace(instance, source_bit, target, following)
+def _sibling(instance: Instance, source: str, target: str, following: bool) -> Instance:
+    fast = _sibling_inplace(instance, source, target, following)
     if fast is not None:
         return fast
-    return _sibling_rebuild(instance, source_bit, target, following)
+    return _sibling_rebuild(instance, source, target, following)
 
 
 def _sibling_inplace(
-    instance: Instance, source_bit: int, target: str, following: bool
+    instance: Instance, source: str, target: str, following: bool
 ) -> Instance | None:
     """Split-avoiding fast path for the sibling axes, or ``None``.
 
@@ -258,8 +408,10 @@ def _sibling_inplace(
     ``m > 1`` straddles the flag flip (``w in S`` while the flag is still
     0), which would split the run itself.  One scan over all reachable
     edge lists detects both; otherwise the selection is a pure mask pass.
+    The flag scan is order-sensitive along each edge list, so it stays
+    scalar in both kernel tiers.
     """
-    masks = instance.mask_plane()
+    source_plane = instance.plane_of(source)
     children = instance.edge_table()
     order = instance.preorder()
     got0 = bytearray(len(children))
@@ -271,7 +423,7 @@ def _sibling_inplace(
             continue
         flag = 0
         for child, count in edges if following else reversed(edges):
-            in_source = masks[child] >> source_bit & 1
+            in_source = source_plane[child >> 6] >> (child & 63) & 1
             if count > 1 and in_source and not flag:
                 return None  # the run itself splits: (w,1) + (w',m-1)
             if flag:
@@ -283,37 +435,35 @@ def _sibling_inplace(
     for vertex in order:
         if got0[vertex] and got1[vertex]:
             return None
-    target_bit = 1 << instance.ensure_set(target)
+    target_plane = instance.ensure_plane(target)
     for vertex in order:
         if got1[vertex]:
-            masks[vertex] |= target_bit
+            target_plane[vertex >> 6] |= 1 << (vertex & 63)
     return instance
 
 
 def _sibling_rebuild(
-    instance: Instance, source_bit: int, target: str, following: bool
+    instance: Instance, source: str, target: str, following: bool
 ) -> Instance:
     result = Instance(instance.schema)
-    target_bit = 1 << result.ensure_set(target)
-    masks = instance.mask_plane()
+    source_plane = instance.plane_of(source)
     children = instance.edge_table()
     new_vertex = result.new_vertex_masked
 
     # The bit a child state receives depends only on its parent's children
-    # (not on the parent's own bit), so compute each parent's child-state run
-    # list once.
-    child_states: dict[int, list[tuple[int, int, int]]] = {}
+    # (not on the parent's own bit), so each parent's child-state run list is
+    # computed once and shared by both of its product states.
+    order = instance.topological_order()
+    nvertices = len(children)
+    runs_of: list = [None] * nvertices
 
     def states_of(vertex: int) -> list[tuple[int, int, int]]:
-        cached = child_states.get(vertex)
-        if cached is not None:
-            return cached
         runs: list[tuple[int, int, int]] = []  # (child, bit, count)
         edges = children[vertex]
         flag = 0
         sequence = edges if following else tuple(reversed(edges))
         for child, count in sequence:
-            in_source = masks[child] >> source_bit & 1
+            in_source = source_plane[child >> 6] >> (child & 63) & 1
             inner = 1 if (flag or in_source) else 0
             if count == 1:
                 part = [(child, flag, 1)]
@@ -327,27 +477,59 @@ def _sibling_rebuild(
             flag = 1 if (flag or in_source) else 0
         if not following:
             runs.reverse()
-        child_states[vertex] = runs
         return runs
 
-    memo: dict[tuple[int, int], int] = {}
-    stack: list[tuple[int, int, bool]] = [(instance.root, 0, False)]
-    while stack:
-        vertex, bit, expanded = stack.pop()
-        state = (vertex, bit)
-        if state in memo:
-            continue
+    # Pass 1 — which product states are reachable.  Since the child bit is
+    # independent of the parent's bit, a vertex's run list fires whenever the
+    # vertex is reachable at all.
+    has0 = bytearray(nvertices)
+    has1 = bytearray(nvertices)
+    has0[instance.root] = 1
+    for vertex in order:
         runs = states_of(vertex)
-        if not expanded:
-            stack.append((vertex, bit, True))
-            for child, child_bit, _ in runs:
-                if (child, child_bit) not in memo:
-                    stack.append((child, child_bit, False))
-            continue
+        runs_of[vertex] = runs
+        for child, child_bit, _ in runs:
+            if child_bit:
+                has1[child] = 1
+            else:
+                has0[child] = 1
+
+    # Pass 2 — materialize states children-first through flat id maps; both
+    # states of a vertex share one (immutable) edge tuple, and the emitted
+    # edges double as the new instance's flat edge list.
+    id0 = [0] * nvertices
+    id1 = [0] * nvertices
+    origin: list[int] = []
+    selected: list[int] = []
+    fsrc: list[int] = []
+    fdst: list[int] = []
+    fcnt: list[int] = []
+    for vertex in reversed(order):
         edges = normalize_edges(
-            (memo[(child, child_bit)], count) for child, child_bit, count in runs
+            ((id1 if child_bit else id0)[child], count)
+            for child, child_bit, count in runs_of[vertex]
         )
-        mask = masks[vertex] | (target_bit if bit else 0)
-        memo[state] = new_vertex(mask, edges)
-    result.set_root(memo[(instance.root, 0)])
+        if has0[vertex]:
+            new_id = id0[vertex] = new_vertex(0, edges)
+            origin.append(vertex)
+            selected.append(0)
+            for c, m in edges:
+                fsrc.append(new_id)
+                fdst.append(c)
+                fcnt.append(m)
+        if has1[vertex]:
+            new_id = id1[vertex] = new_vertex(0, edges)
+            origin.append(vertex)
+            selected.append(1)
+            for c, m in edges:
+                fsrc.append(new_id)
+                fdst.append(c)
+                fcnt.append(m)
+    result.gather_sets_from(instance, origin)
+    target_plane = result.ensure_plane(target)
+    for new_id, flag in enumerate(selected):
+        if flag:
+            target_plane[new_id >> 6] |= 1 << (new_id & 63)
+    result.set_root(id0[instance.root])
+    result.adopt_edge_flat(fsrc, fdst, fcnt)
     return result

@@ -23,6 +23,7 @@ deep DAGs (compressed chains) do not hit Python's recursion limit.
 from __future__ import annotations
 
 from repro.errors import EvaluationError
+from repro.model import planes as _pl
 from repro.model.instance import Instance
 
 _DOWNWARD = ("child", "descendant", "descendant-or-self")
@@ -34,8 +35,11 @@ def downward_axis_inplace(instance: Instance, axis: str, source: str, target: st
         raise EvaluationError(f"{axis!r} is not a downward axis")
     if instance.has_set(target):
         raise EvaluationError(f"target set {target!r} already exists")
-    source_bit = instance.bit_of(source)
+    # Hoisted plane references: planes grow *in place* when splits append
+    # vertices, so these locals stay valid across new_vertex_masked calls.
+    source_plane = instance.plane_of(source)
     target_index = instance.ensure_set(target)
+    target_plane = instance.plane_of(target)
     target_bit = 1 << target_index
     descend = axis in ("descendant", "descendant-or-self")
     or_self = axis == "descendant-or-self"
@@ -43,19 +47,17 @@ def downward_axis_inplace(instance: Instance, axis: str, source: str, target: st
     visited: dict[int, bool] = {}
     aux: dict[int, int] = {}  # aux_ptr of Figure 4
 
-    # Hoisted mask-plane reference: new_vertex_masked appends to this same
-    # list, so the local stays valid across splits.
-    masks = instance.mask_plane()
-
     def in_source(vertex: int) -> bool:
-        return bool(masks[vertex] >> source_bit & 1)
+        return bool(source_plane[vertex >> 6] >> (vertex & 63) & 1)
 
     def selection(vertex: int) -> bool:
-        return bool(masks[vertex] >> target_index & 1)
+        return bool(target_plane[vertex >> 6] >> (vertex & 63) & 1)
 
     def set_selection(vertex: int, value: bool) -> None:
-        mask = masks[vertex]
-        masks[vertex] = mask | target_bit if value else mask & ~target_bit
+        if value:
+            target_plane[vertex >> 6] |= 1 << (vertex & 63)
+        else:
+            target_plane[vertex >> 6] &= _pl.FULL_WORD ^ (1 << (vertex & 63))
 
     root = instance.root
     initial = in_source(root) if or_self else False
@@ -86,7 +88,7 @@ def downward_axis_inplace(instance: Instance, axis: str, source: str, target: st
             copy = aux.get(child)
             if copy is None:  # line 7 (aux_ptr = 0)
                 copy = instance.new_vertex_masked(  # lines 8-9
-                    masks[child] ^ target_bit, instance.children(child)
+                    instance.mask(child) ^ target_bit, instance.children(child)
                 )
                 aux[child] = copy  # line 13
                 if descend:  # lines 10-12: re-process the copy's subtree

@@ -60,7 +60,7 @@ class QueryResult:
     def dag_count(self) -> int:
         """Figure 7 column (7): #nodes selected in the compressed instance."""
         if self._dag_count is None:
-            self._dag_count = len(self.vertices() & set(self.instance.preorder()))
+            self._dag_count = self.instance.count_set(self.set_name)
         return self._dag_count
 
     def _tree_counts(self) -> dict[int, int]:
@@ -74,11 +74,8 @@ class QueryResult:
         """Figure 7 column (8): #tree nodes the selection represents."""
         if self._tree_count is None:
             counts = self._tree_counts()
-            bit = self.instance.bit_of(self.set_name)
             self._tree_count = sum(
-                counts.get(v, 0)
-                for v in range(self.instance.num_vertices)
-                if self.instance.mask(v) >> bit & 1
+                counts.get(v, 0) for v in self.instance.members(self.set_name)
             )
         return self._tree_count
 
@@ -100,12 +97,11 @@ class QueryResult:
         This is the "decode" step the paper describes for column (8): a
         single depth-first traversal of the partially decompressed instance.
         """
-        bit = self.instance.bit_of(self.set_name)
-        mask_of = self.instance.mask
+        plane = self.instance.plane_of(self.set_name)
         return [
             path
             for vertex, path in iter_edge_paths(self.instance, limit=limit)
-            if mask_of(vertex) >> bit & 1
+            if plane[vertex >> 6] >> (vertex & 63) & 1
         ]
 
     def iter_tree_matches(self, limit: int = 1_000_000) -> Iterator[tuple[tuple[int, ...], int]]:
@@ -116,9 +112,9 @@ class QueryResult:
         first k matches is bounded work even on astronomically large
         selections — as long as they appear early in document order.
         """
-        bit = self.instance.bit_of(self.set_name)
+        plane = self.instance.plane_of(self.set_name)
         for vertex, path in iter_edge_paths(self.instance, limit=limit):
-            if self.instance.mask(vertex) >> bit & 1:
+            if plane[vertex >> 6] >> (vertex & 63) & 1:
                 yield path, vertex
 
     def decompression_ratio(self) -> float:

@@ -79,16 +79,18 @@ def canonical_ids(
     if name_order is None:
         name_order = list(instance.schema)
     identity_order = name_order == list(instance.schema)
+    row_masks = instance.row_masks()
+    if not identity_order:
+        bits = [instance.bit_of(name) for name in name_order]
 
     ids: dict[int, int] = {}
     for vertex in instance.postorder():
         edges = normalize_edges(
             (ids[child], count) for child, count in instance.children(vertex)
         )
-        if identity_order:
-            mask = instance.mask(vertex)
-        else:
-            mask = remap_mask(instance, vertex, name_order)
+        mask = row_masks[vertex]
+        if not identity_order:
+            mask = sum(1 << i for i, bit in enumerate(bits) if mask >> bit & 1)
         ids[vertex] = table.intern((mask, edges))
     return ids
 

@@ -6,38 +6,56 @@ graph is acyclic with a single root, and each ``S_i`` is a vertex subset named
 by the schema.  Both uncompressed XML skeletons (trees) and their compressed
 DAG versions are values of this one type.
 
-Representation choices (see DESIGN.md section 4):
+Representation choices (see DESIGN.md sections 4 and 11):
 
 * vertices are dense integers ``0 .. num_vertices-1``;
 * child sequences are stored run-length encoded as ``(child, count)`` pairs —
   the *edge multiplicities* of Figure 1(c); ``count >= 1`` and adjacent
   entries with the same child are merged by :meth:`Instance.set_children`;
-* set membership is a per-vertex integer bitmask, with schema names mapped to
-  bit positions; this makes the hash-consing key of the compressor a cheap
-  ``(mask, children)`` tuple and set operations integer arithmetic.
+* set membership is **transposed** into contiguous bit planes: each schema
+  set owns one fixed-width ``array('Q')`` (bit ``v`` = membership of vertex
+  ``v``; see :mod:`repro.model.planes`), so whole-set algebra, emptiness
+  tests and set dropping are word operations instead of per-vertex loops,
+  and a plane's bytes are exactly what the succinct on-disk skeleton format
+  stores and maps back.
+
+The row-mask view survives as an *interface*: :meth:`mask`,
+:meth:`set_mask` and :meth:`new_vertex_masked` still speak per-vertex
+integer bitmasks (bit position = schema position), which keeps the
+compressor's hash-consing key a cheap ``(mask, children)`` tuple.  Reading
+one row mask gathers across all planes (O(S)); writers that need many rows
+should use :meth:`row_masks`, and renumbering constructions should use
+:meth:`gather_sets_from` (one vectorised gather per plane).
 
 The structure is mutable: the query engine adds selections (new sets) and
 splits shared vertices during partial decompression.  Use :meth:`copy` when
 an evaluation must not disturb its input.
 
-Two facilities keep the query engine's constant factors down (DESIGN.md
-section 5):
+Three facilities keep the query engine's constant factors down (DESIGN.md
+sections 5 and 11):
 
-* *bulk mask-plane operations* (:meth:`combine_sets`, :meth:`fill_set`,
-  :meth:`clear_sets`, :meth:`drop_sets`) update every vertex's bitmask in a
-  single pass over the internal ``_masks`` list instead of a per-vertex
-  method call;
+* *bulk plane operations* (:meth:`combine_sets`, :meth:`fill_set`,
+  :meth:`clear_sets`, :meth:`drop_sets`) run word-at-a-time over whole
+  planes; dropping a set is now just deleting its plane — no mask
+  compaction pass at all;
 * *cached traversals*: :meth:`preorder`/:meth:`postorder` memoise their
   result, invalidated by a structural generation counter that every
   structure-mutating method bumps.  Callers must treat the returned lists
   as read-only.
+* *cached edge structure*: :meth:`edge_csr` memoises a flat edge list
+  grouped into longest-path levels, the input of the engine's vectorised
+  level-synchronous axis kernels; :meth:`reachable_plane` memoises the
+  reachable vertex set as a plane.  Both are structural, so :meth:`copy`
+  shares them like the traversal caches.
 """
 
 from __future__ import annotations
 
+from array import array
 from typing import Iterable, Iterator, Sequence
 
 from repro.errors import InstanceError, SchemaError
+from repro.model import planes as _pl
 
 #: A run-length encoded edge: ``(child vertex, multiplicity)``.
 Edge = tuple[int, int]
@@ -69,6 +87,91 @@ def expand_edges(edges: Iterable[Edge]) -> Iterator[int]:
             yield child
 
 
+class EdgeFlat:
+    """The reachable edge entries of an instance, flat, in no fixed order.
+
+    Same field layout as :class:`EdgeCSR` but *without* the longest-path
+    level grouping — and without any ordering guarantee at all, which is
+    fine for the kernels whose recurrence is order-free per edge: the
+    ``parent`` axis and the ``child``-axis split check.  Building this
+    skips the level relaxation and bucketing entirely (and the product
+    rebuilds seed it for free as they emit edges), so it is markedly
+    cheaper than the full CSR on rebuild-heavy query chains where every
+    fresh instance needs a new one.
+
+    Built once per structural generation (see :meth:`Instance.edge_flat`)
+    and shared by :meth:`Instance.copy`; strictly read-only.
+    """
+
+    __slots__ = ("esrc", "edst", "ecnt", "nvertices", "_np")
+
+    def __init__(self, esrc: list[int], edst: list[int], ecnt: list[int], nvertices: int):
+        self.esrc = esrc
+        self.edst = edst
+        self.ecnt = ecnt
+        self.nvertices = nvertices
+        self._np: tuple | None = None
+
+    def __len__(self) -> int:
+        return len(self.esrc)
+
+    def np_arrays(self):
+        """``(esrc, edst)`` as numpy intp arrays, built lazily, memoised."""
+        if self._np is None:
+            numpy = _pl._numpy
+            self._np = (
+                numpy.asarray(self.esrc, dtype=numpy.intp),
+                numpy.asarray(self.edst, dtype=numpy.intp),
+            )
+        return self._np
+
+
+class EdgeCSR:
+    """The reachable edge entries of an instance, flat and level-grouped.
+
+    ``esrc[i]``/``edst[i]``/``ecnt[i]`` are the parent, child and
+    multiplicity of the ``i``-th run-length edge entry; entries are grouped
+    by the *longest-path level* of their parent, ascending, with
+    ``spans[L] = (start, end)`` delimiting level ``L``.  Because every
+    parent of a vertex sits at a strictly smaller level, iterating spans in
+    order gives a level-synchronous schedule for downward propagation, and
+    iterating them reversed gives one for upward propagation.
+
+    Built once per structural generation (see :meth:`Instance.edge_csr`)
+    and shared by :meth:`Instance.copy`; strictly read-only.
+    """
+
+    __slots__ = ("esrc", "edst", "ecnt", "spans", "nvertices", "_np")
+
+    def __init__(
+        self,
+        esrc: list[int],
+        edst: list[int],
+        ecnt: list[int],
+        spans: list[tuple[int, int]],
+        nvertices: int,
+    ):
+        self.esrc = esrc
+        self.edst = edst
+        self.ecnt = ecnt
+        self.spans = spans
+        self.nvertices = nvertices
+        self._np: tuple | None = None
+
+    def __len__(self) -> int:
+        return len(self.esrc)
+
+    def np_arrays(self):
+        """``(esrc, edst)`` as numpy intp arrays, built lazily, memoised."""
+        if self._np is None:
+            numpy = _pl._numpy
+            self._np = (
+                numpy.asarray(self.esrc, dtype=numpy.intp),
+                numpy.asarray(self.edst, dtype=numpy.intp),
+            )
+        return self._np
+
+
 class Instance:
     """A rooted, ordered, acyclic sigma-instance with multiplicity edges."""
 
@@ -76,24 +179,79 @@ class Instance:
         "_schema",
         "_bits",
         "_children",
-        "_masks",
+        "_planes",
+        "_nwords",
+        "_nedge_entries",
         "_root",
         "_generation",
         "_pre_cache",
         "_post_cache",
+        "_reach_cache",
+        "_csr_cache",
+        "_flat_cache",
     )
 
     def __init__(self, schema: Iterable[str] = ()):
         self._schema: list[str] = []
         self._bits: dict[str, int] = {}
+        self._planes: list[array] = []
+        self._nwords: int = 0
         for name in schema:
             self.ensure_set(name)
         self._children: list[tuple[Edge, ...]] = []
-        self._masks: list[int] = []
+        self._nedge_entries: int = 0
         self._root: int = -1
         self._generation: int = 0
         self._pre_cache: list[int] | None = None
         self._post_cache: list[int] | None = None
+        self._reach_cache: array | None = None
+        self._csr_cache: EdgeCSR | None = None
+        self._flat_cache: EdgeFlat | None = None
+
+    @classmethod
+    def from_parts(
+        cls,
+        schema: Sequence[str],
+        children: list[tuple[Edge, ...]],
+        plane_list: list[array],
+        nwords: int,
+        root: int,
+    ) -> "Instance":
+        """Adopt pre-built columns wholesale (the mmap skeleton fast path).
+
+        ``children`` and every plane are adopted, not copied; planes must
+        all be ``nwords`` long with no bits at or above ``len(children)``.
+        """
+        if len(plane_list) != len(schema):
+            raise InstanceError(
+                f"{len(plane_list)} planes for {len(schema)} schema sets"
+            )
+        if nwords < _pl.words_for(len(children)):
+            raise InstanceError(
+                f"{nwords} words cannot hold {len(children)} vertex bits"
+            )
+        for plane in plane_list:
+            if len(plane) != nwords:
+                raise InstanceError("plane width disagrees with nwords")
+        instance = cls.__new__(cls)
+        instance._schema = list(schema)
+        instance._bits = {name: i for i, name in enumerate(instance._schema)}
+        if len(instance._bits) != len(instance._schema):
+            raise InstanceError("duplicate set name in schema")
+        instance._planes = plane_list
+        instance._nwords = nwords
+        instance._children = children
+        instance._nedge_entries = sum(len(edges) for edges in children)
+        instance._root = root
+        instance._generation = 0
+        instance._pre_cache = None
+        instance._post_cache = None
+        instance._reach_cache = None
+        instance._csr_cache = None
+        instance._flat_cache = None
+        if children:
+            instance._check_vertex(root)
+        return instance
 
     # ------------------------------------------------------------------
     # Schema management
@@ -124,67 +282,33 @@ class Instance:
             bit = len(self._schema)
             self._schema.append(name)
             self._bits[name] = bit
+            self._planes.append(_pl.new_plane(self._nwords))
         return bit
 
     def drop_set(self, name: str) -> None:
-        """Remove set ``name`` from the schema, compacting vertex masks."""
+        """Remove set ``name`` from the schema."""
         self.drop_sets((name,))
 
     def drop_sets(self, names: Iterable[str]) -> None:
-        """Remove several sets from the schema in one pass over the masks.
+        """Remove several sets from the schema in one pass.
 
-        Equivalent to repeated :meth:`drop_set` but O(V) total instead of
-        O(len(names) * V): the surviving bit positions are grouped into
-        contiguous segments and every mask is recomposed with one shift/and
-        per segment.
+        With transposed planes a dropped set is simply a deleted plane;
+        surviving sets keep their planes untouched and only their bit
+        positions shift.  Duplicate and adjacent names are handled
+        uniformly (the historical mask-compaction segments were
+        order-sensitive; planes make the question moot).
         """
         dropped = {self.bit_of(name) for name in dict.fromkeys(names)}
         if not dropped:
             return
-        kept = [bit for bit in range(len(self._schema)) if bit not in dropped]
-        # Contiguous runs of kept bits become (right-shift, mask) segments:
-        # a run of length L at old position s landing at new position d
-        # contributes ((m >> (s - d)) & (((1 << L) - 1) << d)).
-        segments: list[tuple[int, int]] = []
-        index = 0
-        while index < len(kept):
-            start = kept[index]
-            length = 1
-            while index + length < len(kept) and kept[index + length] == start + length:
-                length += 1
-            destination = index
-            segments.append((start - destination, ((1 << length) - 1) << destination))
-            index += length
-        masks = self._masks
-        if not segments:
-            masks[:] = [0] * len(masks)
-        elif len(segments) == 1:
-            shift, keep_mask = segments[0]
-            masks[:] = [(m >> shift) & keep_mask for m in masks]
-        else:
-            first_shift, first_mask = segments[0]
-            rest = segments[1:]
-            out = []
-            append = out.append
-            for m in masks:
-                acc = (m >> first_shift) & first_mask
-                for shift, keep_mask in rest:
-                    acc |= (m >> shift) & keep_mask
-                append(acc)
-            masks[:] = out
         self._schema = [name for i, name in enumerate(self._schema) if i not in dropped]
+        self._planes = [plane for i, plane in enumerate(self._planes) if i not in dropped]
         self._bits = {n: i for i, n in enumerate(self._schema)}
 
     def clear_sets(self, names: Iterable[str]) -> None:
-        """Empty several sets (schema unchanged) in one pass over the masks."""
-        bits = 0
-        for name in dict.fromkeys(names):
-            bits |= 1 << self.bit_of(name)
-        if not bits:
-            return
-        keep = ~bits
-        masks = self._masks
-        masks[:] = [m & keep for m in masks]
+        """Empty several sets (schema unchanged); one plane wipe per set."""
+        for bit in {self.bit_of(name) for name in dict.fromkeys(names)}:
+            _pl.zero(self._planes[bit])
 
     # ------------------------------------------------------------------
     # Vertices and edges
@@ -216,10 +340,25 @@ class Instance:
         return self._generation
 
     def _touch(self) -> None:
-        """Invalidate cached traversals after a structural mutation."""
+        """Invalidate structure-derived caches after a structural mutation."""
         self._generation += 1
         self._pre_cache = None
         self._post_cache = None
+        self._reach_cache = None
+        self._csr_cache = None
+        self._flat_cache = None
+
+    def _grow(self, nbits: int) -> None:
+        """Ensure every plane can hold ``nbits`` vertex bits (doubling)."""
+        needed = _pl.words_for(nbits)
+        if needed <= self._nwords:
+            return
+        nwords = self._nwords or 1
+        while nwords < needed:
+            nwords <<= 1
+        for plane in self._planes:
+            _pl.grow_plane(plane, nwords)
+        self._nwords = nwords
 
     def set_root(self, vertex: int) -> None:
         self._check_vertex(vertex)
@@ -236,10 +375,7 @@ class Instance:
         mask = 0
         for name in sets:
             mask |= 1 << self.ensure_set(name)
-        vertex = len(self._children)
-        self._children.append(())
-        self._masks.append(mask)
-        self._touch()
+        vertex = self.new_vertex_masked(mask)
         if children:
             self.set_children(vertex, children)
         return vertex
@@ -248,7 +384,21 @@ class Instance:
         """Fast-path vertex creation from a precomputed mask and normalized edges."""
         vertex = len(self._children)
         self._children.append(children)
-        self._masks.append(mask)
+        self._nedge_entries += len(children)
+        if vertex >= self._nwords << 6:
+            self._grow(vertex + 1)
+        if mask:
+            plane_list = self._planes
+            if mask >> len(plane_list):
+                raise SchemaError(
+                    f"mask {mask:#x} has bits outside the {len(plane_list)}-set schema"
+                )
+            word = vertex >> 6
+            bit = 1 << (vertex & 63)
+            while mask:
+                low = mask & -mask
+                plane_list[low.bit_length() - 1][word] |= bit
+                mask ^= low
         self._touch()
         return vertex
 
@@ -258,6 +408,7 @@ class Instance:
         normalized = normalize_edges(edges)
         for child, _ in normalized:
             self._check_vertex(child)
+        self._nedge_entries += len(normalized) - len(self._children[vertex])
         self._children[vertex] = normalized
         self._touch()
 
@@ -275,8 +426,11 @@ class Instance:
 
     @property
     def num_edge_entries(self) -> int:
-        """Number of run-length edge entries (the paper's ``|E|`` for DAGs)."""
-        return sum(len(edges) for edges in self._children)
+        """Number of run-length edge entries (the paper's ``|E|`` for DAGs).
+
+        Maintained incrementally, so reading it per evaluation is free.
+        """
+        return self._nedge_entries
 
     @property
     def num_edges_expanded(self) -> int:
@@ -288,115 +442,156 @@ class Instance:
     # ------------------------------------------------------------------
 
     def mask(self, vertex: int) -> int:
-        """The set-membership bitmask of ``vertex``."""
-        return self._masks[vertex]
+        """The set-membership bitmask of ``vertex`` (an O(S) plane gather).
+
+        Callers touching many vertices should take :meth:`row_masks` once.
+        """
+        word = vertex >> 6
+        shift = vertex & 63
+        mask = 0
+        for i, plane in enumerate(self._planes):
+            mask |= (plane[word] >> shift & 1) << i
+        return mask
 
     def set_mask(self, vertex: int, mask: int) -> None:
-        self._masks[vertex] = mask
+        """Overwrite the membership row of ``vertex`` across all planes."""
+        plane_list = self._planes
+        if mask >> len(plane_list):
+            raise SchemaError(
+                f"mask {mask:#x} has bits outside the {len(plane_list)}-set schema"
+            )
+        word = vertex >> 6
+        bit = 1 << (vertex & 63)
+        clear = _pl.FULL_WORD ^ bit
+        for i, plane in enumerate(plane_list):
+            if mask >> i & 1:
+                plane[word] |= bit
+            else:
+                plane[word] &= clear
+
+    def row_masks(self) -> list[int]:
+        """All per-vertex masks at once (popcount-bounded plane iteration)."""
+        rows = [0] * len(self._children)
+        for i, plane in enumerate(self._planes):
+            row_bit = 1 << i
+            for vertex in _pl.iter_bits(plane):
+                rows[vertex] |= row_bit
+        return rows
 
     def in_set(self, vertex: int, name: str) -> bool:
         """True if ``vertex`` is a member of set ``name``."""
-        return bool(self._masks[vertex] >> self.bit_of(name) & 1)
+        return bool(self._planes[self.bit_of(name)][vertex >> 6] >> (vertex & 63) & 1)
 
     def add_to_set(self, vertex: int, name: str) -> None:
         """Add ``vertex`` to set ``name`` (creating the set if needed)."""
-        self._masks[vertex] |= 1 << self.ensure_set(name)
+        self._planes[self.ensure_set(name)][vertex >> 6] |= 1 << (vertex & 63)
 
     def remove_from_set(self, vertex: int, name: str) -> None:
-        self._masks[vertex] &= ~(1 << self.bit_of(name))
+        self._planes[self.bit_of(name)][vertex >> 6] &= _pl.FULL_WORD ^ (
+            1 << (vertex & 63)
+        )
 
     def members(self, name: str) -> set[int]:
         """The vertex set named ``name`` as a Python set."""
-        bit = self.bit_of(name)
-        return {v for v, m in enumerate(self._masks) if m >> bit & 1}
+        return set(_pl.iter_bits(self._planes[self.bit_of(name)]))
+
+    def count_set(self, name: str, reachable_only: bool = True) -> int:
+        """``|S|`` by popcount — without materialising a Python set."""
+        plane = self._planes[self.bit_of(name)]
+        if not reachable_only or len(self.preorder()) == len(self._children):
+            return _pl.count_bits(plane)
+        restricted = _pl.copy_plane(plane)
+        _pl.intersect_into(restricted, self.reachable_plane())
+        return _pl.count_bits(restricted)
 
     def sets_at(self, vertex: int) -> tuple[str, ...]:
         """Names of all sets containing ``vertex`` (in schema order)."""
-        mask = self._masks[vertex]
-        return tuple(name for i, name in enumerate(self._schema) if mask >> i & 1)
+        word = vertex >> 6
+        shift = vertex & 63
+        return tuple(
+            name
+            for name, plane in zip(self._schema, self._planes)
+            if plane[word] >> shift & 1
+        )
 
     # ------------------------------------------------------------------
-    # Bulk mask-plane operations (single pass over the whole mask list)
+    # Bulk plane operations (word-at-a-time over whole sets)
     # ------------------------------------------------------------------
 
     def combine_sets(self, op: str, left: str, right: str, target: str) -> str:
         """Compute ``target = left <op> right`` over all reachable vertices.
 
         ``op`` is ``"union"``, ``"intersect"`` or ``"difference"``.
-        ``target`` is created if missing; the result is identical to reading
-        both operand bits and writing the target bit vertex by vertex, but
-        runs as one pass over the internal mask list.  Returns ``target``.
+        ``target`` is created if missing and accumulates (bits already in an
+        existing target survive, matching the historical per-vertex OR).
+        Returns ``target``.
         """
-        left_bit = self.bit_of(left)
-        right_bit = self.bit_of(right)
-        target_bit = 1 << self.ensure_set(target)
-        masks = self._masks
-        order = self.preorder()
-        if op == "union":
-            if len(order) == len(masks):
-                masks[:] = [
-                    m | target_bit if (m >> left_bit | m >> right_bit) & 1 else m
-                    for m in masks
-                ]
-            else:
-                for v in order:
-                    m = masks[v]
-                    if (m >> left_bit | m >> right_bit) & 1:
-                        masks[v] = m | target_bit
-        elif op == "intersect":
-            if len(order) == len(masks):
-                masks[:] = [
-                    m | target_bit if (m >> left_bit) & (m >> right_bit) & 1 else m
-                    for m in masks
-                ]
-            else:
-                for v in order:
-                    m = masks[v]
-                    if (m >> left_bit) & (m >> right_bit) & 1:
-                        masks[v] = m | target_bit
-        elif op == "difference":
-            if len(order) == len(masks):
-                masks[:] = [
-                    m | target_bit if (m >> left_bit) & ~(m >> right_bit) & 1 else m
-                    for m in masks
-                ]
-            else:
-                for v in order:
-                    m = masks[v]
-                    if (m >> left_bit) & ~(m >> right_bit) & 1:
-                        masks[v] = m | target_bit
-        else:
-            raise ValueError(f"unknown set operation {op!r}")
+        left_plane = self._planes[self.bit_of(left)]
+        right_plane = self._planes[self.bit_of(right)]
+        fully_reachable = len(self.preorder()) == len(self._children)
+        target_plane = self._planes[self.ensure_set(target)]
+        if fully_reachable and not _pl.any_bit(target_plane):
+            # Fresh target on a fully reachable instance (the common case on
+            # the evaluator's temp sets): combine straight into its plane.
+            _pl.combine(op, left_plane, right_plane, target_plane)
+            return target
+        result = _pl.new_plane(self._nwords)
+        _pl.combine(op, left_plane, right_plane, result)
+        if not fully_reachable:
+            _pl.intersect_into(result, self.reachable_plane())
+        _pl.or_into(target_plane, result)
         return target
 
     def fill_set(self, name: str) -> str:
-        """Add every reachable vertex to set ``name`` in one pass.
+        """Add every reachable vertex to set ``name`` in one plane OR.
 
         Creates the set if missing and returns ``name`` (the ``V`` of the
         algebra's ``AllNodes``).
         """
-        bit = 1 << self.ensure_set(name)
-        masks = self._masks
-        order = self.preorder()
-        if len(order) == len(masks):
-            masks[:] = [m | bit for m in masks]
-        else:
-            for v in order:
-                masks[v] |= bit
+        reach = self.reachable_plane()  # raises without a root, as before
+        _pl.or_into(self._planes[self.ensure_set(name)], reach)
         return name
 
     # ------------------------------------------------------------------
     # Hot-path accessors (engine internals)
     # ------------------------------------------------------------------
 
-    def mask_plane(self) -> list[int]:
-        """The internal per-vertex mask list, for engine hot loops.
+    def plane_of(self, name: str) -> array:
+        """The internal bit plane of set ``name``, for engine hot loops.
 
-        Updating entries in place is allowed (masks carry no structural
-        information, so traversal caches stay valid); never resize the list.
-        Bulk operations mutate it in place, so a held reference stays live.
+        Setting and clearing vertex bits in place is allowed (membership
+        carries no structural information, so traversal caches stay valid);
+        never resize the array.  The reference stays live across vertex
+        growth — planes grow in place.
         """
-        return self._masks
+        return self._planes[self.bit_of(name)]
+
+    def ensure_plane(self, name: str) -> array:
+        """:meth:`ensure_set` + :meth:`plane_of` in one step."""
+        return self._planes[self.ensure_set(name)]
+
+    @property
+    def nwords(self) -> int:
+        """Current plane width in 64-bit words (capacity, not ``|V|/64``)."""
+        return self._nwords
+
+    def reachable_plane(self) -> array:
+        """The root-reachable vertex set as a plane (cached; read-only)."""
+        cached = self._reach_cache
+        if cached is not None:
+            return cached
+        order = self.preorder()
+        if len(order) == len(self._children):
+            nbits = len(self._children)
+            words = [_pl.FULL_WORD] * (nbits >> 6)
+            if nbits & 63:
+                words.append((1 << (nbits & 63)) - 1)
+            words.extend([0] * (self._nwords - len(words)))
+            plane = array("Q", words)
+        else:
+            plane = _pl.plane_from_bits(order, self._nwords)
+        self._reach_cache = plane
+        return plane
 
     def edge_table(self) -> Sequence[tuple[Edge, ...]]:
         """The internal per-vertex edge-tuple list, for engine hot loops.
@@ -405,6 +600,101 @@ class Instance:
         :meth:`set_children` / :meth:`new_vertex` so caches invalidate.
         """
         return self._children
+
+    def edge_flat(self) -> EdgeFlat:
+        """The cached flat edge list in topological order (see :class:`EdgeFlat`)."""
+        cached = self._flat_cache
+        if cached is not None:
+            return cached
+        children = self._children
+        esrc: list[int] = []
+        edst: list[int] = []
+        ecnt: list[int] = []
+        add_src = esrc.append
+        add_dst = edst.append
+        add_cnt = ecnt.append
+        for vertex in self.topological_order():
+            for child, count in children[vertex]:
+                add_src(vertex)
+                add_dst(child)
+                add_cnt(count)
+        flat = EdgeFlat(esrc, edst, ecnt, len(children))
+        self._flat_cache = flat
+        return flat
+
+    def adopt_edge_flat(self, esrc: list[int], edst: list[int], ecnt: list[int]) -> None:
+        """Install a prebuilt flat edge list (see :class:`EdgeFlat`).
+
+        For construction paths that already know every reachable edge entry
+        as they emit it (the product rebuilds): the lists are adopted, not
+        copied, and must cover exactly the reachable entries.  Call after
+        the last structural mutation — any later one re-derives the list.
+        """
+        self._flat_cache = EdgeFlat(esrc, edst, ecnt, len(self._children))
+
+    def edge_csr(self) -> EdgeCSR:
+        """The cached level-grouped flat edge list (see :class:`EdgeCSR`)."""
+        cached = self._csr_cache
+        if cached is not None:
+            return cached
+        children = self._children
+        order = self.topological_order()
+        level = [0] * len(children)
+        # A vertex's level is final when it is visited (all in-edges fired),
+        # so one pass both relaxes the children and buckets the vertex.
+        buckets: list[list[int]] = []
+        for vertex in order:
+            vertex_level = level[vertex]
+            edges = children[vertex]
+            if not edges:
+                continue
+            next_level = vertex_level + 1
+            for child, _ in edges:
+                if level[child] < next_level:
+                    level[child] = next_level
+            while vertex_level >= len(buckets):
+                buckets.append([])
+            buckets[vertex_level].append(vertex)
+        esrc: list[int] = []
+        edst: list[int] = []
+        ecnt: list[int] = []
+        spans: list[tuple[int, int]] = []
+        add_src = esrc.append
+        add_dst = edst.append
+        add_cnt = ecnt.append
+        for bucket in buckets:
+            start = len(esrc)
+            for vertex in bucket:
+                for child, count in children[vertex]:
+                    add_src(vertex)
+                    add_dst(child)
+                    add_cnt(count)
+            spans.append((start, len(esrc)))
+        csr = EdgeCSR(esrc, edst, ecnt, spans, len(children))
+        self._csr_cache = csr
+        return csr
+
+    def gather_sets_from(self, source: "Instance", origin: Sequence[int]) -> None:
+        """Fill this instance's sets by gathering ``source``'s planes.
+
+        ``origin[new_id]`` names the source vertex whose memberships vertex
+        ``new_id`` inherits — the one bulk primitive behind every
+        renumbering construction (product rebuilds, compaction, chunk
+        assembly, common extension).  Only sets present in both schemas are
+        gathered; this instance's extra sets are left untouched.
+        """
+        if len(origin) != len(self._children):
+            raise InstanceError(
+                f"origin maps {len(origin)} vertices, instance has {len(self._children)}"
+            )
+        shared = [
+            (i, source._planes[source._bits[name]])
+            for i, name in enumerate(self._schema)
+            if source.has_set(name)
+        ]
+        gathered = _pl.gather_many([plane for _, plane in shared], origin, self._nwords)
+        for (i, _), plane in zip(shared, gathered):
+            self._planes[i] = plane
 
     # ------------------------------------------------------------------
     # Traversal
@@ -567,48 +857,51 @@ class Instance:
         clone._schema = list(self._schema)
         clone._bits = dict(self._bits)
         clone._children = list(self._children)  # edge tuples are immutable
-        clone._masks = list(self._masks)
+        clone._planes = [_pl.copy_plane(plane) for plane in self._planes]
+        clone._nwords = self._nwords
+        clone._nedge_entries = self._nedge_entries
         clone._root = self._root
         clone._generation = self._generation
-        # Cached orders are read-only lists over identical structure, so the
-        # clone can share them; either side's next mutation drops its own ref.
+        # Structure-derived caches are read-only values over identical
+        # structure, so the clone shares them; either side's next structural
+        # mutation drops its own references only.
         clone._pre_cache = self._pre_cache
         clone._post_cache = self._post_cache
+        clone._reach_cache = self._reach_cache
+        clone._csr_cache = self._csr_cache
+        clone._flat_cache = self._flat_cache
         return clone
 
     def compact(self) -> "Instance":
         """A copy with unreachable vertices dropped and ids renumbered.
 
         Vertices are renumbered in topological (parent-before-child) order,
-        so the root becomes vertex 0.
+        so the root becomes vertex 0.  Set memberships are carried over with
+        one vectorised gather per plane.
         """
         order = self.topological_order()
         renumber = {old: new for new, old in enumerate(order)}
         clone = Instance(self._schema)
-        clone._children = [()] * len(order)
-        clone._masks = [0] * len(order)
-        for old in order:
-            new = renumber[old]
-            clone._children[new] = tuple(
-                (renumber[child], count) for child, count in self._children[old]
-            )
-            clone._masks[new] = self._masks[old]
+        clone._grow(len(order))
+        clone._children = [
+            tuple((renumber[child], count) for child, count in self._children[old])
+            for old in order
+        ]
+        clone._nedge_entries = sum(len(edges) for edges in clone._children)
         clone._root = renumber[self.root]
+        clone.gather_sets_from(self, order)
         return clone
 
     def reduct(self, names: Iterable[str]) -> "Instance":
         """The sigma'-reduct: same DAG, schema restricted to ``names`` (section 2.3)."""
         keep = list(names)
-        for name in keep:
-            self.bit_of(name)  # raises if absent
+        kept_planes = [_pl.copy_plane(self._planes[self.bit_of(name)]) for name in keep]
         clone = Instance(keep)
+        clone._planes = kept_planes
+        clone._nwords = self._nwords
         clone._children = list(self._children)
+        clone._nedge_entries = self._nedge_entries
         clone._root = self._root
-        masks = []
-        bits = [self.bit_of(name) for name in keep]
-        for m in self._masks:
-            masks.append(sum(((m >> b) & 1) << i for i, b in enumerate(bits)))
-        clone._masks = masks
         return clone
 
     # ------------------------------------------------------------------

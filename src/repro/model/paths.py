@@ -60,10 +60,7 @@ def selected_tree_count(instance: Instance, name: str) -> int:
     selected DAG vertices ``v``.
     """
     counts = tree_node_counts(instance)
-    bit = instance.bit_of(name)
-    return sum(
-        counts.get(v, 0) for v in range(instance.num_vertices) if instance.mask(v) >> bit & 1
-    )
+    return sum(counts.get(v, 0) for v in instance.members(name))
 
 
 def iter_edge_paths(
@@ -106,8 +103,9 @@ def set_path_sets(
     """``Pi(S)`` for every set ``S`` of the schema (bounded enumeration)."""
     collected: dict[str, set[tuple[int, ...]]] = {name: set() for name in instance.schema}
     names = instance.schema
+    row_masks = instance.row_masks()
     for vertex, path in iter_edge_paths(instance, limit=limit):
-        mask = instance.mask(vertex)
+        mask = row_masks[vertex]
         for i, name in enumerate(names):
             if mask >> i & 1:
                 collected[name].add(path)

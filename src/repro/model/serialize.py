@@ -44,11 +44,12 @@ def dump(instance: Instance, stream: IO[str]) -> None:
         stream.write(name + "\n")
     stream.write(f"root {instance.root}\n")
     stream.write(f"vertices {instance.num_vertices}\n")
+    row_masks = instance.row_masks()
     for vertex in range(instance.num_vertices):
         edges = " ".join(
             f"{child}:{count}" for child, count in instance.children(vertex)
         )
-        mask = format(instance.mask(vertex), "x")
+        mask = format(row_masks[vertex], "x")
         stream.write(f"{mask} {edges}".rstrip() + "\n")
 
 
@@ -87,21 +88,23 @@ def load(stream: IO[str]) -> Instance:
     total = int(count_line[1])
 
     instance = Instance(schema)
-    # Two passes: create all vertices first, then wire edges (forward
-    # references are legal in the file).
+    # Two passes: create all vertices (with their masks) first, then wire
+    # edges (forward references are legal in the file).
     rows = [next_line() for _ in range(total)]
-    for _ in range(total):
-        instance.new_vertex_masked(0)
+    edge_rows: list[list[tuple[int, int]]] = []
     for vertex, row in enumerate(rows):
         parts = row.split()
         if not parts:
             raise ReproError(f"empty vertex row {vertex}")
-        instance.set_mask(vertex, int(parts[0], 16))
+        instance.new_vertex_masked(int(parts[0], 16))
         edges = []
         for pair in parts[1:]:
             child_text, _, count_text = pair.partition(":")
             edges.append((int(child_text), int(count_text)))
-        instance.set_children(vertex, edges)
+        edge_rows.append(edges)
+    for vertex, edges in enumerate(edge_rows):
+        if edges:
+            instance.set_children(vertex, edges)
     instance.set_root(root)
     instance.validate()
     return instance

@@ -61,7 +61,7 @@ from concurrent.futures import TimeoutError as FuturesTimeoutError
 from repro.errors import ClusterError, DeadlineExceededError, WorkerUnavailableError
 from repro.server.catalog import Catalog
 from repro.server.resilience import FAULTS, AdmissionController, CircuitBreaker, Deadline
-from repro.server.service import DEFAULT_LIMIT, CompiledQueryCache
+from repro.server.service import DEFAULT_LIMIT, CompiledQueryCache, kernel_info
 from repro.server.worker import SHUTDOWN, rebuild_error, worker_main
 
 #: Request kinds counted in dispatched/completed/failed — real work, not
@@ -577,6 +577,9 @@ class WorkerFleet:
             "shard": slot.id,
             "strings": list(strings),
             "resident": "unknown",
+            # Workers are forks of this process, so the dispatcher's kernel
+            # tier is the fleet's (per-worker detail sits in /stats rows).
+            "kernel": kernel_info(),
         }
         try:
             request_id, future = self._submit(slot, ("stats",))
@@ -714,6 +717,7 @@ class WorkerFleet:
             "workers": snapshot,
             "mode": self.mode,
             "admission": self.admission.stats(),
+            "kernel": kernel_info(),
         }
 
     def health_dict(self) -> dict:

@@ -40,7 +40,7 @@ PoolKey = Hashable
 class PoolEntry:
     """One resident master instance plus its serialisation lock."""
 
-    __slots__ = ("key", "lock", "instance", "working", "load_seconds", "hits")
+    __slots__ = ("key", "lock", "instance", "working", "load_seconds", "hits", "load_info")
 
     def __init__(self, key: PoolKey):
         self.key = key
@@ -51,6 +51,9 @@ class PoolEntry:
         self.working: Instance | None = None
         self.load_seconds = 0.0
         self.hits = 0
+        #: How the cold load was served ("skeleton" mmap vs "chunks"), set
+        #: by the service after a successful load; surfaced in ``/stats``.
+        self.load_info: dict | None = None
 
 
 class InstancePool:
@@ -73,6 +76,12 @@ class InstancePool:
     def keys(self) -> list[PoolKey]:
         with self._lock:
             return list(self._entries)
+
+    def load_info(self, key: PoolKey) -> dict | None:
+        """How ``key``'s cold load was served, or ``None`` when not resident."""
+        with self._lock:
+            entry = self._entries.get(key)
+            return entry.load_info if entry is not None else None
 
     def get_or_load(self, key: PoolKey, loader: Callable[[], Instance]) -> PoolEntry:
         """The entry for ``key``, loading its master exactly once.
@@ -132,10 +141,19 @@ class InstancePool:
 
     def stats(self) -> dict:
         with self._lock:
+            bytes_mapped = 0
+            skeleton_loads = 0
+            for entry in self._entries.values():
+                info = entry.load_info
+                if info and info.get("format") == "skeleton":
+                    skeleton_loads += 1
+                    bytes_mapped += info.get("bytes_mapped", 0)
             return {
                 "capacity": self.capacity,
                 "resident": len(self._entries),
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "skeleton_loads": skeleton_loads,
+                "bytes_mapped": bytes_mapped,
             }

@@ -50,6 +50,7 @@ from repro.api.envelope import DEFAULT_LIMIT, MAX_PATHS, encode_result  # noqa: 
 from repro.engine.batch import BatchEvaluator
 from repro.engine.results import QueryResult
 from repro.errors import DeadlineExceededError, ReproError
+from repro.model import planes
 from repro.model.instance import Instance
 from repro.server.catalog import Catalog
 from repro.server.pool import InstancePool, PoolEntry
@@ -69,6 +70,20 @@ def decode_result(result: QueryResult, paths: int = 0, limit: int = DEFAULT_LIMI
     evaluation" is a byte comparison of canonical JSON.
     """
     return encode_result(result, paths=paths, limit=limit)
+
+
+def kernel_info() -> dict:
+    """Which bit-plane kernel tier this process evaluates with.
+
+    Surfaced in ``/stats`` and attached to structured plans so ``explain``
+    shows whether queries run on the NumPy word kernels or the pure-stdlib
+    fallback (see :mod:`repro.model.planes`).
+    """
+    return {
+        "tier": planes.kernel_tier(),
+        "numpy": planes.numpy_active(),
+        "plane_format_version": planes.PLANE_FORMAT_VERSION,
+    }
 
 
 class CompiledQueryCache:
@@ -340,6 +355,8 @@ class QueryService:
             "mode": self.mode,
             "resident": key in self.pool.keys(),
             "strings": list(strings),
+            "kernel": kernel_info(),
+            "load": self.pool.load_info(key),
         }
 
     def explain(self, document: str, query_text: str) -> dict:
@@ -367,6 +384,7 @@ class QueryService:
             "mode": self.mode,
             "admission": self.admission.stats(),
             "quarantined": self.catalog.quarantined(),
+            "kernel": kernel_info(),
         }
 
     def health_dict(self) -> dict:
@@ -493,6 +511,15 @@ class QueryService:
             return
         entry = self.pool.get_or_load(key, lambda: self._load_master(key))
         pool_hit = entry.hits > 0
+        if entry.load_info is None:
+            # First sight of this entry: record which on-disk form served
+            # the cold load.  No-strings loads come from the document's
+            # store (mmap skeleton or legacy chunks — it remembers which);
+            # string-schema loads re-parse the original XML.
+            if key[1]:
+                entry.load_info = {"format": "parse", "mmap": False, "bytes_mapped": 0}
+            else:
+                entry.load_info = self.catalog.store(document).last_load_info
         if self.mode == "snapshot":
             with entry.lock:
                 working = self._prepare(entry.instance.copy(), batch)

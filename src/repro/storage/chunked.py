@@ -16,6 +16,18 @@ Layout on disk::
 
     <dir>/manifest.json        schema, masks, ordered (chunk, count) list
     <dir>/chunk-<n>.dag        one REPRO-DAG file per distinct subtree
+    <dir>/skeleton.rskl        succinct whole-document image (format 2 only)
+
+Format 2 manifests additionally record a **succinct skeleton** — the fully
+assembled document encoded once at shred time into the RSKL layout of
+:mod:`repro.skeleton.layout`.  Whole-document loads (``assemble(None)``,
+the instance pool's cold path) then mmap-and-decode that one file instead
+of deserialising every chunk; partial (pruned) loads and format-1 stores
+keep using the chunk files, so old catalogs read back byte-identically
+with no migration.  A skeleton that fails its digest raises
+:class:`~repro.errors.IntegrityError` exactly like a corrupt chunk; a
+*missing* skeleton silently falls back to chunks (it is a cache of the
+chunks' content, not data).
 """
 
 from __future__ import annotations
@@ -28,9 +40,17 @@ import threading
 from repro.errors import IntegrityError, ReproError
 from repro.model.instance import Instance, normalize_edges
 from repro.model.serialize import load_file as load_dag, save_file as save_dag
+from repro.skeleton.layout import (
+    SkeletonUnsupported,
+    read_skeleton,
+    write_skeleton,
+)
 from repro.storage.prune import prunable_top_tags
 
 _MANIFEST = "manifest.json"
+_SKELETON_FILE = "skeleton.rskl"
+_FORMAT_V1 = "repro-chunks-1"
+_FORMAT_V2 = "repro-chunks-2"
 
 
 def _file_checksum(path: str) -> str:
@@ -45,6 +65,7 @@ def _file_checksum(path: str) -> str:
 def extract_subdag(instance: Instance, vertex: int) -> Instance:
     """The sub-instance reachable from ``vertex`` (same schema, new ids)."""
     sub = Instance(instance.schema)
+    row_masks = instance.row_masks()
     built: dict[int, int] = {}
     stack: list[tuple[int, bool]] = [(vertex, False)]
     while stack:
@@ -60,7 +81,7 @@ def extract_subdag(instance: Instance, vertex: int) -> Instance:
             )
             continue
         edges = tuple((built[child], count) for child, count in instance.children(current))
-        built[current] = sub.new_vertex_masked(instance.mask(current), edges)
+        built[current] = sub.new_vertex_masked(row_masks[current], edges)
     sub.set_root(built[vertex])
     return sub
 
@@ -72,8 +93,13 @@ class ChunkedStore:
         self.directory = directory
         with open(os.path.join(directory, _MANIFEST), "r", encoding="utf-8") as handle:
             manifest = json.load(handle)
-        if manifest.get("format") != "repro-chunks-1":
+        if manifest.get("format") not in (_FORMAT_V1, _FORMAT_V2):
             raise ReproError(f"not a chunk store: {directory}")
+        #: Relative name of the succinct whole-document skeleton, or None
+        #: for format-1 (legacy) stores and stores the encoder skipped.
+        self.skeleton_file: str | None = manifest.get("skeleton")
+        #: How the most recent :meth:`assemble` was served (stats surface).
+        self.last_load_info: dict | None = None
         self.schema: list[str] = manifest["schema"]
         self._doc_mask: int = manifest["doc_mask"]
         self._root_mask: int = manifest["root_mask"]
@@ -94,7 +120,14 @@ class ChunkedStore:
 
     @staticmethod
     def save(instance: Instance, directory: str) -> "ChunkedStore":
-        """Shred ``instance`` (a loader-produced document) into ``directory``."""
+        """Shred ``instance`` (a loader-produced document) into ``directory``.
+
+        Writes the chunk files and manifest first, then encodes the succinct
+        skeleton *from the assembled chunks* — so the skeleton is guaranteed
+        to decode byte-identically to a legacy chunk assembly (same vertex
+        numbering, same schema order).  An instance the RSKL layout cannot
+        hold simply omits the skeleton; loads fall back to chunks.
+        """
         os.makedirs(directory, exist_ok=True)
         document = instance.root
         root_children = instance.children(document)
@@ -120,7 +153,7 @@ class ChunkedStore:
             top.append((chunk, count))
 
         manifest = {
-            "format": "repro-chunks-1",
+            "format": _FORMAT_V2,
             "schema": list(instance.schema),
             "doc_mask": instance.mask(document),
             "root_mask": instance.mask(root_element),
@@ -128,7 +161,19 @@ class ChunkedStore:
             "chunk_tags": chunk_tags,
             "checksums": checksums,
         }
-        with open(os.path.join(directory, _MANIFEST), "w", encoding="utf-8") as handle:
+        manifest_path = os.path.join(directory, _MANIFEST)
+        with open(manifest_path, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle)
+
+        store = ChunkedStore(directory)
+        try:
+            write_skeleton(
+                os.path.join(directory, _SKELETON_FILE), store.assemble()
+            )
+        except SkeletonUnsupported:
+            return store
+        manifest["skeleton"] = _SKELETON_FILE
+        with open(manifest_path, "w", encoding="utf-8") as handle:
             json.dump(manifest, handle)
         return ChunkedStore(directory)
 
@@ -182,13 +227,16 @@ class ChunkedStore:
             )
 
     def verify(self) -> dict:
-        """Check every chunk file against its shred-time checksum.
+        """Check every chunk file (and the skeleton) against its checksum.
 
         Returns ``{"chunks": N, "corrupt": [ids], "unverifiable": bool}``
         without decoding anything — pure byte hashing, so verification of a
-        quarantine candidate never crashes on malformed data.
+        quarantine candidate never crashes on malformed data.  A skeleton
+        failing its embedded digest appends ``"skeleton"`` to the corrupt
+        list (a *missing* skeleton is not corruption — loads fall back to
+        the chunks it was encoded from).
         """
-        corrupt: list[int] = []
+        corrupt: list = []
         if self.checksums is None:
             return {"chunks": self.num_chunks, "corrupt": corrupt, "unverifiable": True}
         for chunk_id in range(self.num_chunks):
@@ -198,6 +246,13 @@ class ChunkedStore:
                 )
             except IntegrityError:
                 corrupt.append(chunk_id)
+        if self.skeleton_file is not None:
+            try:
+                read_skeleton(os.path.join(self.directory, self.skeleton_file))
+            except FileNotFoundError:
+                pass
+            except (IntegrityError, OSError):
+                corrupt.append("skeleton")
         return {"chunks": self.num_chunks, "corrupt": corrupt, "unverifiable": False}
 
     def chunks_with_tags(self, tags: set[str] | None) -> list[int]:
@@ -216,18 +271,29 @@ class ChunkedStore:
         The result is a document instance with the same schema; omitted
         top-level subtrees are absent (the partial-residency model of
         section 6: queries that cannot observe them run unchanged).
+
+        Whole-document assemblies of format-2 stores are served from the
+        succinct skeleton when one exists — mmap, digest check, column
+        adoption — producing the identical instance without touching the
+        chunk files.  :attr:`last_load_info` records which path served the
+        call (and, for skeleton loads, how many bytes were mapped).
         """
+        if chunk_ids is None and self.skeleton_file is not None:
+            instance = self._assemble_from_skeleton()
+            if instance is not None:
+                return instance
         selected = set(chunk_ids if chunk_ids is not None else range(self.num_chunks))
         combined = Instance(self.schema)
         roots: dict[int, int] = {}
         for chunk_id in sorted(selected):
             chunk = self.chunk(chunk_id)
+            row_masks = chunk.row_masks()
             offset_map: dict[int, int] = {}
             for vertex in chunk.postorder():
                 edges = tuple(
                     (offset_map[child], count) for child, count in chunk.children(vertex)
                 )
-                offset_map[vertex] = combined.new_vertex_masked(chunk.mask(vertex), edges)
+                offset_map[vertex] = combined.new_vertex_masked(row_masks[vertex], edges)
             roots[chunk_id] = offset_map[chunk.root]
         top_edges = normalize_edges(
             (roots[chunk_id], count)
@@ -237,7 +303,30 @@ class ChunkedStore:
         root_element = combined.new_vertex_masked(self._root_mask, top_edges)
         document = combined.new_vertex_masked(self._doc_mask, ((root_element, 1),))
         combined.set_root(document)
+        self.last_load_info = {
+            "format": "chunks",
+            "chunks_loaded": len(selected),
+            "mmap": False,
+            "bytes_mapped": 0,
+        }
         return combined
+
+    def _assemble_from_skeleton(self) -> Instance | None:
+        """The mmap fast path; None means "fall back to chunks" (no file).
+
+        A skeleton whose bytes fail their digest raises
+        :class:`IntegrityError` — same quarantine flow as a corrupt chunk.
+        """
+        from repro.server.resilience import FAULTS
+
+        path = os.path.join(self.directory, self.skeleton_file)
+        FAULTS.fire("catalog.skeleton", path=path)
+        try:
+            instance, info = read_skeleton(path)
+        except FileNotFoundError:
+            return None  # the skeleton is a cache; chunks are the data
+        self.last_load_info = info.as_dict()
+        return instance
 
     def instance_for_query(self, query: str) -> tuple[Instance, int]:
         """Assemble just enough chunks to answer ``query``.

@@ -36,11 +36,10 @@ SPLITTING_AXES = (
 
 def rebuild_only(instance, axis, source, target):
     """The general product rebuild, bypassing the fast-path attempt."""
-    source_bit = instance.bit_of(source)
     if axis in ("child", "descendant", "descendant-or-self"):
-        return axes_compressed._downward_rebuild(instance, axis, source_bit, target)
+        return axes_compressed._downward_rebuild(instance, axis, source, target)
     return axes_compressed._sibling_rebuild(
-        instance, source_bit, target, following=(axis == "following-sibling")
+        instance, source, target, following=(axis == "following-sibling")
     )
 
 

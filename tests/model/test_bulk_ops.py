@@ -163,3 +163,40 @@ class TestBulkOpEdgeCases:
         orphan = instance.new_vertex(["a"])  # unreachable but in 'a'
         instance.combine_sets("union", "a", "b", "u")
         assert orphan not in instance.members("u")
+
+    def test_drop_sets_adjacent_names_compact_into_one_segment(self):
+        # "b" and "c" occupy consecutive bit positions: the historical
+        # segment-based compaction produced a zero-width segment between
+        # them; the plane representation must shift "full" down by two.
+        instance = self.build()
+        members_a = instance.members("a")
+        members_full = instance.members("full")
+        instance.drop_sets(["b", "c"])
+        assert list(instance.schema) == ["a", "empty", "full"]
+        assert instance.members("a") == members_a
+        assert instance.members("full") == members_full
+
+    def test_drop_sets_duplicates_of_adjacent_names(self):
+        # Duplicates of *adjacent* names in one call: the exact input shape
+        # that corrupted the old order-sensitive segment walk.
+        instance = self.build()
+        expected = {"a": instance.members("a"), "full": instance.members("full")}
+        instance.drop_sets(["b", "c", "b", "empty", "c", "b"])
+        assert list(instance.schema) == ["a", "full"]
+        assert {n: instance.members(n) for n in instance.schema} == expected
+
+    def test_drop_sets_order_insensitive(self):
+        instance = self.build()
+        forward = instance.copy()
+        backward = instance.copy()
+        forward.drop_sets(["a", "c", "full"])
+        backward.drop_sets(["full", "c", "a"])
+        assert forward.schema == backward.schema
+        assert snapshot(forward) == snapshot(backward)
+
+    def test_drop_sets_unknown_name_raises_before_mutating(self):
+        instance = self.build()
+        before = snapshot(instance)
+        with pytest.raises(SchemaError):
+            instance.drop_sets(["a", "nope"])
+        assert snapshot(instance) == before

@@ -99,3 +99,58 @@ class TestInvalidation:
         assert after is not before
         # The split appended a copy of the shared vertex; it must be visible.
         assert len(after) == len(before) + 1
+
+
+class TestCopySharing:
+    """copy() shares every immutable cache; mutation detaches lazily.
+
+    The pool's snapshot mode takes a ``copy()`` per batch, so these caches
+    being *shared* (not deep-copied) is what makes steady-state snapshots
+    skip the initial DFS / CSR build — and a mutation on either side must
+    only ever detach that side's reference, never corrupt the other's.
+    """
+
+    def test_copy_shares_all_four_caches(self):
+        instance = build()
+        pre = instance.preorder()
+        post = instance.postorder()
+        reach = instance.reachable_plane()
+        csr = instance.edge_csr()
+        clone = instance.copy()
+        assert clone.preorder() is pre
+        assert clone.postorder() is post
+        assert clone.reachable_plane() is reach
+        assert clone.edge_csr() is csr
+
+    def test_mutating_original_leaves_clone_cached(self):
+        instance = build()
+        pre = instance.preorder()
+        post = instance.postorder()
+        clone = instance.copy()
+        instance.new_vertex(["b"])  # structural mutation on the *original*
+        assert instance.preorder() is not pre
+        assert clone.preorder() is pre  # clone still serves the shared memo
+        assert clone.postorder() is post
+
+    def test_mutation_after_copy_regression(self):
+        # The historical hazard shape: copy, mutate the clone through an
+        # engine-style structural edit, and check both sides stay correct
+        # and fully independent (no shared mutable state bleeds through).
+        instance = build()
+        instance.add_to_set(0, "b")
+        instance.preorder(), instance.postorder(), instance.edge_csr()
+        clone = instance.copy()
+        leaf = clone.new_vertex(["c"])
+        clone.set_children(
+            clone.root, list(clone.children(clone.root)) + [(leaf, 1)]
+        )
+        clone.add_to_set(leaf, "a")
+        assert len(clone.preorder()) == len(instance.preorder()) + 1
+        assert clone.num_vertices == instance.num_vertices + 1
+        # Plane stores are independent: the clone's new membership is
+        # invisible to the original, and the original's masks are intact.
+        assert instance.row_masks() == [
+            clone.mask(v) for v in range(instance.num_vertices)
+        ]
+        assert instance.validate() is None
+        assert clone.validate() is None

@@ -15,12 +15,31 @@ from tests.skeleton.test_loader import BIB_XML
 
 
 def corrupt_chunk(root, name, chunk_id=0):
-    """Flip bytes in one published chunk file (bit rot / torn write)."""
+    """Flip bytes in one published chunk file (bit rot / torn write).
+
+    The succinct skeleton is removed alongside: whole-document loads would
+    otherwise be served from it without touching the chunk files at all
+    (skeleton-specific corruption has its own tests below).
+    """
+    skeleton = os.path.join(root, name, "chunks", "skeleton.rskl")
+    if os.path.exists(skeleton):
+        os.remove(skeleton)
     path = os.path.join(root, name, "chunks", f"chunk-{chunk_id}.dag")
     with open(path, "r+b") as handle:
         handle.seek(0, os.SEEK_END)
         size = handle.tell()
         handle.seek(size // 2)
+        handle.write(b"\xde\xad\xbe\xef")
+    return path
+
+
+def corrupt_skeleton(root, name):
+    """Flip bytes inside the succinct skeleton's payload."""
+    path = os.path.join(root, name, "chunks", "skeleton.rskl")
+    with open(path, "r+b") as handle:
+        handle.seek(0, os.SEEK_END)
+        size = handle.tell()
+        handle.seek(size - 4)
         handle.write(b"\xde\xad\xbe\xef")
     return path
 
@@ -183,9 +202,35 @@ class TestIntegrity:
 
     def test_missing_chunk_is_integrity_not_crash(self, catalog, tmp_path):
         catalog.add("bib", BIB_XML)
+        # Without the skeleton, the load must fall back to chunks and
+        # discover the missing file there.
+        os.remove(tmp_path / "cat" / "bib" / "chunks" / "skeleton.rskl")
         os.remove(tmp_path / "cat" / "bib" / "chunks" / "chunk-0.dag")
         with pytest.raises(IntegrityError, match="missing"):
             catalog.load_instance("bib")
+
+    def test_corrupt_skeleton_quarantines(self, catalog, tmp_path):
+        catalog.add("bib", BIB_XML)
+        corrupt_skeleton(str(tmp_path / "cat"), "bib")
+        with pytest.raises(IntegrityError, match="failed its checksum"):
+            catalog.load_instance("bib")
+        assert catalog.quarantined() == ["bib"]
+
+    def test_missing_skeleton_falls_back_to_chunks(self, catalog, tmp_path):
+        catalog.add("bib", BIB_XML)
+        os.remove(tmp_path / "cat" / "bib" / "chunks" / "skeleton.rskl")
+        warm = catalog.load_instance("bib")
+        assert equivalent(warm, load_instance(BIB_XML, tags=None))
+        store = catalog.store("bib")
+        assert store.last_load_info["format"] == "chunks"
+
+    def test_verify_reports_corrupt_skeleton(self, catalog, tmp_path):
+        catalog.add("bib", BIB_XML)
+        corrupt_skeleton(str(tmp_path / "cat"), "bib")
+        report = catalog.verify()
+        assert report["bib"]["status"] == "corrupt"
+        assert report["bib"]["corrupt"] == ["skeleton"]
+        assert catalog.quarantined() == ["bib"]
 
     def test_verify_reports_ok(self, catalog):
         catalog.add("bib", BIB_XML)

@@ -257,3 +257,55 @@ class TestDeadlines:
             assert admission["inflight"] == 0  # released after every request
         finally:
             service.close()
+
+
+class TestKernelProvenance:
+    """The plane-kernel tier and cold-load form surfaced in stats/plans."""
+
+    def test_stats_expose_kernel_tier(self, catalog):
+        from repro.model import planes
+
+        service = QueryService(catalog)
+        try:
+            kernel = service.stats_dict()["kernel"]
+            assert kernel["tier"] == planes.kernel_tier()
+            assert kernel["numpy"] == planes.numpy_active()
+            assert kernel["plane_format_version"] == planes.PLANE_FORMAT_VERSION
+        finally:
+            service.close()
+
+    def test_cold_load_served_from_skeleton(self, catalog):
+        """A shredded document's first load maps the succinct skeleton."""
+        service = QueryService(catalog)
+        try:
+            service.query("bib", "//author")
+            pool = service.stats_dict()["pool"]
+            assert pool["skeleton_loads"] == 1
+            assert pool["bytes_mapped"] > 0
+            info = service.instance_info("bib", ())
+            assert info["resident"] is True
+            assert info["load"]["format"] == "skeleton"
+            assert info["load"]["mmap"] in (True, False)  # REPRO_NO_MMAP fallback
+            assert info["kernel"]["plane_format_version"] >= 1
+        finally:
+            service.close()
+
+    def test_explain_attaches_kernel_info(self, catalog):
+        service = QueryService(catalog)
+        try:
+            plan = service.explain("bib", "//author")["plan"]
+            assert plan["instance"]["kernel"]["tier"] in ("numpy", "stdlib")
+            assert plan["instance"]["load"] is None  # nothing resident yet
+        finally:
+            service.close()
+
+    def test_string_schema_load_reports_parse(self, catalog):
+        service = QueryService(catalog)
+        try:
+            service.query("bib", '//paper[author["Codd"]]')
+            key = next(
+                key for key in service.pool.keys() if key[1]  # the strings key
+            )
+            assert service.pool.load_info(key)["format"] == "parse"
+        finally:
+            service.close()
