@@ -40,6 +40,7 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
 
+from corpus_cache import cached_xml
 from repro.corpora import binary_tree, relational
 from repro.corpora.registry import CORPORA
 from repro.engine.batch import BatchEvaluator
@@ -76,14 +77,23 @@ PATH_CHECK_LIMIT = 200_000
 
 def corpus_xml(name: str, smoke: bool) -> str:
     if name == "binary-tree":
-        return binary_tree.generate_xml(depth=8 if smoke else 12).xml
+        depth = 8 if smoke else 12
+        return cached_xml(
+            "binary-tree", lambda: binary_tree.generate_xml(depth=depth).xml, depth=depth
+        )
     if name == "relational":
         rows, cols = (60, 8) if smoke else (400, 12)
-        return relational.generate_xml(rows, cols, distinct_texts=True).xml
+        return cached_xml(
+            "relational",
+            lambda: relational.generate_xml(rows, cols, distinct_texts=True).xml,
+            rows=rows,
+            cols=cols,
+            distinct=True,
+        )
     if name == "xmark":
         info = CORPORA["xmark"]
         scale = max(1, int(info.default_scale * (0.1 if smoke else 0.5)))
-        return info.generate(scale, 0).xml
+        return cached_xml("xmark", lambda: info.generate(scale, 0).xml, scale=scale, seed=0)
     raise ValueError(name)
 
 

@@ -53,10 +53,12 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
 
+from corpus_cache import cached_xml
 from repro.corpora import relational
 from repro.engine.pipeline import Engine
 from repro.server.catalog import Catalog
 from repro.server.http import wait_ready
+from repro.server.metrics import histogram_series, parse_prometheus_text, quantile_bounds
 from repro.server.service import decode_result
 
 REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(os.path.abspath(__file__)), ".."))
@@ -113,10 +115,11 @@ class BoundedServer:
     speed — the same separation a production deployment has.
     """
 
-    def __init__(self, catalog_dir: str, max_queue: int):
+    def __init__(self, catalog_dir: str, max_queue: int, frontend: str = "async"):
         script = (
             "from repro.server.http import serve; "
-            f"serve({catalog_dir!r}, port=0, max_queue={max_queue})"
+            f"serve({catalog_dir!r}, port=0, max_queue={max_queue}, "
+            f"frontend={frontend!r})"
         )
         env = dict(os.environ)
         env["PYTHONPATH"] = os.pathsep.join(
@@ -156,6 +159,19 @@ class BoundedServer:
         finally:
             connection.close()
 
+    def scrape_metrics(self) -> dict:
+        """GET /metrics, strictly parsed — invalid exposition fails the run."""
+        connection = self.connect()
+        try:
+            connection.request("GET", "/metrics")
+            response = connection.getresponse()
+            text = response.read().decode("utf-8")
+            if response.status != 200:
+                raise AssertionError(f"/metrics returned {response.status}: {text[:200]}")
+            return parse_prometheus_text(text)
+        finally:
+            connection.close()
+
     def close(self) -> None:
         self.process.terminate()
         try:
@@ -184,6 +200,82 @@ def verify_correctness(under_test: BoundedServer, xml: str) -> int:
     finally:
         connection.close()
     return len(QUERIES)
+
+
+def reconcile_metrics(
+    families: dict, accepted: int, shed: int, client_p99_ms: float
+) -> tuple[dict, list[str]]:
+    """Cross-check the /metrics scrape against the bench's own counts.
+
+    The server's numbers must *equal* the client's, not approximate them:
+    every accepted request was one 200 on ``/query`` (plus the pre-flight
+    checks), every shed was one 429, and the server-side latency
+    histogram must place its p99 at or below what the client measured
+    (the client's clock includes the server's and the network's).
+    Returns ``(summary, problems)``.
+    """
+    problems: list[str] = []
+    request_samples = families["repro_http_requests_total"]["samples"]
+
+    def count(status: str) -> float:
+        return sum(
+            value for _, labels, value in request_samples
+            if labels.get("route") == "/query" and labels.get("status") == status
+        )
+
+    served_200 = count("200")
+    served_429 = count("429")
+    expected_200 = accepted + len(QUERIES)  # pre-flight checks are 200s too
+    if served_200 != expected_200:
+        problems.append(
+            f"/metrics 200-count {served_200:.0f} != client accepted+preflight "
+            f"{expected_200}"
+        )
+    if served_429 != shed:
+        problems.append(f"/metrics 429-count {served_429:.0f} != client sheds {shed}")
+
+    shed_total = sum(
+        value
+        for _, _, value in families["repro_admission_shed_total"]["samples"]
+    )
+    if shed_total != shed:
+        problems.append(
+            f"repro_admission_shed_total {shed_total:.0f} != client sheds {shed}"
+        )
+
+    buckets, _, histogram_count = histogram_series(
+        families["repro_http_request_seconds"]["samples"],
+        "repro_http_request_seconds",
+        route="/query", status="200",
+    )
+    if histogram_count != expected_200:
+        problems.append(
+            f"latency histogram count {histogram_count:.0f} != accepted+preflight "
+            f"{expected_200}"
+        )
+    lower_s, upper_s = quantile_bounds(buckets, 0.99)
+    # Server-side p99 lives in [lower_s, upper_s]; the client's p99 adds
+    # queueing/network on top, so the server's lower edge must not exceed
+    # it (grace for bucket granularity and scheduler noise).
+    p99_consistent = 1000 * lower_s <= client_p99_ms + 50.0
+    if not p99_consistent:
+        problems.append(
+            f"server-side p99 lower bound {1000 * lower_s:.1f}ms exceeds "
+            f"client-measured p99 {client_p99_ms:.1f}ms"
+        )
+    summary = {
+        "query_200_total": served_200,
+        "query_429_total": served_429,
+        "admission_shed_total": shed_total,
+        "latency_histogram_count": histogram_count,
+        "p99_bucket_bounds_ms": [
+            round(1000 * lower_s, 2),
+            None if upper_s == math.inf else round(1000 * upper_s, 2),
+        ],
+        "p99_consistent_with_client": p99_consistent,
+        "families_scraped": len(families),
+    }
+    return summary, problems
 
 
 def drive(under_test: BoundedServer, clients: int, seconds: float) -> dict:
@@ -276,18 +368,29 @@ def main(argv=None) -> int:
         help="overload p99 must stay within this multiple of the capacity p99",
     )
     parser.add_argument(
+        "--frontend", choices=("async", "threaded"), default="async",
+        help="HTTP front-end for the servers under test (matches `repro serve`)",
+    )
+    parser.add_argument(
         "--output", default=os.path.join(REPO_ROOT, "BENCH_overload.json"),
     )
     args = parser.parse_args(argv)
     seconds = args.seconds if args.seconds is not None else (2.0 if args.smoke else 6.0)
 
     rows, cols = (60, 8) if args.smoke else (250, 10)
-    xml = relational.generate_xml(rows, cols, distinct_texts=True).xml
+    xml = cached_xml(
+        "relational",
+        lambda: relational.generate_xml(rows, cols, distinct_texts=True).xml,
+        rows=rows,
+        cols=cols,
+        distinct=True,
+    )
 
     catalog_dir = tempfile.mkdtemp(prefix="repro-bench-overload-")
     report: dict = {
         "benchmark": "overload",
         "smoke": args.smoke,
+        "frontend": args.frontend,
         "max_queue": MAX_QUEUE,
         "corpus": {"rows": rows, "cols": cols},
         "seconds_per_phase": seconds,
@@ -297,7 +400,9 @@ def main(argv=None) -> int:
     problems: list[str] = []
     try:
         Catalog(catalog_dir).add("rel", xml)
-        under_test = BoundedServer(catalog_dir, max_queue=MAX_QUEUE)
+        under_test = BoundedServer(
+            catalog_dir, max_queue=MAX_QUEUE, frontend=args.frontend
+        )
         try:
             report["checked_byte_identical"] = verify_correctness(under_test, xml)
             # Capacity: exactly as many closed-loop clients as admission
@@ -306,12 +411,20 @@ def main(argv=None) -> int:
             # Overload: 4x the clients offer well over the accepted capacity.
             overload = drive(under_test, clients=4 * MAX_QUEUE, seconds=seconds)
             stats = under_test.admission_stats()
+            # The same server's /metrics must parse strictly and agree —
+            # exactly — with the client-side split of accepted vs shed.
+            metrics_summary, metrics_problems = reconcile_metrics(
+                under_test.scrape_metrics(),
+                accepted=capacity["accepted"] + overload["accepted"],
+                shed=capacity["shed"] + overload["shed"],
+                client_p99_ms=overload["latency_p99_ms"],
+            )
         finally:
             under_test.close()
         # Control: the identical overload against an *unbounded* server.
         # Everything is admitted, everything queues — the collapse mode
         # admission control exists to prevent.
-        unbounded = BoundedServer(catalog_dir, max_queue=0)
+        unbounded = BoundedServer(catalog_dir, max_queue=0, frontend=args.frontend)
         try:
             control = drive(unbounded, clients=4 * MAX_QUEUE, seconds=seconds)
         finally:
@@ -323,6 +436,9 @@ def main(argv=None) -> int:
     report["overload"] = overload
     report["unbounded_control"] = control
     report["admission"] = stats
+    report["metrics"] = metrics_summary
+    report["metrics_reconciled"] = not metrics_problems
+    problems.extend(metrics_problems)
     report["accepted_rps"] = overload["accepted_rps"]
     # Bounded either absolutely (within the headroom of the uncontended
     # p99) or relatively (comparable to the unbounded collapse case at the
@@ -385,6 +501,15 @@ def main(argv=None) -> int:
         f"control  : unbounded queue at the same offered load: "
         f"p50 {control['latency_p50_ms']:.1f}ms p99 {control['latency_p99_ms']:.1f}ms "
         f"(bounded p50 is {report['p50_vs_unbounded']:.2f}x of it)"
+    )
+    print(
+        f"metrics  : {metrics_summary['families_scraped']} families scraped, "
+        f"200s {metrics_summary['query_200_total']:.0f} "
+        f"429s {metrics_summary['query_429_total']:.0f} "
+        f"(sheds reconcile: {metrics_summary['admission_shed_total']:.0f}), "
+        f"server p99 in {metrics_summary['p99_bucket_bounds_ms']} ms "
+        f"({'consistent' if metrics_summary['p99_consistent_with_client'] else 'INCONSISTENT'} "
+        f"with client)"
     )
     for problem in problems:
         print(f"FAIL: {problem}", file=sys.stderr)

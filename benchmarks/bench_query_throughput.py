@@ -42,6 +42,7 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
 
+from corpus_cache import cached_xml
 from repro.corpora import binary_tree, relational
 from repro.corpora.registry import CORPORA
 from repro.engine.evaluator import CompressedEvaluator
@@ -385,14 +386,23 @@ RELATIONAL_QUERIES = {
 
 def corpus_xml(name: str, quick: bool) -> str:
     if name == "binary-tree":
-        return binary_tree.generate_xml(depth=8 if quick else 12).xml
+        depth = 8 if quick else 12
+        return cached_xml(
+            "binary-tree", lambda: binary_tree.generate_xml(depth=depth).xml, depth=depth
+        )
     if name == "relational":
         rows, cols = (60, 8) if quick else (400, 12)
-        return relational.generate_xml(rows, cols, distinct_texts=True).xml
+        return cached_xml(
+            "relational",
+            lambda: relational.generate_xml(rows, cols, distinct_texts=True).xml,
+            rows=rows,
+            cols=cols,
+            distinct=True,
+        )
     if name == "xmark":
         info = CORPORA["xmark"]
         scale = max(1, int(info.default_scale * (0.1 if quick else 0.5)))
-        return info.generate(scale, 0).xml
+        return cached_xml("xmark", lambda: info.generate(scale, 0).xml, scale=scale, seed=0)
     raise ValueError(name)
 
 

@@ -46,6 +46,7 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
 
+from corpus_cache import cached_xml
 from repro.corpora import binary_tree, relational
 from repro.corpora.registry import CORPORA
 from repro.engine.pipeline import Engine
@@ -79,14 +80,23 @@ CHECK_PATHS = 25
 
 def corpus_xml(name: str, smoke: bool) -> str:
     if name == "binary-tree":
-        return binary_tree.generate_xml(depth=7 if smoke else 10).xml
+        depth = 7 if smoke else 10
+        return cached_xml(
+            "binary-tree", lambda: binary_tree.generate_xml(depth=depth).xml, depth=depth
+        )
     if name == "relational":
         rows, cols = (50, 8) if smoke else (250, 10)
-        return relational.generate_xml(rows, cols, distinct_texts=True).xml
+        return cached_xml(
+            "relational",
+            lambda: relational.generate_xml(rows, cols, distinct_texts=True).xml,
+            rows=rows,
+            cols=cols,
+            distinct=True,
+        )
     if name == "xmark":
         info = CORPORA["xmark"]
         scale = max(1, int(info.default_scale * (0.1 if smoke else 0.3)))
-        return info.generate(scale, 0).xml
+        return cached_xml("xmark", lambda: info.generate(scale, 0).xml, scale=scale, seed=0)
     raise ValueError(name)
 
 
@@ -117,8 +127,11 @@ def canonical(payload: dict) -> str:
 class ServerUnderTest:
     """A live ``repro serve`` on an ephemeral port over a throwaway catalog."""
 
-    def __init__(self, catalog_dir: str, mode: str, workers: int = 0):
-        self.server = create_server(catalog_dir, port=0, mode=mode, workers=workers)
+    def __init__(self, catalog_dir: str, mode: str, workers: int = 0,
+                 frontend: str = "threaded"):
+        self.server = create_server(
+            catalog_dir, port=0, mode=mode, workers=workers, frontend=frontend
+        )
         self.host, self.port = self.server.server_address[:2]
         self.thread = threading.Thread(target=self.server.serve_forever, daemon=True)
         self.thread.start()
@@ -177,6 +190,58 @@ def verify_byte_identical(under_test: ServerUnderTest, document, xml, queries) -
     finally:
         connection.close()
     return len(queries)
+
+
+def verify_frontends_identical(catalog_dir: str, document: str, queries) -> int:
+    """Both front-ends must emit byte-identical responses for one request set.
+
+    Spins a threaded and an async server over the *same* catalog and
+    replays success and error requests against both with a pinned trace
+    ID, comparing raw bodies byte for byte (minus the volatile
+    ``seconds`` measurement, which is stripped *textually* so everything
+    else — key order, number formatting, envelope shape — still has to
+    match exactly).  Returns the number of requests compared.
+    """
+    import re
+
+    probes = [("POST", "/query", {"document": document, "query": query, "paths": CHECK_PATHS})
+              for query in queries]
+    probes += [
+        ("POST", "/query", {"document": "no-such-doc", "query": "//a"}),
+        ("POST", "/query", {"document": document, "query": "//broken[["}),
+        ("GET", "/healthz", None),
+        ("GET", "/nope", None),
+    ]
+    seconds_pattern = re.compile(rb'"seconds":\s*[-+0-9.eE]+,?\s*')
+    servers = {}
+    try:
+        for frontend in ("threaded", "async"):
+            servers[frontend] = ServerUnderTest(catalog_dir, "snapshot", frontend=frontend)
+        for method, path, body in probes:
+            bodies = {}
+            for frontend, under_test in servers.items():
+                connection = under_test.connect()
+                try:
+                    payload = json.dumps(body) if body is not None else None
+                    connection.request(
+                        method, path, payload, {"X-Repro-Trace": "benchdiff00000001"}
+                    )
+                    response = connection.getresponse()
+                    bodies[frontend] = (
+                        response.status,
+                        seconds_pattern.sub(b"", response.read()),
+                    )
+                finally:
+                    connection.close()
+            if bodies["threaded"] != bodies["async"]:
+                raise AssertionError(
+                    f"front-end divergence on {method} {path}:\n"
+                    f"  threaded {bodies['threaded']}\n  async    {bodies['async']}"
+                )
+    finally:
+        for under_test in servers.values():
+            under_test.close()
+    return len(probes)
 
 
 def drive_clients(
@@ -292,7 +357,10 @@ def run_sequential_warm(xml: str, requests: list[str]) -> float:
     return time.perf_counter() - started
 
 
-def measure(corpus: str, smoke: bool, clients: int, requests_total: int) -> dict:
+def measure(
+    corpus: str, smoke: bool, clients: int, requests_total: int,
+    frontend: str = "threaded",
+) -> dict:
     xml = corpus_xml(corpus, smoke)
     queries = corpus_queries(corpus)
     requests = [queries[i % len(queries)] for i in range(requests_total)]
@@ -305,8 +373,13 @@ def measure(corpus: str, smoke: bool, clients: int, requests_total: int) -> dict
 
         served = {}
         checked = 0
+        frontends_checked = 0
+        if frontend == "async":
+            # The async run doubles as the differential gate: both
+            # front-ends must answer the same requests byte-identically.
+            frontends_checked = verify_frontends_identical(catalog_dir, "doc", queries)
         for mode in ("snapshot", "persistent"):
-            under_test = ServerUnderTest(catalog_dir, mode)
+            under_test = ServerUnderTest(catalog_dir, mode, frontend=frontend)
             try:
                 checked += verify_byte_identical(under_test, "doc", xml, queries)
                 # One warm pass so resident instances exist before the clock.
@@ -325,9 +398,11 @@ def measure(corpus: str, smoke: bool, clients: int, requests_total: int) -> dict
     warm_rps = len(requests) / warm_seconds
     row = {
         "corpus": corpus,
+        "frontend": frontend,
         "requests": len(requests),
         "clients": clients,
         "queries_checked_byte_identical": checked,
+        "frontend_responses_checked_identical": frontends_checked,
         "one_shot_seconds": one_shot_seconds,
         "one_shot_rps": one_shot_rps,
         "warm_sequential_seconds": warm_seconds,
@@ -364,6 +439,11 @@ def main(argv=None) -> int:
         help="fail when the worst per-corpus speedup vs one-shot is below this",
     )
     parser.add_argument(
+        "--frontend", choices=("threaded", "async"), default="threaded",
+        help="HTTP front-end under test (async also runs the byte-identity "
+        "differential against threaded)",
+    )
+    parser.add_argument(
         "--output",
         default=os.path.join(REPO_ROOT, "BENCH_server.json"),
         help="where to write the JSON results",
@@ -375,14 +455,18 @@ def main(argv=None) -> int:
     print(
         f"server workload: concurrent serving vs sequential one-shot Engine.query "
         f"({'smoke' if args.smoke else 'full'}, {clients} clients, "
-        f"{requests_total} requests/corpus)"
+        f"{requests_total} requests/corpus, {args.frontend} front-end)"
     )
-    rows = [measure(corpus, args.smoke, clients, requests_total) for corpus in CORPUS_NAMES]
+    rows = [
+        measure(corpus, args.smoke, clients, requests_total, frontend=args.frontend)
+        for corpus in CORPUS_NAMES
+    ]
 
     speedups = [row["speedup_vs_one_shot"] for row in rows]
     report = {
         "benchmark": "server",
         "mode": "smoke" if args.smoke else "full",
+        "frontend": args.frontend,
         "baseline": "sequential one-shot Engine.query (fresh engine per request)",
         "corpora": list(CORPUS_NAMES),
         "clients": clients,

@@ -96,7 +96,30 @@ def check_smoke(path: str) -> list[str]:
             problems.append(f"{path}: overload run saw dishonest non-429 sheds")
         if not report.get("p99_bounded"):
             problems.append(f"{path}: accepted p99 was not bounded under overload")
+        if report.get("metrics_reconciled") is False:
+            problems.append(
+                f"{path}: /metrics scrape did not reconcile with the bench's "
+                "own accepted/shed counts"
+            )
+    if report["benchmark"] == "server" and report.get("frontend") == "async":
+        checked = sum(
+            row.get("frontend_responses_checked_identical", 0)
+            for row in report.get("rows", [])
+        )
+        if not checked:
+            problems.append(
+                f"{path}: async server report ran no threaded-vs-async "
+                "byte-identity checks"
+            )
     return problems
+
+
+def append_summary(path: str | None, lines: list[str]) -> None:
+    """Append markdown lines (``--summary`` / ``$GITHUB_STEP_SUMMARY``)."""
+    if not path or not lines:
+        return
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n")
 
 
 def headline_value(report: dict, path: str) -> tuple[str, float]:
@@ -126,6 +149,12 @@ def main(argv=None) -> int:
         "--tolerance", type=float, default=0.2,
         help="allowed fractional regression (0.2 = fail below 80%% of baseline)",
     )
+    parser.add_argument(
+        "--summary", default=None, metavar="PATH",
+        help="append a markdown diff table to PATH (point it at "
+        "$GITHUB_STEP_SUMMARY for a readable per-benchmark verdict "
+        "instead of a bare exit code)",
+    )
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -138,6 +167,14 @@ def main(argv=None) -> int:
                 return 2
         for problem in problems:
             print(f"FAIL: {problem}", file=sys.stderr)
+        if args.summary:
+            lines = ["### Benchmark smoke", ""]
+            lines += [f"- `{path}` checked" for path in args.reports]
+            if problems:
+                lines += [f"- :x: {problem}" for problem in problems]
+            else:
+                lines.append("- :white_check_mark: all floors met")
+            append_summary(args.summary, lines)
         return 1 if problems else 0
 
     if len(args.reports) != 2:
@@ -173,6 +210,12 @@ def main(argv=None) -> int:
             checks.append((extra_key, float(base_extra), float(new_extra)))
 
     failed = False
+    summary_lines = [
+        f"### {baseline['benchmark']}",
+        "",
+        "| metric | baseline | candidate | ratio | floor | verdict |",
+        "|---|---:|---:|---:|---:|---|",
+    ]
     for metric, base_value, new_value in checks:
         floor = (1.0 - args.tolerance) * base_value
         ratio = new_value / base_value if base_value else float("inf")
@@ -181,6 +224,11 @@ def main(argv=None) -> int:
             f"{baseline['benchmark']}: {metric} baseline {base_value:.3f} -> "
             f"candidate {new_value:.3f} ({100 * ratio:.1f}%, floor {floor:.3f}) {verdict}"
         )
+        icon = ":white_check_mark:" if new_value >= floor else ":x:"
+        summary_lines.append(
+            f"| `{metric}` | {base_value:.3f} | {new_value:.3f} | "
+            f"{100 * ratio:.1f}% | {floor:.3f} | {icon} {verdict} |"
+        )
         if new_value < floor:
             print(
                 f"FAIL: {metric} regressed more than {100 * args.tolerance:.0f}% "
@@ -188,6 +236,7 @@ def main(argv=None) -> int:
                 file=sys.stderr,
             )
             failed = True
+    append_summary(args.summary, summary_lines + [""])
     return 1 if failed else 0
 
 

@@ -1,0 +1,89 @@
+"""Disk cache for generated benchmark corpora (CI matrix legs share it).
+
+Every benchmark run regenerates its corpora from the ``repro.corpora``
+generators — deterministic, but not free: the xmark document at full
+scale costs several seconds per run, multiplied by every benchmark and
+every Python version in the CI matrix.  This module memoizes the
+generated XML on disk, keyed on a SHA-256 over **the generator sources
+themselves** plus the generation parameters, so a cache entry can never
+outlive a change to the code that produced it — edit any file in
+``src/repro/corpora/`` and every key changes.
+
+The cache activates only when ``REPRO_BENCH_CORPUS_CACHE`` names a
+directory (CI sets it to a path restored by ``actions/cache``); without
+the variable, benchmarks generate exactly as before.  Writes are
+atomic (``os.replace`` from a pid-suffixed temp file), so concurrent
+benchmark processes sharing one cache directory never read a torn file.
+
+Usage from a benchmark::
+
+    from corpus_cache import cached_xml
+    xml = cached_xml("relational", lambda: relational.generate_xml(250, 10,
+                     distinct_texts=True).xml, rows=250, cols=10, distinct=True)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+_FINGERPRINT: str | None = None
+
+
+def generator_fingerprint() -> str:
+    """SHA-256 over every source file in ``repro.corpora`` (cached)."""
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        import repro.corpora
+
+        package_dir = os.path.dirname(os.path.abspath(repro.corpora.__file__))
+        digest = hashlib.sha256()
+        for name in sorted(os.listdir(package_dir)):
+            if not name.endswith(".py"):
+                continue
+            digest.update(name.encode("utf-8"))
+            with open(os.path.join(package_dir, name), "rb") as handle:
+                digest.update(handle.read())
+        _FINGERPRINT = digest.hexdigest()
+    return _FINGERPRINT
+
+
+def cache_dir() -> str | None:
+    """The cache directory, or ``None`` when caching is disabled."""
+    return os.environ.get("REPRO_BENCH_CORPUS_CACHE") or None
+
+
+def cache_key(kind: str, **params) -> str:
+    payload = json.dumps(
+        {"kind": kind, "params": params, "generators": generator_fingerprint()},
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+
+
+def cached_xml(kind: str, generate, **params) -> str:
+    """Return cached XML for ``(kind, params)`` or generate and store it.
+
+    ``generate`` is a zero-argument callable returning the XML string;
+    it runs only on a miss (or with caching disabled).
+    """
+    directory = cache_dir()
+    if directory is None:
+        return generate()
+    path = os.path.join(directory, f"{kind}-{cache_key(kind, **params)}.xml")
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return handle.read()
+    except OSError:
+        pass
+    xml = generate()
+    os.makedirs(directory, exist_ok=True)
+    scratch = f"{path}.tmp.{os.getpid()}"
+    with open(scratch, "w", encoding="utf-8") as handle:
+        handle.write(xml)
+    os.replace(scratch, path)
+    return xml

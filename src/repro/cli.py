@@ -219,6 +219,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return EXIT_USAGE
+    if args.http_threads < 0:
+        print("error: --http-threads must be >= 0", file=sys.stderr)
+        return EXIT_USAGE
     serve(
         args.catalog,
         host=args.host,
@@ -235,6 +238,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         deadline_ms=args.deadline_ms,
         max_queue=args.max_queue,
         rate_limit=args.rate_limit,
+        frontend=args.frontend,
+        http_threads=args.http_threads,
     )
     return 0
 
@@ -445,6 +450,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--rate-limit", type=float, default=0.0,
         help="per-client requests/second token-bucket limit, keyed by the "
         "X-Repro-Client header or peer address (0 = off)",
+    )
+    serve.add_argument(
+        "--frontend", choices=("async", "threaded"), default="async",
+        help="HTTP transport: the asyncio event-loop server (default) or "
+        "the thread-per-connection fallback; both serve byte-identical "
+        "responses over the same route core",
+    )
+    serve.add_argument(
+        "--http-threads", type=int, default=0,
+        help="executor threads bridging the async front-end's event loop "
+        "to the service (0 = automatic; ignored with --frontend threaded)",
     )
     serve.add_argument("--verbose", action="store_true", help="log every request")
     serve.set_defaults(func=_cmd_serve)

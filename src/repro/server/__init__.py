@@ -8,10 +8,15 @@ The subsystem has four layers, bottom up:
   fleet's replication channel (safe for concurrent reader processes).
 * :mod:`repro.server.pool` — a bounded LRU of resident master instances
   keyed by ``(document, schema key)``, with per-entry locks.
-* :mod:`repro.server.service` / :mod:`repro.server.http` — the coalescing
-  evaluation front (concurrent requests for one document share a single
-  :class:`repro.engine.batch.BatchEvaluator` run) and its stdlib JSON/HTTP
-  binding (``repro serve``).
+* :mod:`repro.server.service` / :mod:`repro.server.routes` /
+  :mod:`repro.server.http` / :mod:`repro.server.asyncio_http` — the
+  coalescing evaluation front (concurrent requests for one document share
+  a single :class:`repro.engine.batch.BatchEvaluator` run), the
+  transport-agnostic route core both front-ends share (byte-identical
+  responses by construction), and the two stdlib bindings: the threaded
+  ``http.server`` one and the asyncio one (``repro serve --frontend``).
+* :mod:`repro.server.metrics` — lock-cheap counters/gauges/histograms and
+  the Prometheus text exposition served at ``GET /metrics``.
 * :mod:`repro.server.cluster` / :mod:`repro.server.worker` — the pre-forked
   worker fleet (``repro serve --workers N``): rendezvous-hashed shard
   affinity, crash detection + respawn, graceful drain; each worker process
@@ -23,10 +28,17 @@ The subsystem has four layers, bottom up:
   seam the chaos suite drives.
 """
 
+from repro.server.asyncio_http import AsyncReproHTTPServer
 from repro.server.catalog import Catalog, CatalogEntry
 from repro.server.cluster import WorkerFleet, default_worker_count
 from repro.server.http import ReproHTTPServer, create_server, serve, wait_ready
+from repro.server.metrics import (
+    MetricsRegistry,
+    ServerMetrics,
+    parse_prometheus_text,
+)
 from repro.server.pool import InstancePool, PoolEntry
+from repro.server.routes import Request, Response, Router
 from repro.server.resilience import (
     FAULTS,
     AdmissionController,
@@ -39,6 +51,7 @@ from repro.server.service import QueryService, decode_result
 
 __all__ = [
     "AdmissionController",
+    "AsyncReproHTTPServer",
     "Catalog",
     "CatalogEntry",
     "CircuitBreaker",
@@ -46,14 +59,20 @@ __all__ = [
     "FAULTS",
     "FaultInjector",
     "InstancePool",
+    "MetricsRegistry",
     "PoolEntry",
     "QueryService",
     "ReproHTTPServer",
+    "Request",
+    "Response",
+    "Router",
+    "ServerMetrics",
     "TokenBucket",
     "WorkerFleet",
     "create_server",
     "decode_result",
     "default_worker_count",
+    "parse_prometheus_text",
     "serve",
     "wait_ready",
 ]

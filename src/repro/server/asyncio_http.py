@@ -1,0 +1,327 @@
+"""The asyncio HTTP front-end (``repro serve --frontend async``).
+
+One event loop owns accept, HTTP/1.1 parsing, deadline/trace stamping,
+and response writes; evaluation never blocks the loop — each parsed
+request is bridged to a bounded ``ThreadPoolExecutor`` via
+``run_in_executor``, where :meth:`repro.server.routes.Router.dispatch`
+runs the exact route core the threaded front-end uses (admission,
+coalescing, or the worker-fleet queues happen inside, as before).  The
+loop therefore keeps accepting and shedding (429s are cheap) while slow
+queries occupy executor threads, instead of burning one OS thread per
+idle keep-alive connection.
+
+Flow control and shutdown:
+
+* **Bounded write buffering** — each connection's transport gets a
+  64 KiB high-water mark and every response write awaits
+  ``writer.drain()``, so a slow reader suspends only its own connection
+  coroutine instead of buffering results without bound.
+* **Graceful drain** — ``shutdown()`` stops the listener, cancels idle
+  keep-alive connections immediately, lets in-flight requests finish
+  their response write within ``drain_timeout`` seconds, then cancels
+  stragglers.  The object surface (``serve_forever`` / ``shutdown`` /
+  ``server_close`` / ``server_address`` / ``url`` / ``service``)
+  matches :class:`repro.server.http.ReproHTTPServer`, so every harness
+  — tests, benches, ``serve()`` — drives either front-end unchanged.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import socket
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from http import HTTPStatus
+
+from repro.server.metrics import ServerMetrics
+from repro.server.routes import MAX_BODY, Headers, Request, Router
+
+#: Per-connection transport write high-water mark (bytes): a slow reader
+#: suspends its own coroutine at ``drain()`` once this much is queued.
+WRITE_HIGH_WATER = 64 * 1024
+
+#: Longest accepted request line + single header line (bytes).
+MAX_LINE = 16 * 1024
+
+#: Cap on header lines per request (parser sanity, not a protocol limit).
+MAX_HEADERS = 100
+
+
+class _BadRequest(Exception):
+    """A framing-level refusal: (status, message, kind, close?)."""
+
+    def __init__(self, status: int, message: str, kind: str, close: bool = True):
+        super().__init__(message)
+        self.status = status
+        self.kind = kind
+        self.close = close
+
+
+class AsyncReproHTTPServer:
+    """Event-loop front-end with the same lifecycle surface as the threaded one.
+
+    The listening socket binds in the constructor (fail-fast on a used
+    port, and ``server_address`` reports the ephemeral port immediately);
+    the event loop itself runs inside :meth:`serve_forever` on whatever
+    thread calls it, exactly like ``ThreadingHTTPServer``.
+    """
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service,
+        quiet: bool = True,
+        default_deadline_ms: float = 0.0,
+        executor_threads: int = 0,
+        drain_timeout: float = 5.0,
+    ):
+        self.service = service
+        self.quiet = quiet
+        self.default_deadline_ms = default_deadline_ms
+        self.drain_timeout = drain_timeout
+        self._socket = socket.create_server(address, backlog=128, reuse_port=False)
+        self.server_address = self._socket.getsockname()[:2]
+        # Executor sizing: the bridge must hold more threads than the
+        # admission queue admits so shed decisions (cheap) never wait
+        # behind admitted work; 32 covers the default queue depths.
+        workers = executor_threads or max(32, 4 * (os.cpu_count() or 1))
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-http"
+        )
+        self.metrics = ServerMetrics(lambda: self.service, frontend="async")
+        self.router = Router(
+            lambda: self.service,
+            default_deadline_ms=default_deadline_ms,
+            metrics=self.metrics,
+        )
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: asyncio.AbstractServer | None = None
+        #: connection task -> {"busy": bool}; drain cancels idle ones first.
+        self._connections: dict[asyncio.Task, dict] = {}
+        self._draining = False
+        self._started = threading.Event()
+        self._stopped = threading.Event()
+        self._closed = False
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address
+        return f"http://{host}:{port}"
+
+    # -- lifecycle --------------------------------------------------------
+
+    def serve_forever(self) -> None:
+        """Run the event loop on the calling thread until :meth:`shutdown`."""
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        try:
+            # The reader limit bounds line buffering (readuntil); bodies
+            # stream through readexactly and are capped by MAX_BODY instead.
+            self._server = loop.run_until_complete(
+                asyncio.start_server(self._on_client, sock=self._socket, limit=4 * MAX_LINE)
+            )
+            self._started.set()
+            loop.run_forever()
+        finally:
+            try:
+                loop.run_until_complete(self._drain())
+            finally:
+                try:
+                    loop.run_until_complete(loop.shutdown_asyncgens())
+                finally:
+                    asyncio.set_event_loop(None)
+                    loop.close()
+                    self._loop = None
+                    self._stopped.set()
+
+    def shutdown(self) -> None:
+        """Stop ``serve_forever`` from any thread; returns once drained."""
+        loop = self._loop
+        if loop is None:
+            return
+        try:
+            loop.call_soon_threadsafe(loop.stop)
+        except RuntimeError:  # loop already closed
+            return
+        self._stopped.wait(timeout=self.drain_timeout + 10.0)
+
+    def server_close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._executor.shutdown(wait=False)
+        try:
+            self._socket.close()
+        except OSError:  # pragma: no cover - already closed by the loop
+            pass
+
+    # -- the connection coroutine ----------------------------------------
+
+    async def _drain(self) -> None:
+        """Close the listener, finish in-flight requests, cancel the rest."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            try:
+                await self._server.wait_closed()
+            except Exception:  # noqa: BLE001 - drain must complete
+                pass
+        for task, state in list(self._connections.items()):
+            if not state["busy"]:
+                task.cancel()
+        deadline = time.monotonic() + self.drain_timeout
+        while self._connections and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*list(self._connections), return_exceptions=True)
+
+    async def _on_client(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        task = asyncio.current_task()
+        state = {"busy": False}
+        self._connections[task] = state
+        self.metrics.connections.inc()
+        transport = writer.transport
+        transport.set_write_buffer_limits(high=WRITE_HIGH_WATER)
+        try:
+            sock = writer.get_extra_info("socket")
+            if sock is not None:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:  # pragma: no cover - already-dead socket
+            pass
+        peer = writer.get_extra_info("peername")
+        client = peer[0] if isinstance(peer, tuple) else ""
+        try:
+            await self._connection_loop(reader, writer, state, client)
+        except (asyncio.CancelledError, ConnectionError):
+            pass
+        except Exception as error:  # noqa: BLE001 - one connection must not kill the loop
+            self._log(f"connection error from {client}: {type(error).__name__}: {error}")
+        finally:
+            self._connections.pop(task, None)
+            self.metrics.connections.dec()
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:  # noqa: BLE001 - peer may already be gone
+                pass
+
+    async def _connection_loop(self, reader, writer, state, client: str) -> None:
+        loop = asyncio.get_running_loop()
+        while not self._draining:
+            try:
+                request, keep_alive = await self._read_request(reader, client)
+            except _BadRequest as refusal:
+                # Build a minimal Request so the refusal still gets a trace
+                # ID, the envelope, and a metrics sample.
+                request = Request("BAD", "other", headers=Headers(), client=client)
+                response = self.router.reject(
+                    request, refusal.status, str(refusal), refusal.kind
+                )
+                await self._write_response(writer, response, keep_alive=False)
+                self._access_log(request, response)
+                return
+            except asyncio.IncompleteReadError:
+                return  # peer hung up mid-request
+            if request is None:
+                return  # clean EOF between requests
+            state["busy"] = True
+            try:
+                response = await loop.run_in_executor(
+                    self._executor, self.router.dispatch, request
+                )
+            finally:
+                state["busy"] = False
+            keep_alive = keep_alive and not self._draining
+            await self._write_response(writer, response, keep_alive=keep_alive)
+            self._access_log(request, response)
+            if not keep_alive:
+                return
+
+    async def _read_request(self, reader, client: str):
+        """Parse one request; returns ``(Request | None, keep_alive)``."""
+        try:
+            request_line = await reader.readuntil(b"\n")
+        except asyncio.LimitOverrunError:
+            raise _BadRequest(400, "request line too long", "bad-request") from None
+        except asyncio.IncompleteReadError as error:
+            if not error.partial:
+                return None, False  # clean EOF
+            raise
+        received_at = time.monotonic()
+        if len(request_line) > MAX_LINE:
+            raise _BadRequest(400, "request line too long", "bad-request")
+        parts = request_line.decode("latin-1").strip().split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise _BadRequest(400, f"malformed request line: {parts[:3]!r}", "bad-request")
+        method, path, version = parts
+        headers = Headers()
+        for _ in range(MAX_HEADERS):
+            line = await reader.readuntil(b"\n")
+            if len(line) > MAX_LINE:
+                raise _BadRequest(400, "header line too long", "bad-request")
+            stripped = line.strip()
+            if not stripped:
+                break
+            name, separator, value = stripped.decode("latin-1").partition(":")
+            if not separator:
+                raise _BadRequest(400, f"malformed header line: {stripped!r}", "bad-request")
+            headers[name.strip().lower()] = value.strip()
+        else:
+            raise _BadRequest(400, "too many header lines", "bad-request")
+        connection = (headers.get("connection") or "").lower()
+        keep_alive = version == "HTTP/1.1" and connection != "close"
+        try:
+            length = int(headers.get("content-length", 0) or 0)
+        except ValueError:
+            raise _BadRequest(
+                400, "Content-Length must be an integer", "bad-request"
+            ) from None
+        if length > MAX_BODY:
+            # Refuse before reading: the body is unread, so the connection
+            # cannot be re-synced — _BadRequest closes it.
+            raise _BadRequest(
+                413, f"request body over {MAX_BODY} bytes", "payload-too-large"
+            )
+        body = await reader.readexactly(length) if length > 0 else b""
+        request = Request(
+            method, path, headers=headers, body=body, client=client,
+            received_at=received_at,
+        )
+        return request, keep_alive
+
+    async def _write_response(self, writer, response, keep_alive: bool) -> None:
+        try:
+            phrase = HTTPStatus(response.status).phrase
+        except ValueError:  # pragma: no cover - only standard statuses are used
+            phrase = ""
+        head_lines = [
+            f"HTTP/1.1 {response.status} {phrase}",
+            f"Content-Type: {response.content_type}",
+            f"Content-Length: {len(response.body)}",
+        ]
+        head_lines.extend(f"{name}: {value}" for name, value in response.headers.items())
+        if not keep_alive:
+            head_lines.append("Connection: close")
+        head = ("\r\n".join(head_lines) + "\r\n\r\n").encode("latin-1")
+        writer.write(head + response.body)
+        # Bounded buffering: suspend this connection (only) until the
+        # transport's write buffer falls below the high-water mark.
+        await writer.drain()
+
+    # -- logging ----------------------------------------------------------
+
+    def _log(self, message: str) -> None:
+        if not self.quiet:
+            print(f"repro serve[async]: {message}", file=sys.stderr)
+
+    def _access_log(self, request, response) -> None:
+        if not self.quiet:
+            self._log(
+                f'{request.client} "{request.method} {request.path}" '
+                f"{response.status} trace={request.trace}"
+            )

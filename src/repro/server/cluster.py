@@ -69,6 +69,41 @@ from repro.server.worker import SHUTDOWN, rebuild_error, worker_main
 _WORK_KINDS = frozenset({"query", "evict"})
 
 
+#: Keys in worker stats payloads that are levels, not counters: a merge
+#: keeps the live value instead of summing across incarnations.
+_GAUGE_KEYS = frozenset({"capacity", "resident", "le"})
+
+
+def _fold_stats(carried, live):
+    """``live`` + ``carried`` with counter semantics, recursively.
+
+    Numeric leaves add (they are counters: requests, hits, misses, bucket
+    counts...), except known gauge keys which keep the live level and
+    ``max_batch_size`` which takes the max.  Shapes that do not line up
+    fall back to the live value — worker payloads evolve, and a merge
+    must never be the thing that breaks /stats.
+    """
+    if carried is None:
+        return live
+    if live is None:
+        return carried
+    if isinstance(carried, dict) and isinstance(live, dict):
+        merged = {}
+        for key in set(carried) | set(live):
+            if key in _GAUGE_KEYS:
+                merged[key] = live.get(key, carried.get(key))
+            elif key == "max_batch_size":
+                merged[key] = max(carried.get(key, 0), live.get(key, 0))
+            else:
+                merged[key] = _fold_stats(carried.get(key), live.get(key))
+        return merged
+    if isinstance(carried, list) and isinstance(live, list) and len(carried) == len(live):
+        return [_fold_stats(one, other) for one, other in zip(carried, live)]
+    if isinstance(carried, (int, float)) and isinstance(live, (int, float)):
+        return carried + live
+    return live
+
+
 def default_worker_count() -> int:
     """The ``--workers`` default: one per CPU the process may use."""
     try:
@@ -103,6 +138,9 @@ class _WorkerSlot:
         "strikes",
         "respawn_at",
         "breaker",
+        "carried",
+        "last_probe",
+        "last_probe_generation",
     )
 
     def __init__(self, slot_id: int, breaker: CircuitBreaker):
@@ -126,6 +164,14 @@ class _WorkerSlot:
         self.last_spawn = 0.0
         self.strikes = 0
         self.respawn_at = 0.0
+        #: Dead incarnations' folded service/pool counters: a respawn resets
+        #: the worker's own numbers to zero, so /stats merges this back in
+        #: to keep per-worker counters monotone across crashes.
+        self.carried: dict | None = None
+        #: The freshest stats probe of the *current* incarnation (folded
+        #: into ``carried`` when it dies) and the generation it belongs to.
+        self.last_probe: dict | None = None
+        self.last_probe_generation = 0
 
 
 class WorkerFleet:
@@ -334,6 +380,15 @@ class WorkerFleet:
             slot.stop_pump.set()
             doomed = list(slot.inflight.values())
             slot.inflight = {}
+            # Fold the dead incarnation's last-seen service/pool counters
+            # into the slot's carry so /stats stays monotone: the respawned
+            # worker restarts its own counters from zero, but the shard's
+            # reported totals must never go backwards.  (Work done after
+            # the last stats probe is lost with the process — the carry is
+            # a floor, not an exact ledger.)
+            if slot.last_probe is not None and slot.last_probe_generation == slot.generation:
+                slot.carried = _fold_stats(slot.carried, slot.last_probe)
+            slot.last_probe = None
             # Crash-loop backoff: a worker that died young (within
             # ``young_death_window`` seconds of spawning — e.g. a corrupted
             # catalog killing every startup) earns a strike; after 3 strikes
@@ -485,6 +540,7 @@ class WorkerFleet:
         limit: int = DEFAULT_LIMIT,
         deadline: Deadline | None = None,
         client: str | None = None,
+        trace: str | None = None,
     ) -> dict:
         """Route one query to its shard's worker and await the answer.
 
@@ -526,6 +582,7 @@ class WorkerFleet:
                         paths,
                         limit,
                         None if deadline is None else deadline.at,
+                        trace,
                     ),
                 )
                 payload = self._await(slot, request_id, future, timeout)
@@ -676,6 +733,7 @@ class WorkerFleet:
                 }
                 for slot in self._slots
             ]
+            carries = [slot.carried for slot in self._slots]
         probes = []
         for row, slot in zip(snapshot, self._slots):
             if not row["alive"]:
@@ -693,13 +751,31 @@ class WorkerFleet:
             except Exception:  # noqa: BLE001 - stats are best-effort
                 row["stats"] = "unavailable"
                 continue
-            row["service"] = worker_stats.get("service")
-            row["pool"] = worker_stats.get("pool")
+            # Remember this incarnation's freshest counters (folded into the
+            # slot's carry if it crashes), then report carry + live so
+            # per-worker counters are monotone across respawns.
+            with slot.lock:
+                if slot.generation == row["generation"]:
+                    slot.last_probe = {
+                        "service": worker_stats.get("service"),
+                        "pool": worker_stats.get("pool"),
+                    }
+                    slot.last_probe_generation = row["generation"]
+            carried = carries[slot.id] or {}  # slot ids are 0..N-1 by construction
+            row["service"] = _fold_stats(carried.get("service"), worker_stats.get("service"))
+            row["pool"] = _fold_stats(carried.get("pool"), worker_stats.get("pool"))
             row["resident"] = worker_stats.get("resident")
             row["quarantined"] = worker_stats.get("quarantined") or []
             row["shards"] = sorted(
                 {document for document, _ in worker_stats.get("resident") or []}
             )
+        # A shard that could not be probed (dead, mid-respawn, too busy)
+        # still reports the counters its dead incarnations accrued — the
+        # monotone floor — instead of disappearing from /stats.
+        for row, carried in zip(snapshot, carries):
+            if carried and "service" not in row:
+                row["service"] = carried.get("service")
+                row["pool"] = carried.get("pool")
         return {
             "cluster": {
                 "workers": self.workers,

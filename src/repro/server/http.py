@@ -1,16 +1,21 @@
 """The JSON-over-HTTP front of the query service (stdlib only).
 
-``repro serve`` runs a :class:`ReproHTTPServer` — a
-``ThreadingHTTPServer`` whose handler threads feed either the in-process
-coalescing :class:`repro.server.service.QueryService` (``--workers 0``)
-or the pre-forked :class:`repro.server.cluster.WorkerFleet`
-(``--workers N``); both expose the same surface, so the handler code is
-identical at any worker count.  Endpoints::
+``repro serve`` runs one of two front-ends over the same route core
+(:mod:`repro.server.routes`): the default asyncio server
+(:class:`repro.server.asyncio_http.AsyncReproHTTPServer`) or this
+module's :class:`ReproHTTPServer` — a ``ThreadingHTTPServer`` whose
+handler threads feed either the in-process coalescing
+:class:`repro.server.service.QueryService` (``--workers 0``) or the
+pre-forked :class:`repro.server.cluster.WorkerFleet` (``--workers N``).
+Both front-ends expose the same surface and byte-identical bodies, so
+the threaded path doubles as the differential-testing oracle.
+Endpoints::
 
     GET    /healthz            liveness + catalog summary (+ fleet summary)
     GET    /stats              serving / pool / coalescing counters
                                (per-worker shard/residency/queue-depth
                                counters under --workers N)
+    GET    /metrics            Prometheus text exposition (repro_* families)
     GET    /catalog            registered documents with shred metadata
     POST   /catalog/<name>     register a document  {"xml": "<...>"}
     DELETE /catalog/<name>     evict: drop pool residency + catalog entry
@@ -19,8 +24,10 @@ identical at any worker count.  Endpoints::
     GET    /explain            ?document=d&query=q -> structured Plan JSON
     POST   /explain            {"document": d?, "query": q}
 
-Every response is ``application/json``.  Every error body is the uniform
-envelope of :func:`repro.api.envelope.error_envelope` —
+Every response is ``application/json`` (``/metrics`` is text/plain) and
+carries an ``X-Repro-Trace`` header — the client's own trace ID when it
+sent one, a freshly minted one otherwise.  Every error body is the
+uniform envelope of :func:`repro.api.envelope.error_envelope` —
 ``{"error": {"kind", "message", "detail"}}`` — whose ``kind`` strings are
 the same families the cluster worker wire protocol round-trips, so a
 client sees identical error payloads at any worker count.  Status codes
@@ -32,31 +39,21 @@ are 500.  A request whose shard's worker process died mid-flight is 503
 
 from __future__ import annotations
 
-import json
 import time
-import urllib.parse
-# Distinct from builtins.TimeoutError before 3.11, an alias after.
-from concurrent.futures import TimeoutError as FuturesTimeoutError
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from repro.api.envelope import error_envelope
-from repro.errors import (
-    CatalogError,
-    DeadlineExceededError,
-    IntegrityError,
-    OverloadedError,
-    QuarantinedError,
-    ReproError,
-    WorkerUnavailableError,
-    XPathCompileError,
-    XPathSyntaxError,
-)
 from repro.server.catalog import Catalog
-from repro.server.resilience import Deadline
+from repro.server.metrics import ServerMetrics
+from repro.server.routes import MAX_BODY, Request, Router
 from repro.server.service import QueryService
 
-#: Registration payloads above this size are rejected (bytes).
-MAX_BODY = 256 * 1024 * 1024
+__all__ = [
+    "MAX_BODY",
+    "ReproHTTPServer",
+    "create_server",
+    "serve",
+    "wait_ready",
+]
 
 
 class ReproHTTPServer(ThreadingHTTPServer):
@@ -80,6 +77,12 @@ class ReproHTTPServer(ThreadingHTTPServer):
         #: Applied to /query requests that carry no deadline of their own
         #: (0 = requests without a deadline run unbounded, as before).
         self.default_deadline_ms = default_deadline_ms
+        self.metrics = ServerMetrics(lambda: self.service, frontend="threaded")
+        self.router = Router(
+            lambda: self.service,
+            default_deadline_ms=default_deadline_ms,
+            metrics=self.metrics,
+        )
         super().__init__(address, _Handler)
 
     @property
@@ -89,6 +92,8 @@ class ReproHTTPServer(ThreadingHTTPServer):
 
 
 class _Handler(BaseHTTPRequestHandler):
+    """Reads bytes off the socket; everything else happens in the Router."""
+
     server: ReproHTTPServer
     protocol_version = "HTTP/1.1"
     # Responses go out as header + body segments on a keep-alive connection;
@@ -96,262 +101,62 @@ class _Handler(BaseHTTPRequestHandler):
     # client's delayed ACK stall every request on the connection ~40ms.
     disable_nagle_algorithm = True
 
-    # -- plumbing --------------------------------------------------------
-
     def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib signature
         if not self.server.quiet:
             super().log_message(format, *args)
 
-    def _reply(self, status: int, payload: dict, headers: dict | None = None) -> None:
-        body = json.dumps(payload).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        for name, value in (headers or {}).items():
+    def log_request(self, code="-", size="-") -> None:
+        # One access-log line per request, trace ID included.
+        self.log_message(
+            '"%s" %s trace=%s', self.requestline, str(code), getattr(self, "_trace", "-")
+        )
+
+    def _write(self, response) -> None:
+        self.send_response(response.status)
+        self.send_header("Content-Type", response.content_type)
+        self.send_header("Content-Length", str(len(response.body)))
+        for name, value in response.headers.items():
             self.send_header(name, value)
         self.end_headers()
-        self.wfile.write(body)
+        self.wfile.write(response.body)
 
-    def _error(self, status: int, message: str, kind: str = "bad-request") -> None:
-        """A request-shape failure as the uniform error envelope."""
-        self._reply(status, error_envelope(kind=kind, message=message))
-
-    def _fail(
-        self,
-        status: int,
-        error: BaseException,
-        message: str | None = None,
-        headers: dict | None = None,
-    ) -> None:
-        """An exception as the uniform envelope (kind derived from its family)."""
-        self._reply(status, error_envelope(error, message=message), headers=headers)
-
-    def _serve_errors(self, error: BaseException) -> None:
-        """Map one service-layer exception to its status + envelope.
-
-        Shared by ``/query`` and ``/explain`` so the two routes can never
-        disagree on how an error family is presented.
-        """
-        if isinstance(error, OverloadedError):
-            # An honest shed: 429 with a machine-readable Retry-After (the
-            # header wants integer seconds; the exact float rides in the
-            # envelope's detail).
-            retry_after = max(0.0, getattr(error, "retry_after", 1.0))
-            self._fail(
-                429, error, headers={"Retry-After": str(max(1, int(retry_after + 0.999)))}
-            )
-        elif isinstance(error, DeadlineExceededError):
-            self._fail(504, error)
-        elif isinstance(error, (QuarantinedError, IntegrityError)):
-            # Before their CatalogError parent: a quarantined or torn
-            # document is the server's problem (503 until verified or
-            # repaired), not a client addressing mistake (404).
-            self._fail(503, error)
-        elif isinstance(error, CatalogError):
-            self._fail(404, error)
-        elif isinstance(error, (XPathSyntaxError, XPathCompileError)):
-            self._fail(400, error, message=f"invalid query: {error}")
-        elif isinstance(error, FuturesTimeoutError):
-            self._fail(
-                504,
-                error,
-                message=f"request timed out after {self.server.service.request_timeout}s",
-            )
-        elif isinstance(error, WorkerUnavailableError):
-            # The shard's worker died with this request in flight; the fleet
-            # respawns it, so the failure is transient — tell the client to
-            # retry, never hang or serve a wrong answer.
-            self._fail(503, error)
-        elif isinstance(error, ReproError):
-            self._fail(500, error)
-        else:
-            # e.g. FileNotFoundError when a concurrent DELETE removed the
-            # chunk files mid-load: still a JSON envelope, never a dropped
-            # connection with a server-side traceback.
-            self._error(500, f"{type(error).__name__}: {error}", kind="internal")
-
-    def _read_json(self) -> dict | None:
-        length = int(self.headers.get("Content-Length", 0))
-        if length <= 0:
-            self._error(400, "missing request body")
-            return None
-        if length > MAX_BODY:
-            self._error(413, f"request body over {MAX_BODY} bytes", kind="payload-too-large")
-            return None
+    def _dispatch(self, method: str) -> None:
+        received_at = time.monotonic()
         try:
-            payload = json.loads(self.rfile.read(length).decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as error:
-            self._error(400, f"malformed JSON body: {error}")
-            return None
-        if not isinstance(payload, dict):
-            self._error(400, "request body must be a JSON object")
-            return None
-        return payload
-
-    # -- routes ----------------------------------------------------------
+            length = int(self.headers.get("Content-Length", 0) or 0)
+        except ValueError:
+            length = 0
+        router = self.server.router
+        if length > MAX_BODY:
+            # Refuse before reading the body (matching the historical
+            # behavior of replying without draining the oversized payload).
+            request = Request(
+                method, self.path, headers=self.headers,
+                client=self.client_address[0], received_at=received_at,
+            )
+            self._trace = request.trace
+            self._write(
+                router.reject(
+                    request, 413, f"request body over {MAX_BODY} bytes", "payload-too-large"
+                )
+            )
+            return
+        body = self.rfile.read(length) if length > 0 else b""
+        request = Request(
+            method, self.path, headers=self.headers, body=body,
+            client=self.client_address[0], received_at=received_at,
+        )
+        self._trace = request.trace
+        self._write(router.dispatch(request))
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-        service = self.server.service
-        if self.path == "/healthz":
-            payload = service.health_dict()
-            payload["documents"] = len(service.catalog)
-            payload["mode"] = service.mode
-            workers = getattr(service, "workers", 0)
-            if workers:
-                payload["workers"] = workers
-            # "degraded" is still a 2xx (the server answers what it can) but
-            # a *distinct* one, so probes tell fine from limping without
-            # parsing the body.
-            self._reply(200 if payload["status"] == "ok" else 203, payload)
-        elif self.path == "/stats":
-            self._reply(200, service.stats_dict())
-        elif self.path == "/catalog":
-            from dataclasses import asdict
-
-            self._reply(
-                200, {"documents": [asdict(entry) for entry in service.catalog.entries()]}
-            )
-        elif self.path.split("?", 1)[0] == "/explain":
-            query_string = self.path.partition("?")[2]
-            params = urllib.parse.parse_qs(query_string)
-            self._explain(
-                document=(params.get("document") or [None])[0],
-                query_text=(params.get("query") or [None])[0],
-            )
-        else:
-            self._error(404, f"no such endpoint: GET {self.path}", kind="not-found")
+        self._dispatch("GET")
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
-        if self.path == "/query":
-            self._post_query()
-        elif self.path == "/explain":
-            payload = self._read_json()
-            if payload is None:
-                return
-            self._explain(
-                document=payload.get("document"), query_text=payload.get("query")
-            )
-        elif self.path.startswith("/catalog/"):
-            self._post_catalog(self.path[len("/catalog/"):])
-        else:
-            self._error(404, f"no such endpoint: POST {self.path}", kind="not-found")
+        self._dispatch("POST")
 
     def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
-        if not self.path.startswith("/catalog/"):
-            self._error(404, f"no such endpoint: DELETE {self.path}", kind="not-found")
-            return
-        name = self.path[len("/catalog/"):]
-        service = self.server.service
-        try:
-            # Remove from the catalog FIRST: under --workers N the evict
-            # broadcast makes every worker re-read the manifest, and only a
-            # post-removal manifest makes them drop their cached entry and
-            # chunk store — evicting first would refresh against a manifest
-            # that still lists the document, leaving workers serving stale
-            # chunks if the name is re-registered.
-            service.catalog.remove(name)
-            evicted = service.evict(name)
-        except CatalogError as error:
-            self._fail(404, error)
-            return
-        self._reply(200, {"removed": name, "pool_entries_evicted": evicted})
-
-    # -- handlers --------------------------------------------------------
-
-    def _post_query(self) -> None:
-        payload = self._read_json()
-        if payload is None:
-            return
-        document = payload.get("document")
-        query_text = payload.get("query")
-        if not isinstance(document, str) or not isinstance(query_text, str):
-            self._error(400, "body needs string fields 'document' and 'query'")
-            return
-        paths = payload.get("paths", 0)
-        limit = payload.get("limit", None)
-        if not isinstance(paths, int) or paths < 0:
-            self._error(400, "'paths' must be a non-negative integer")
-            return
-        kwargs = {"paths": paths}
-        if limit is not None:
-            if not isinstance(limit, int) or limit < 1:
-                self._error(400, "'limit' must be a positive integer")
-                return
-            kwargs["limit"] = limit
-        # End-to-end deadline: body field, else header, else the server's
-        # configured default (0 = unbounded).  The budget starts here —
-        # coalescing wait, pool loads, worker queues all count against it.
-        deadline_ms = payload.get("deadline_ms")
-        if deadline_ms is None:
-            header = self.headers.get("X-Repro-Deadline-Ms")
-            if header is not None:
-                try:
-                    deadline_ms = float(header)
-                except ValueError:
-                    self._error(400, "X-Repro-Deadline-Ms must be a number")
-                    return
-        if deadline_ms is None:
-            deadline_ms = self.server.default_deadline_ms
-        if deadline_ms:
-            if not isinstance(deadline_ms, (int, float)) or deadline_ms <= 0:
-                self._error(400, "'deadline_ms' must be a positive number")
-                return
-            kwargs["deadline"] = Deadline.after_ms(deadline_ms)
-        # Rate-limit identity: an explicit client header, else the peer.
-        kwargs["client"] = self.headers.get("X-Repro-Client") or self.client_address[0]
-        try:
-            response = self.server.service.query(document, query_text, **kwargs)
-        except Exception as error:  # noqa: BLE001 - the client must get JSON
-            self._serve_errors(error)
-        else:
-            self._reply(200, response)
-
-    def _explain(self, document: str | None, query_text: str | None) -> None:
-        """Answer ``/explain``: the structured Plan of one query as JSON.
-
-        With a ``document`` the service attaches instance provenance (pool
-        residency in process, shard affinity + residency under a fleet);
-        without one the plan of the bare query text is returned.
-        """
-        if not isinstance(query_text, str) or not query_text:
-            self._error(400, "explain needs a string field 'query'")
-            return
-        if document is not None and not isinstance(document, str):
-            self._error(400, "'document' must be a string when given")
-            return
-        try:
-            if document is None:
-                from repro.api.plan import Plan
-
-                response = {
-                    "document": None,
-                    "query": query_text,
-                    "plan": Plan.from_query(query_text).to_dict(),
-                }
-            else:
-                response = self.server.service.explain(document, query_text)
-        except Exception as error:  # noqa: BLE001 - the client must get JSON
-            self._serve_errors(error)
-        else:
-            self._reply(200, response)
-
-    def _post_catalog(self, name: str) -> None:
-        payload = self._read_json()
-        if payload is None:
-            return
-        xml = payload.get("xml")
-        if not isinstance(xml, str):
-            self._error(400, "body needs a string field 'xml'")
-            return
-        attributes = payload.get("attributes", "ignore")
-        try:
-            entry = self.server.service.catalog.add(name, xml, attributes=attributes)
-        except ReproError as error:
-            self._fail(400, error)
-            return
-        from dataclasses import asdict
-
-        self._reply(201, asdict(entry))
+        self._dispatch("DELETE")
 
 
 def create_server(
@@ -369,7 +174,9 @@ def create_server(
     deadline_ms: float = 0.0,
     max_queue: int = 0,
     rate_limit: float = 0.0,
-) -> ReproHTTPServer:
+    frontend: str = "threaded",
+    http_threads: int = 0,
+):
     """Build a ready-to-run server (``port=0`` binds an ephemeral port).
 
     ``workers=0`` serves in process (PR 3's single-process path);
@@ -378,17 +185,35 @@ def create_server(
     service lifecycle: call ``server.service.close()`` after
     ``server_close()`` to drain the fleet.
 
+    ``frontend`` selects the transport: ``"threaded"`` (this module's
+    ``ThreadingHTTPServer``, the default here for embedding/test
+    compatibility) or ``"async"`` (the asyncio front-end — ``serve()``
+    and the CLI default to it).  ``http_threads`` sizes the async
+    front-end's executor bridge (0 = automatic); ignored when threaded.
+
     The resilience knobs: ``deadline_ms`` is the default end-to-end budget
     for requests that do not carry their own (0 = unbounded),
     ``max_queue`` caps concurrently admitted requests, and ``rate_limit``
     is per-client requests/second — both shed with 429 + ``Retry-After``
     when exceeded (0 disables each).
     """
+    if frontend not in ("threaded", "async"):
+        raise ValueError(f"unknown frontend {frontend!r} (expected 'async' or 'threaded')")
     # Bind the socket *before* building the service: a failed bind (port
     # in use) must not leave a spawned worker fleet running with no handle
     # to close it.  The handler only reads ``server.service`` per request,
     # so the placeholder is never observed.
-    server = ReproHTTPServer((host, port), None, quiet=quiet, default_deadline_ms=deadline_ms)
+    if frontend == "async":
+        from repro.server.asyncio_http import AsyncReproHTTPServer
+
+        server = AsyncReproHTTPServer(
+            (host, port), None, quiet=quiet, default_deadline_ms=deadline_ms,
+            executor_threads=http_threads,
+        )
+    else:
+        server = ReproHTTPServer(
+            (host, port), None, quiet=quiet, default_deadline_ms=deadline_ms
+        )
     try:
         if workers:
             from repro.server.cluster import WorkerFleet
@@ -482,12 +307,20 @@ def _stats_line(service) -> str:
     )
 
 
-def serve(catalog_dir: str, stats_interval: float = 0.0, **kwargs) -> None:
+def serve(
+    catalog_dir: str,
+    stats_interval: float = 0.0,
+    frontend: str = "async",
+    **kwargs,
+) -> None:
     """Run the server until interrupted (the ``repro serve`` entry point).
 
-    ``stats_interval=S`` (seconds, 0 = off) logs one :func:`_stats_line`
-    to stderr every S seconds, so CI smoke runs and operators can watch
-    queue depth and shard residency without curling ``/stats``.
+    ``frontend`` picks the transport (``"async"`` by default — the
+    event-loop front-end; ``"threaded"`` keeps the thread-per-connection
+    fallback).  ``stats_interval=S`` (seconds, 0 = off) logs one
+    :func:`_stats_line` to stderr every S seconds, so CI smoke runs and
+    operators can watch queue depth and shard residency without curling
+    ``/stats``.
 
     SIGTERM (and SIGINT, even when the process was started as a shell
     background job with SIGINT ignored) triggers the same graceful path:
@@ -498,7 +331,7 @@ def serve(catalog_dir: str, stats_interval: float = 0.0, **kwargs) -> None:
     import sys
     import threading
 
-    server = create_server(catalog_dir, **kwargs)
+    server = create_server(catalog_dir, frontend=frontend, **kwargs)
 
     def _signal_shutdown(signum, frame):
         raise KeyboardInterrupt
@@ -514,7 +347,7 @@ def serve(catalog_dir: str, stats_interval: float = 0.0, **kwargs) -> None:
     fleet = f" workers={workers}" if workers else ""
     print(
         f"repro serve: {server.url}  catalog={catalog_dir!r} "
-        f"documents={len(documents)} mode={service.mode}{fleet}",
+        f"documents={len(documents)} mode={service.mode} frontend={frontend}{fleet}",
         file=sys.stderr,
     )
     stop_stats = threading.Event()

@@ -206,6 +206,7 @@ class AdmissionController:
         return recent / window if window > 0 else 0.0
 
     def stats(self) -> dict:
+        shed_rate = self.shed_rate()  # outside the lock: it takes it itself
         with self._lock:
             return {
                 "max_queue": self.max_queue,
@@ -214,6 +215,7 @@ class AdmissionController:
                 "admitted": self.admitted,
                 "shed_queue_full": self.shed_queue_full,
                 "shed_rate_limited": self.shed_rate_limited,
+                "shed_rate": round(shed_rate, 3),
                 "clients_tracked": len(self._buckets),
             }
 

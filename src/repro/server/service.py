@@ -39,10 +39,11 @@ from __future__ import annotations
 
 import threading
 import time
+from bisect import bisect_left
 from collections import OrderedDict
 from concurrent.futures import Future
 from concurrent.futures import TimeoutError as FuturesTimeoutError
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 # MAX_PATHS is re-exported: it was public here before the encodings moved
 # to the shared envelope module, and callers still read the cap from us.
@@ -147,6 +148,10 @@ class CompiledQueryCache:
             self._entries[query_text] = (expr, tuple(tags), tuple(strings))
 
 
+#: Batch-size histogram bucket upper bounds (queries per executed batch).
+BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64)
+
+
 @dataclass
 class ServiceStats:
     """Aggregate serving counters (returned by ``/stats``)."""
@@ -159,6 +164,16 @@ class ServiceStats:
     errors: int = 0
     #: Requests answered with ``deadline_exceeded`` instead of a result.
     deadline_expired: int = 0
+    #: Per-bucket (non-cumulative) batch-size counts; last slot is +Inf.
+    batch_size_counts: list[int] = field(
+        default_factory=lambda: [0] * (len(BATCH_SIZE_BUCKETS) + 1)
+    )
+    #: Total queries over all observed batches (the histogram's _sum).
+    batch_size_sum: int = 0
+
+    def observe_batch(self, size: int) -> None:
+        self.batch_size_counts[bisect_left(BATCH_SIZE_BUCKETS, size)] += 1
+        self.batch_size_sum += size
 
     def as_dict(self) -> dict:
         return {
@@ -168,6 +183,12 @@ class ServiceStats:
             "coalesced_requests": self.coalesced_requests,
             "errors": self.errors,
             "deadline_expired": self.deadline_expired,
+            "batch_sizes": {
+                "le": list(BATCH_SIZE_BUCKETS),
+                "counts": list(self.batch_size_counts),
+                "sum": self.batch_size_sum,
+                "count": sum(self.batch_size_counts),
+            },
         }
 
 
@@ -190,6 +211,9 @@ class _Request:
     paths: int
     limit: int
     deadline: Deadline | None = None
+    #: Request trace ID (minted at accept by the HTTP front-ends, or
+    #: client-supplied); echoed in the response payload when present.
+    trace: str | None = None
 
 
 class QueryService:
@@ -262,6 +286,7 @@ class QueryService:
         limit: int = DEFAULT_LIMIT,
         deadline: Deadline | None = None,
         client: str | None = None,
+        trace: str | None = None,
     ) -> dict:
         """Answer one query; concurrent callers coalesce into shared batches.
 
@@ -274,6 +299,9 @@ class QueryService:
         caller blocks on its future.  ``client`` identifies the caller for
         per-client rate limiting; admission sheds with
         :class:`repro.errors.OverloadedError` before any work is done.
+        ``trace`` is the request's trace ID (minted at accept by the HTTP
+        front-ends); it rides through coalescing and is echoed in the
+        response payload.
         """
         if deadline is not None and deadline.expired:
             with self._stats_lock:
@@ -281,7 +309,7 @@ class QueryService:
             deadline.check("request")  # dead on arrival: shed before admission
         self.admission.admit(client)
         try:
-            return self._admitted_query(document, query_text, paths, limit, deadline)
+            return self._admitted_query(document, query_text, paths, limit, deadline, trace)
         finally:
             self.admission.release()
 
@@ -292,6 +320,7 @@ class QueryService:
         paths: int,
         limit: int,
         deadline: Deadline | None,
+        trace: str | None = None,
     ) -> dict:
         catalog_entry = self.catalog.entry(document)  # raises when unknown
         expr, tags, strings = self._compiled_entry(query_text)
@@ -302,6 +331,7 @@ class QueryService:
             paths=paths,
             limit=limit,
             deadline=deadline,
+            trace=trace,
         )
         # The registration stamp is part of the residency key: a document
         # removed and re-registered under the same name gets fresh keys, so
@@ -537,6 +567,7 @@ class QueryService:
         with self._stats_lock:
             self.stats.batches += 1
             self.stats.max_batch_size = max(self.stats.max_batch_size, len(batch))
+            self.stats.observe_batch(len(batch))
             if len(batch) > 1:
                 self.stats.coalesced_requests += len(batch)
             self.stats.errors += sum(
@@ -555,6 +586,8 @@ class QueryService:
                 pool_hit=pool_hit,
                 mode=self.mode,
             )
+            if request.trace is not None:
+                outcome["trace"] = request.trace
             future.set_result(outcome)
 
     @staticmethod

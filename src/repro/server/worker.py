@@ -18,9 +18,10 @@ shared memory, and a worker crash can never corrupt a sibling.
 Wire protocol (multiprocessing queues, all values picklable primitives):
 
 * requests  — ``("query", id, document, query_text, paths, limit,
-  deadline_at)`` (``deadline_at`` an absolute ``time.monotonic`` stamp or
-  ``None`` — the monotonic clock is machine-wide, so the instant means
-  the same thing here), ``("stats", id)``, ``("ping", id)``,
+  deadline_at, trace)`` (``deadline_at`` an absolute ``time.monotonic``
+  stamp or ``None`` — the monotonic clock is machine-wide, so the
+  instant means the same thing here; ``trace`` the request's trace ID or
+  ``None``, echoed in the payload), ``("stats", id)``, ``("ping", id)``,
   ``("evict", id, document)``, ``("shutdown",)``;
 * responses — ``(id, "ok", payload)`` or ``(id, "error", kind, message)``
   where ``kind`` names the error family (see :data:`ERROR_KINDS`) so the
@@ -61,7 +62,7 @@ def _serve_one(service, message, response_queue) -> None:
     try:
         FAULTS.fire("worker.serve", kind=kind)
         if kind == "query":
-            _, _, document, query_text, paths, limit, deadline_at = message
+            _, _, document, query_text, paths, limit, deadline_at, trace = message
             # Time queued in the request pipe counted against the budget;
             # answer dead-on-arrival requests without touching the service.
             deadline = Deadline.from_wire(deadline_at)
@@ -69,14 +70,16 @@ def _serve_one(service, message, response_queue) -> None:
                 deadline.check("request (expired in the worker's queue)")
             try:
                 payload = service.query(
-                    document, query_text, paths=paths, limit=limit, deadline=deadline
+                    document, query_text, paths=paths, limit=limit,
+                    deadline=deadline, trace=trace,
                 )
             except CatalogError:
                 # The front-end may have registered the document after this
                 # worker spawned; one manifest re-read settles it.
                 service.catalog.refresh()
                 payload = service.query(
-                    document, query_text, paths=paths, limit=limit, deadline=deadline
+                    document, query_text, paths=paths, limit=limit,
+                    deadline=deadline, trace=trace,
                 )
         elif kind == "stats":
             if service.catalog.quarantined():

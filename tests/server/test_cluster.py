@@ -430,3 +430,78 @@ class TestFleetQuarantineVisibility:
         # ...and so does service itself.
         expected = decode_result(Engine(BIB_XML).query("//author"))["tree_count"]
         assert own_fleet.query("bib", "//author")["tree_count"] == expected
+
+
+class TestTracePropagation:
+    """Trace IDs cross the worker wire protocol and come back in payloads."""
+
+    def test_trace_round_trips_through_worker(self, shared_fleet):
+        payload = shared_fleet.query("bib", "//author", trace="feedface01234567")
+        assert payload["trace"] == "feedface01234567"
+
+    def test_no_trace_means_no_trace_key(self, shared_fleet):
+        payload = shared_fleet.query("bib", "//author")
+        assert "trace" not in payload
+
+
+class TestRespawnMonotonicStats:
+    """Regression: per-shard /stats counters must survive a worker respawn
+    monotonically.  A killed-and-respawned shard starts its in-process
+    counters at zero; the dispatcher carries the last probed totals
+    forward and folds them in, so dashboards and the overload bench's
+    sliding-window shed-rate never see counters jump backwards."""
+
+    def _service_row(self, fleet, worker_id):
+        stats = fleet.stats_dict()
+        return stats["workers"][worker_id].get("service") or {}
+
+    def test_counters_survive_kill_and_respawn(self, own_fleet):
+        shard = own_fleet.shard_of("bib", "//author")
+        for _ in range(5):
+            own_fleet.query("bib", "//author")
+        # A stats probe captures the pre-crash totals (the carry source).
+        before = self._service_row(own_fleet, shard)
+        assert before.get("requests", 0) >= 5
+        before_requests = before["requests"]
+
+        first_pid = own_fleet._slots[shard].process.pid
+        os.kill(first_pid, signal.SIGKILL)
+        assert wait_until(
+            lambda: own_fleet._slots[shard].process is not None
+            and own_fleet._slots[shard].process.pid != first_pid
+            and own_fleet._slots[shard].process.is_alive(),
+            timeout=30,
+        ), "shard never respawned"
+
+        # Fresh worker, zeroed in-process counters — the report must not
+        # regress below the carried pre-crash totals...
+        after_respawn = self._service_row(own_fleet, shard)
+        assert after_respawn.get("requests", 0) >= before_requests
+
+        # ...and new traffic accumulates on top of the carry.
+        for _ in range(3):
+            own_fleet.query("bib", "//author")
+        after_traffic = self._service_row(own_fleet, shard)
+        assert after_traffic["requests"] >= before_requests + 3
+        # Monotone across repeated probes too.
+        again = self._service_row(own_fleet, shard)
+        assert again["requests"] >= after_traffic["requests"]
+
+    def test_gauges_report_live_values_not_sums(self, own_fleet):
+        shard = own_fleet.shard_of("bib", "//author")
+        own_fleet.query("bib", "//author")
+        own_fleet.stats_dict()  # capture a probe with resident >= 1
+        first_pid = own_fleet._slots[shard].process.pid
+        os.kill(first_pid, signal.SIGKILL)
+        assert wait_until(
+            lambda: own_fleet._slots[shard].process is not None
+            and own_fleet._slots[shard].process.pid != first_pid
+            and own_fleet._slots[shard].process.is_alive(),
+            timeout=30,
+        )
+        stats = own_fleet.stats_dict()
+        pool = stats["workers"][shard].get("pool") or {}
+        # Capacity is a configuration gauge: summing the carry into it
+        # would double it after one respawn.  The fleet default is 8.
+        assert pool.get("capacity") == 8
+        assert pool.get("resident", 0) <= pool["capacity"]

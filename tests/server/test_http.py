@@ -14,14 +14,16 @@ from repro.server.service import decode_result
 from tests.skeleton.test_loader import BIB_XML
 
 
-@pytest.fixture
-def server(tmp_path):
+@pytest.fixture(params=["threaded", "async"])
+def server(request, tmp_path):
     # Always port 0: the kernel hands out a free ephemeral port, so any
     # number of parallel CI runs can never collide; the real port is read
     # back off the socket and readiness is probed (not assumed) through
-    # the same helper the benchmarks use.
+    # the same helper the benchmarks use.  Parametrized over both
+    # front-ends: every endpoint/error-mapping assertion below is part of
+    # the byte-identical contract the transports share.
     Catalog(str(tmp_path / "cat")).add("bib", BIB_XML)
-    server = create_server(str(tmp_path / "cat"), port=0)
+    server = create_server(str(tmp_path / "cat"), port=0, frontend=request.param)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     host, port = server.server_address[:2]

@@ -75,6 +75,7 @@ SNAPSHOT = {
     ],
     "repro.server": [
         "AdmissionController",
+        "AsyncReproHTTPServer",
         "Catalog",
         "CatalogEntry",
         "CircuitBreaker",
@@ -82,14 +83,20 @@ SNAPSHOT = {
         "FAULTS",
         "FaultInjector",
         "InstancePool",
+        "MetricsRegistry",
         "PoolEntry",
         "QueryService",
         "ReproHTTPServer",
+        "Request",
+        "Response",
+        "Router",
+        "ServerMetrics",
         "TokenBucket",
         "WorkerFleet",
         "create_server",
         "decode_result",
         "default_worker_count",
+        "parse_prometheus_text",
         "serve",
         "wait_ready",
     ],
