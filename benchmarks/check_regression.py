@@ -15,7 +15,9 @@ serves every report shape:
 * ``server``           — ``geomean_speedup`` (served vs one-shot);
 * ``cluster``          — ``best_scaling`` (fleet vs single-process server);
 * ``overload``         — ``accepted_rps`` (admitted throughput while
-  shedding the excess of a 2x-capacity offered load with honest 429s).
+  shedding the excess of a 2x-capacity offered load with honest 429s);
+* ``optimizer``        — ``geomean_speedup`` (optimized vs unoptimized
+  plans, byte-identical results required).
 
 PR-level smoke mode validates freshly produced smoke artifacts without a
 baseline (smoke corpora are too small for absolute comparison against the
@@ -46,6 +48,7 @@ HEADLINE = {
     "server": "geomean_speedup",
     "cluster": "best_scaling",
     "overload": "accepted_rps",
+    "optimizer": "geomean_speedup",
 }
 
 #: benchmark name -> (measured key, embedded requirement key) pairs checked
@@ -59,6 +62,7 @@ SMOKE_FLOORS = {
     "server": [("worst_speedup", "min_speedup_required")],
     "cluster": [("scaling_at_4_workers", "min_scaling_required")],
     "overload": [("accepted_rps", "min_accepted_rps_required")],
+    "optimizer": [("geomean_speedup", "min_speedup_required")],
 }
 
 #: benchmark name -> additional metric keys compared against the baseline
@@ -89,6 +93,11 @@ def check_smoke(path: str) -> list[str]:
             )
     if report["benchmark"] == "cluster" and not report.get("checked_byte_identical_total"):
         problems.append(f"{path}: cluster report ran no byte-identical checks")
+    if report["benchmark"] == "optimizer":
+        if not report.get("checked_byte_identical_total"):
+            problems.append(f"{path}: optimizer report ran no byte-identical checks")
+        if not report.get("byte_identical"):
+            problems.append(f"{path}: optimizer run was not byte-identical")
     if report["benchmark"] == "overload":
         if not report.get("passed"):
             problems.append(f"{path}: the overload run failed its own gates")

@@ -10,10 +10,17 @@ the structured JSON every serving surface shares (``repro explain --json``,
 ``repro query --explain-json``, the HTTP ``/explain`` route) — and flags
 which plans are upward-only (Corollary 3.7: never decompress).
 
+The second half diffs **optimized vs. unoptimized** plans (DESIGN.md
+section 13, ``docs/optimizer.md``): the same queries explained against a
+loaded document, where the cost-based pass folds provably-empty
+branches, rides the root-axis identities, and reorders conjuncts — with
+``analyze=True`` attaching measured ``actual`` counts next to every
+``est_cardinality``.
+
 Run:  python examples/query_plans.py
 """
 
-from repro.api import PreparedQuery
+from repro.api import Database, PreparedQuery
 
 QUERIES = [
     # Figure 3 / Example 3.1 — verbatim from the paper.
@@ -25,6 +32,42 @@ QUERIES = [
     # Branching predicate with a string constraint.
     '//Record[sequence/seq["MMSARGDFLN"] and protein/from["Rattus norvegicus"]]',
 ]
+
+
+# Example 1.1's bibliography, the optimizer walk-through document.
+BIB_XML = """\
+<bib>
+  <book><title>Foundations</title><author>A</author><author>B</author><author>C</author></book>
+  <paper><title>Compression</title><author>D</author></paper>
+  <paper><title>Queries</title><author>E</author></paper>
+</bib>
+"""
+
+#: Queries picked so each optimizer rule fires at least once: an absent
+#: tag that folds the whole plan, a conjunction that reorders, and a
+#: plain spine that rides the root-axis identities.
+OPTIMIZER_QUERIES = [
+    "//absent/title",
+    "//paper[author and title]",
+    "//book/author",
+]
+
+
+def show_optimizer_diffs() -> None:
+    database = Database.from_text(BIB_XML)
+    for query_text in OPTIMIZER_QUERIES:
+        raw = PreparedQuery.compile(query_text).plan()
+        plan = database.explain(query_text, analyze=True)
+        print("=" * 72)
+        print(f"Query: {query_text}\n")
+        print("unoptimized (as compiled):\n")
+        print(raw.render())
+        block = plan.optimizer or {}
+        rules = ", ".join(block.get("rules_applied", ())) or "(none)"
+        print(f"\noptimized, analyze=True (rules: {rules}):\n")
+        print(plan.render())
+        print()
+    database.close()
 
 
 def main() -> None:
@@ -43,6 +86,7 @@ def main() -> None:
         print("\n  the same plan as structured JSON (what /explain serves):")
         print("  " + plan.to_json())
         print()
+    show_optimizer_diffs()
 
 
 if __name__ == "__main__":

@@ -324,28 +324,72 @@ class Database:
 
     # -- plans -----------------------------------------------------------
 
-    def explain(self, query: str | PreparedQuery, document: str | None = None) -> Plan:
+    def explain(
+        self,
+        query: str | PreparedQuery,
+        document: str | None = None,
+        analyze: bool = False,
+    ) -> Plan:
         """The structured :class:`Plan`, with instance-provenance attached.
 
         A fresh plan is built per call (provenance is point-in-time: the
         engine's schema-cache state and a served document's pool residency
         change as queries run).
+
+        When the backend optimizes (served databases by default, embedded
+        engines with instance caching), the plan is the *optimized* tree
+        with per-node ``est_cardinality`` and rule tags, plus the
+        ``optimizer`` block of the explain contract
+        (:mod:`repro.api.plan`).  ``analyze=True`` additionally executes
+        the plan — on a private working copy, never mutating backend
+        state — and attaches measured ``actual`` counts per node, the
+        estimated-vs-actual view.  A served document published without
+        usable statistics simply yields an unannotated (unoptimized)
+        plan.
         """
         prepared = self.prepare(query)
+        optimization = None
+        actuals: dict[int, dict] | None = None
         if self._service is not None:
-            instance = self._service.instance_info(
-                self._document_name(document), prepared.strings
-            )
+            name = self._document_name(document)
+            instance = self._service.instance_info(name, prepared.strings)
+            # Duck-typed: both the in-process QueryService and the worker
+            # fleet expose optimized_entry/measure_plan; a backend without
+            # them yields an unannotated (and analyze-less) plan.
+            optimized_entry = getattr(self._service, "optimized_entry", None)
+            if optimized_entry is not None:
+                optimization = optimized_entry(name, prepared.text)
+            if analyze:
+                measure = getattr(self._service, "measure_plan", None)
+                if measure is not None:
+                    actuals = measure(name, prepared.text)
         elif self._engine is not None:
             instance = {
                 "source": "engine",
                 "cached": self._engine.instance_cached(prepared.text),
                 "reparse_per_query": self._engine.reparse_per_query,
             }
+            optimization = self._engine.optimized_entry(prepared.text)
+            if analyze:
+                from repro.engine.evaluator import measure_actuals
+
+                expr = optimization.expr if optimization is not None else prepared.expr
+                actuals = measure_actuals(
+                    self._engine.instance_for(prepared.text), expr, axes=self._axes
+                )
         else:
             instance = {"source": "instance", "cached": True}
+            if analyze:
+                from repro.engine.evaluator import measure_actuals
+
+                actuals = measure_actuals(self._instance, prepared.expr, axes=self._axes)
         plan = Plan.from_compiled(
-            prepared.text, prepared.expr, prepared.tags, prepared.strings
+            prepared.text,
+            prepared.expr,
+            prepared.tags,
+            prepared.strings,
+            optimization=optimization,
+            actuals=actuals,
         )
         plan.instance = instance
         return plan

@@ -11,6 +11,7 @@ Installed as the ``repro`` console script::
     repro query d.xml '//article' --explain-json   # structured plan, no eval
     repro explain '//a/b[c or not(following::*)]'
     repro explain --json '//a/b'                   # the same plan as JSON
+    repro explain --file d.xml --analyze '//a/b'   # optimized plan, est vs actual
     repro catalog add dblp d.xml          # shred once into the catalog
     repro serve --port 8080               # concurrent query service
     repro serve --workers 4               # ... sharded over 4 worker processes
@@ -317,13 +318,28 @@ def _cmd_catalog_verify(args: argparse.Namespace) -> int:
 def _cmd_explain(args: argparse.Namespace) -> int:
     from repro.api import Plan
 
-    plan = Plan.from_query(args.xpath)
+    if args.analyze and not args.file:
+        print("error: --analyze needs --file (actuals require a document)", file=sys.stderr)
+        return EXIT_USAGE
+    if args.file:
+        # Plan against a real document: the embedded database collects
+        # statistics from the loaded instance, so the printed plan is the
+        # optimized one actually evaluated, annotated with per-node
+        # cardinality estimates (and, under --analyze, measured actuals).
+        from repro.api import Database
+
+        database = Database.from_file(args.file)
+        plan = database.explain(args.xpath, analyze=args.analyze)
+    else:
+        plan = Plan.from_query(args.xpath)
     if args.json:
         print(plan.to_json(indent=2))
         return 0
     print(plan.render())
     if plan.upward_only:
         print("\nupward-only: evaluation never decompresses (Corollary 3.7)")
+    if plan.optimizer and plan.optimizer.get("rules_applied"):
+        print("\nrewrites: " + ", ".join(plan.optimizer["rules_applied"]))
     return 0
 
 
@@ -387,6 +403,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="structured plan JSON (per-node algebra ops + required schema) "
         "instead of the ASCII tree",
+    )
+    explain.add_argument(
+        "--file",
+        help="plan against this XML (or .dag) document: shows the optimized "
+        "plan with per-node cardinality estimates",
+    )
+    explain.add_argument(
+        "--analyze", action="store_true",
+        help="execute the plan and annotate every node with its actual "
+        "cardinalities (requires --file)",
     )
     explain.set_defaults(func=_cmd_explain)
 

@@ -56,8 +56,11 @@ class BatchEvaluator(CompressedEvaluator):
         context: str | None = None,
         axes: str = "functional",
         copy: bool = True,
+        short_circuit: bool = False,
     ):
-        super().__init__(instance, context=context, axes=axes, copy=copy)
+        super().__init__(
+            instance, context=context, axes=axes, copy=copy, short_circuit=short_circuit
+        )
         self._memo: dict[tuple, str] = {}
         self._result_counter = 0
         self.stats = BatchStats()
@@ -71,6 +74,8 @@ class BatchEvaluator(CompressedEvaluator):
         name = self._memo.get(key)
         if name is not None and self._instance.has_set(name):
             self.stats.nodes_reused += 1
+            if self._trace is not None:
+                self._trace[id(expr)] = name
             return name
         self.stats.nodes_evaluated += 1
         name = super()._eval(expr)
@@ -168,15 +173,26 @@ class BatchEvaluator(CompressedEvaluator):
         )
         self._result_counter = 0
 
-    def evaluate(self, query: str | AlgebraExpr, keep_temps: bool = False) -> QueryResult:
+    def evaluate(
+        self,
+        query: str | AlgebraExpr,
+        keep_temps: bool = False,
+        trace: dict[int, str] | None = None,
+    ) -> QueryResult:
         """Single-query entry point, still sharing work with earlier calls.
 
         Note that ``keep_temps=False`` (the default) drops the
         common-subexpression cache along with the temporaries; pass
         ``keep_temps=True`` while streaming queries one at a time to keep
-        sharing across calls, then drop temporaries yourself.
+        sharing across calls, then drop temporaries yourself.  ``trace``
+        behaves as in :meth:`CompressedEvaluator.evaluate` (memo hits are
+        traced to the cached selection).
         """
-        return self.evaluate_batch([query], keep_temps=keep_temps).results[0]
+        self._trace = trace
+        try:
+            return self.evaluate_batch([query], keep_temps=keep_temps).results[0]
+        finally:
+            self._trace = None
 
 
 def evaluate_batch(

@@ -27,11 +27,13 @@ from repro.xpath.algebra import (
     AxisApply,
     ContextSet,
     Difference,
+    EmptySet,
     Intersect,
     NamedSet,
     RootFilter,
     RootSet,
     Union,
+    is_split_free,
 )
 from repro.xpath.compiler import compile_query
 
@@ -43,6 +45,13 @@ class CompressedEvaluator:
     selection; it defaults to the root singleton.  ``axes`` selects the axis
     implementation: ``"functional"`` (default) or ``"inplace"`` (Figure 4).
     With ``copy=False`` the caller's instance is consumed/mutated.
+
+    ``short_circuit=True`` enables the optimizer's dynamic counterpart to
+    static empty-branch folding: when the left operand of an intersection
+    or difference evaluates to the empty selection, the right operand is
+    skipped — but only when :func:`repro.xpath.algebra.is_split_free`
+    holds for it, so the final instance's vertex partition (and with it
+    every reported DAG count) is byte-identical to a full evaluation.
     """
 
     def __init__(
@@ -51,6 +60,7 @@ class CompressedEvaluator:
         context: str | None = None,
         axes: str = "functional",
         copy: bool = True,
+        short_circuit: bool = False,
     ):
         if axes not in ("functional", "inplace"):
             raise EvaluationError(f"unknown axes implementation {axes!r}")
@@ -58,6 +68,8 @@ class CompressedEvaluator:
         self._context = context
         self._axes = axes
         self._counter = 0
+        self._short_circuit = short_circuit
+        self._trace: dict[int, str] | None = None
 
     @property
     def instance(self) -> Instance:
@@ -73,12 +85,28 @@ class CompressedEvaluator:
         edge_table = instance.edge_table()
         return (len(reachable), sum(len(edge_table[v]) for v in reachable))
 
-    def evaluate(self, query: str | AlgebraExpr, keep_temps: bool = False) -> QueryResult:
-        """Evaluate a query (string or compiled algebra) to a result selection."""
+    def evaluate(
+        self,
+        query: str | AlgebraExpr,
+        keep_temps: bool = False,
+        trace: dict[int, str] | None = None,
+    ) -> QueryResult:
+        """Evaluate a query (string or compiled algebra) to a result selection.
+
+        ``trace``, when given, is filled with ``id(node) -> selection name``
+        for every algebra node evaluated (the explain ``analyze`` hook:
+        callers read per-node actual cardinalities off the final instance —
+        pass ``keep_temps=True`` so the traced selections survive).  Nodes
+        skipped by short-circuiting are absent from the trace.
+        """
         expr = compile_query(query) if isinstance(query, str) else query
         before = self._before_sizes()
+        self._trace = trace
         started = time.perf_counter()
-        result_name = self._eval(expr)
+        try:
+            result_name = self._eval(expr)
+        finally:
+            self._trace = None
         elapsed = time.perf_counter() - started
         if not keep_temps:
             self._drop_temps(except_for=result_name)
@@ -98,6 +126,22 @@ class CompressedEvaluator:
         )
 
     def _eval(self, expr: AlgebraExpr) -> str:
+        name = self._eval_node(expr)
+        if self._trace is not None:
+            self._trace[id(expr)] = name
+        return name
+
+    def _empty_selection(self) -> str:
+        name = self._fresh()
+        self._instance.ensure_set(name)
+        return name
+
+    def _is_empty_selection(self, name: str) -> bool:
+        """True when the selection's raw mask plane is all zero (a pure
+        popcount — no reachability restriction needed for emptiness)."""
+        return self._instance.count_set(name, reachable_only=False) == 0
+
+    def _eval_node(self, expr: AlgebraExpr) -> str:
         instance = self._instance
         if isinstance(expr, NamedSet):
             if not instance.has_set(expr.name):
@@ -122,8 +166,19 @@ class CompressedEvaluator:
             name = self._fresh()
             instance.add_to_set(instance.root, name)
             return name
+        if isinstance(expr, EmptySet):
+            return self._empty_selection()
         if isinstance(expr, (Union, Intersect, Difference)):
             left = self._eval(expr.left)
+            if (
+                self._short_circuit
+                and not isinstance(expr, Union)
+                and is_split_free(expr.right)
+                and self._is_empty_selection(left)
+            ):
+                # ∅ ∩ R = ∅ and ∅ − R = ∅; skipping R only elides
+                # split-free work, so the partition stays identical.
+                return self._empty_selection()
             right = self._eval(expr.right)
             return self._combine(expr, left, right)
         if isinstance(expr, AxisApply):
@@ -172,3 +227,36 @@ def evaluate(
 ) -> QueryResult:
     """One-shot convenience wrapper around :class:`CompressedEvaluator`."""
     return CompressedEvaluator(instance, context=context, axes=axes, copy=copy).evaluate(query)
+
+
+def measure_actuals(
+    instance: Instance,
+    expr: AlgebraExpr,
+    context: str | None = None,
+    axes: str = "functional",
+    copy: bool = True,
+) -> dict[int, dict]:
+    """Execute ``expr`` and measure every node's selection cardinalities.
+
+    The explain-analyze backend: returns ``id(node) -> {"dag_count",
+    "tree_count"}`` for each algebra node of ``expr``, measured on the
+    final instance after a full (non-short-circuited) evaluation —
+    :class:`repro.api.plan.Plan` zips these with its per-node estimates.
+    ``dag_count`` counts reachable selected vertices; ``tree_count`` is the
+    exact number of tree nodes the selection denotes.
+    """
+    from repro.model.paths import tree_node_counts
+
+    trace: dict[int, str] = {}
+    evaluator = CompressedEvaluator(instance, context=context, axes=axes, copy=copy)
+    evaluator.evaluate(expr, keep_temps=True, trace=trace)
+    final = evaluator.instance
+    counts = tree_node_counts(final)
+    actuals: dict[int, dict] = {}
+    for node_id, set_name in trace.items():
+        members = final.members(set_name)
+        actuals[node_id] = {
+            "dag_count": sum(1 for v in members if v in counts),
+            "tree_count": sum(counts.get(v, 0) for v in members),
+        }
+    return actuals

@@ -20,12 +20,14 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Iterable, Sequence
 
+from repro.compress.stats import DocumentStats
 from repro.model.instance import Instance
 from repro.skeleton.loader import LoadResult, load
 from repro.engine.evaluator import CompressedEvaluator
 from repro.engine.results import BatchResult, QueryResult
 from repro.xpath.algebra import AlgebraExpr
 from repro.xpath.compiler import compile_query, required_strings, required_tags
+from repro.xpath.optimizer import OptimizationResult, optimize as optimize_plan
 from repro.xpath.parser import parse_query
 
 #: A schema key: (sorted tags, sorted string constraints).
@@ -124,6 +126,14 @@ class Engine:
     The cache is a true LRU — a hit refreshes the entry, so under churn the
     hottest query texts are the last to be evicted.
 
+    ``optimize`` enables the cost-based plan optimizer
+    (:mod:`repro.xpath.optimizer`): document statistics are collected from
+    each loaded instance (once per schema), compiled plans are rewritten
+    against them, and evaluation runs with the dynamic short-circuit on.
+    The default (``None``) resolves to ``not reparse_per_query``: the
+    re-extract-per-query setup stays the paper-faithful unoptimized
+    pipeline, the cached setup optimizes.
+
     **`last_load` contract:** after every :meth:`query` /
     :meth:`query_batch` / :meth:`instance_for` call, ``last_load`` is the
     :class:`LoadResult` describing the instance that call used — even when
@@ -132,12 +142,21 @@ class Engine:
     cost paid when that schema was *first* loaded, not by this call.
     """
 
-    def __init__(self, text: str, reparse_per_query: bool = True, axes: str = "functional"):
+    def __init__(
+        self,
+        text: str,
+        reparse_per_query: bool = True,
+        axes: str = "functional",
+        optimize: bool | None = None,
+    ):
         self._text = text
         self._reparse = reparse_per_query
         self._axes = axes
+        self._optimize = (not reparse_per_query) if optimize is None else optimize
         self._cache: dict[SchemaKey, LoadResult] = {}
         self._compiled: OrderedDict[str, tuple[AlgebraExpr, SchemaKey]] = OrderedDict()
+        self._stats_cache: dict[SchemaKey, DocumentStats] = {}
+        self._optimized: OrderedDict[str, OptimizationResult] = OrderedDict()
         self.last_load: LoadResult | None = None
         #: True when the last load was served from the per-schema cache.
         self.last_load_cached: bool = False
@@ -156,6 +175,11 @@ class Engine:
     def reparse_per_query(self) -> bool:
         """True when the paper's re-extract-per-query setup is reproduced."""
         return self._reparse
+
+    @property
+    def optimize(self) -> bool:
+        """True when compiled plans are rewritten by the cost-based optimizer."""
+        return self._optimize
 
     def compiled(self, query_text: str) -> AlgebraExpr:
         """The compiled algebra of ``query_text`` (cached per query text)."""
@@ -232,10 +256,56 @@ class Engine:
         """The compressed instance over the query's schema (maybe cached)."""
         return self._instance_for_key(self._compiled_entry(query_text)[1])
 
+    def _stats_for(self, key: SchemaKey, instance: Instance) -> DocumentStats:
+        """Document statistics for one schema, collected once per key.
+
+        Tree-level quantities (per-tag tree counts, depth/fanout/subtree
+        aggregates) do not depend on which schema the instance was
+        minimised over, so caching by key is sound even in reparse mode
+        where the instance object itself is fresh each call.
+        """
+        cached = self._stats_cache.get(key)
+        if cached is None:
+            cached = DocumentStats.from_instance(instance, text=self._text)
+            self._stats_cache[key] = cached
+        return cached
+
+    def _optimized_for(
+        self, query_text: str, expr: AlgebraExpr, key: SchemaKey, instance: Instance
+    ) -> OptimizationResult:
+        entry = self._optimized.get(query_text)
+        if entry is not None:
+            self._optimized.move_to_end(query_text)
+            return entry
+        entry = optimize_plan(expr, self._stats_for(key, instance))
+        while len(self._optimized) >= self.COMPILED_CACHE_LIMIT:
+            self._optimized.popitem(last=False)
+        self._optimized[query_text] = entry
+        return entry
+
+    def optimized_entry(self, query_text: str) -> OptimizationResult | None:
+        """The optimizer's result for ``query_text`` (``None`` if disabled).
+
+        Loads (or reuses) the query's instance to collect statistics — the
+        same object :meth:`query` would evaluate on — so explain output
+        matches what evaluation actually runs.
+        """
+        if not self._optimize:
+            return None
+        expr, key = self._compiled_entry(query_text)
+        instance = self._instance_for_key(key)
+        return self._optimized_for(query_text, expr, key, instance)
+
     def query(self, query_text: str, context: str | None = None) -> QueryResult:
-        expr, _ = self._compiled_entry(query_text)
-        instance = self.instance_for(query_text)
-        evaluator = CompressedEvaluator(instance, context=context, axes=self._axes)
+        expr, key = self._compiled_entry(query_text)
+        instance = self._instance_for_key(key)
+        short_circuit = False
+        if self._optimize:
+            expr = self._optimized_for(query_text, expr, key, instance).expr
+            short_circuit = True
+        evaluator = CompressedEvaluator(
+            instance, context=context, axes=self._axes, short_circuit=short_circuit
+        )
         return evaluator.evaluate(expr)
 
     def query_batch(
@@ -262,8 +332,18 @@ class Engine:
             strings.update(entry_strings)
         key: SchemaKey = (tuple(sorted(tags)), tuple(sorted(strings)))
         instance = self._instance_for_key(key)
-        evaluator = BatchEvaluator(instance, context=context, axes=self._axes)
-        return evaluator.evaluate_batch([expr for expr, _ in entries])
+        exprs = [expr for expr, _ in entries]
+        short_circuit = False
+        if self._optimize:
+            exprs = [
+                self._optimized_for(text, expr, key, instance).expr
+                for text, expr in zip(query_texts, exprs)
+            ]
+            short_circuit = True
+        evaluator = BatchEvaluator(
+            instance, context=context, axes=self._axes, short_circuit=short_circuit
+        )
+        return evaluator.evaluate_batch(exprs)
 
     def explain(self, query_text: str) -> str:
         """Render the compiled algebra tree (the Figure 3 view of a query)."""

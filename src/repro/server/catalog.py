@@ -43,6 +43,7 @@ import threading
 import time
 from dataclasses import asdict, dataclass, field
 
+from repro.compress.stats import STATS_FORMAT_VERSION, DocumentStats
 from repro.errors import CatalogError, IntegrityError, QuarantinedError, ReproError
 from repro.server.resilience import FAULTS
 from repro.skeleton.loader import load
@@ -51,6 +52,12 @@ from repro.storage.chunked import ChunkedStore
 _MANIFEST = "catalog.json"
 _FORMAT = "repro-catalog-1"
 _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+_STATS_FILE = "stats.json"
+
+#: Version of the shredded skeleton layout an entry was published with.
+#: Stamped alongside ``stats_version`` so readers can tell "registered by
+#: an older build" apart from "stats file torn" without probing the disk.
+SKELETON_FORMAT_VERSION = 1
 
 #: Orphaned staging directories older than this are GCed even when their
 #: recorded pid appears alive (pids recycle; no registration takes an hour).
@@ -82,6 +89,14 @@ class CatalogEntry:
     #: :meth:`Catalog.refresh` can tell "same entry" from "replaced entry"
     #: and long-lived readers never keep a stale chunk-store cache.
     registered_at: float = 0.0
+    #: Version stamps of what was persisted at registration time.  Both
+    #: default to 0, so entries published by builds that predate document
+    #: statistics deserialise cleanly — and ``stats_version == 0`` (or any
+    #: value other than the current :data:`~repro.compress.stats.STATS_FORMAT_VERSION`)
+    #: makes :meth:`Catalog.document_stats` answer ``None``: the optimizer
+    #: falls back to the unoptimized plan instead of erroring.
+    stats_version: int = 0
+    skeleton_version: int = 0
 
 
 class Catalog:
@@ -92,6 +107,8 @@ class Catalog:
         self._lock = threading.RLock()
         self._entries: dict[str, CatalogEntry] = {}
         self._stores: dict[str, ChunkedStore] = {}
+        #: Parsed stats.json per name (``None`` = known absent/unreadable).
+        self._stats: dict[str, DocumentStats | None] = {}
         #: Names whose chunks failed an integrity check; serving is refused
         #: (:class:`QuarantinedError`) until :meth:`reload` re-shreds them.
         self._quarantined: set[str] = set()
@@ -169,6 +186,9 @@ class Catalog:
                 # invalidate; an unchanged entry keeps its warm store.
                 if fresh.get(name) != self._entries.get(name):
                     del self._stores[name]
+            for name in list(self._stats):
+                if fresh.get(name) != self._entries.get(name):
+                    del self._stats[name]
             # A quarantined name that was removed or re-registered has
             # fresh (or no) chunks; the old verdict no longer applies.
             for name in list(self._quarantined):
@@ -294,6 +314,14 @@ class Catalog:
         with open(os.path.join(staging, "document.xml"), "w", encoding="utf-8") as handle:
             handle.write(xml)
         store = ChunkedStore.save(instance, os.path.join(staging, "chunks"))
+        # Document statistics for the plan optimizer, collected while the
+        # freshly shredded instance is still in memory.  The catalog shreds
+        # over *every* tag, so the stats' tag universe is complete: an
+        # unknown tag is provably empty for any future query.
+        stats = DocumentStats.from_instance(instance, text=xml, complete_tags=True)
+        with open(os.path.join(staging, _STATS_FILE), "w", encoding="utf-8") as handle:
+            json.dump(stats.to_dict(), handle)
+            handle.write("\n")
         entry = CatalogEntry(
             name=name,
             attributes=attributes,
@@ -305,6 +333,8 @@ class Catalog:
             shred_seconds=result.parse_seconds,
             tags=[set_name for set_name in instance.schema if not set_name.startswith("#")],
             registered_at=time.time(),
+            stats_version=STATS_FORMAT_VERSION,
+            skeleton_version=SKELETON_FORMAT_VERSION,
         )
         with self._lock:
             if name in self._entries:
@@ -321,6 +351,7 @@ class Catalog:
             store = ChunkedStore(os.path.join(doc_dir, "chunks"))
             self._entries[name] = entry
             self._stores[name] = store
+            self._stats[name] = stats
             self._write_manifest()
         return entry
 
@@ -335,6 +366,7 @@ class Catalog:
             self.entry(name)  # raises CatalogError when unknown
             del self._entries[name]
             self._stores.pop(name, None)
+            self._stats.pop(name, None)
             # The quarantine verdict was about chunks that no longer exist.
             self._quarantined.discard(name)
             self._write_manifest()
@@ -359,6 +391,37 @@ class Catalog:
                 store = ChunkedStore(os.path.join(self.root, name, "chunks"))
                 self._stores[name] = store
             return store
+
+    def document_stats(self, name: str) -> DocumentStats | None:
+        """The persisted optimizer statistics of ``name`` — or ``None``.
+
+        ``None`` — never an exception — whenever the statistics cannot be
+        trusted: the entry was published by a build without statistics
+        (``stats_version == 0``), with a different stats format version,
+        or the ``stats.json`` beside the chunks is missing, torn, or
+        malformed.  Callers (the query service, ``Database.explain``)
+        treat ``None`` as "serve the unoptimized plan".
+        """
+        entry = self.entry(name)
+        if entry.stats_version != STATS_FORMAT_VERSION:
+            return None
+        with self._lock:
+            if name in self._stats:
+                return self._stats[name]
+        stats: DocumentStats | None
+        try:
+            with open(
+                os.path.join(self.root, name, _STATS_FILE), "r", encoding="utf-8"
+            ) as handle:
+                stats = DocumentStats.from_dict(json.load(handle))
+        except (OSError, ValueError, json.JSONDecodeError, UnicodeDecodeError):
+            stats = None
+        with self._lock:
+            # Cache even the None verdict: a missing file stays missing
+            # until the entry is republished (which invalidates the cache).
+            if self._entries.get(name) == entry:
+                self._stats[name] = stats
+        return stats
 
     def load_instance(self, name: str, strings: tuple[str, ...] = ()):
         """A full instance of ``name`` over its tag schema plus ``strings``.
@@ -477,6 +540,7 @@ class Catalog:
             self.entry(name)  # re-check under the lock (racing remove/reload)
             del self._entries[name]
             self._stores.pop(name, None)
+            self._stats.pop(name, None)
             self._quarantined.discard(name)
             self._write_manifest()
         # add() stages fresh chunks and atomically republishes over the old

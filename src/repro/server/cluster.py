@@ -55,6 +55,7 @@ import os
 import queue as stdlib_queue
 import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import Future
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 
@@ -230,6 +231,11 @@ class WorkerFleet:
         }
         self._context = multiprocessing.get_context("spawn")
         self._compiled = CompiledQueryCache()
+        # Dispatcher-side optimized plans (explain/measure share objects so
+        # identity-keyed actuals attach); registration stamps in the keys
+        # invalidate on re-register, the LRU bound keeps it diagnostic-sized.
+        self._optimized: OrderedDict = OrderedDict()
+        self._optimized_lock = threading.Lock()
         self._ids = itertools.count(1)
         self._closing = threading.Event()
         self._respawns = 0
@@ -647,20 +653,81 @@ class WorkerFleet:
         info["resident"] = [document, list(strings)] in resident
         return info
 
-    def explain(self, document: str, query_text: str) -> dict:
+    def optimized_entry(self, document: str, query_text: str):
+        """The dispatcher-side :class:`OptimizationResult` for a served query.
+
+        Cached per ``(document, registration, query)`` so :meth:`explain`
+        and :meth:`measure_plan` hand out the *same* object — actuals are
+        keyed by node identity, so the annotated plan and the measured
+        trace must share expression nodes (the same contract
+        :meth:`repro.server.service.QueryService.optimized_entry` keeps).
+        Re-registration publishes a fresh ``registered_at`` stamp, which
+        invalidates the cached plan.
+        """
+        from repro.xpath.optimizer import optimize as optimize_plan
+
+        expr, _, _ = self._compiled.entry(query_text)
+        key = (document, self.catalog.entry(document).registered_at, query_text)
+        with self._optimized_lock:
+            cached = self._optimized.get(key)
+            if cached is not None:
+                self._optimized.move_to_end(key)
+                return cached
+        optimization = optimize_plan(expr, self.catalog.document_stats(document))
+        with self._optimized_lock:
+            self._optimized[key] = optimization
+            self._optimized.move_to_end(key)
+            while len(self._optimized) > 256:
+                self._optimized.popitem(last=False)
+        return optimization
+
+    def explain(self, document: str, query_text: str, analyze: bool = False) -> dict:
         """The structured plan of ``query_text``, fleet provenance attached.
 
-        The plan itself is computed dispatcher-side (it is a pure function
-        of the query text, so no IPC round-trip is needed); only the
-        residency probe touches the shard's worker.  Same payload shape as
+        The plan itself is computed dispatcher-side (the workers rewrite
+        against the same persisted catalog statistics, so optimizing here
+        reproduces exactly the plan the shard evaluates — no IPC round
+        trip); only the residency probe touches the shard's worker.  Same
+        payload shape as
         :meth:`repro.server.service.QueryService.explain`.
         """
         from repro.api.plan import Plan
 
         expr, tags, strings = self._compiled.entry(query_text)
-        plan = Plan.from_compiled(query_text, expr, tags, strings)
+        optimization = self.optimized_entry(document, query_text)
+        actuals = self.measure_plan(document, query_text) if analyze else None
+        plan = Plan.from_compiled(
+            query_text, expr, tags, strings, optimization=optimization, actuals=actuals
+        )
         plan.instance = self.instance_info(document, strings)
-        return {"document": document, "query": query_text, "plan": plan.to_dict()}
+        payload = {"document": document, "query": query_text, "plan": plan.to_dict()}
+        if analyze:
+            payload["analyzed"] = True
+        return payload
+
+    def measure_plan(self, document: str, query_text: str) -> dict[int, dict]:
+        """Per-node actual cardinalities of the served (optimized) plan.
+
+        Same seam :meth:`repro.server.service.QueryService.measure_plan`
+        exposes, so :meth:`repro.api.Database.explain` measures through a
+        fleet too.  ``analyze`` assembles a *private* instance from the
+        shredded chunks in the dispatcher process (the shard's pooled
+        master stays untouched — measuring inside a worker would mean
+        shipping per-node traces over the wire) and discards it after
+        measuring; a diagnostic endpoint pays a cold load, serving traffic
+        pays nothing.
+        """
+        from repro.engine.evaluator import measure_actuals
+
+        _, tags, strings = self._compiled.entry(query_text)
+        optimization = self.optimized_entry(document, query_text)
+        working = self.catalog.load_instance(document, strings)
+        for tag in tags:
+            if not working.has_set(tag):
+                working.ensure_set(tag)
+        return measure_actuals(
+            working, optimization.expr, axes=self._config["axes"], copy=False
+        )
 
     def evict(self, document: str) -> int:
         """Drop ``document`` residency in every worker; return entries dropped.

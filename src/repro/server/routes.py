@@ -283,6 +283,8 @@ class Router:
             return self._explain(
                 document=(params.get("document") or [None])[0],
                 query_text=(params.get("query") or [None])[0],
+                analyze=(params.get("analyze") or ["false"])[0].lower()
+                in ("1", "true", "yes"),
             )
         return self._plain_error(404, f"no such endpoint: GET {path}", kind="not-found")
 
@@ -295,7 +297,9 @@ class Router:
             if failure is not None:
                 return failure
             return self._explain(
-                document=payload.get("document"), query_text=payload.get("query")
+                document=payload.get("document"),
+                query_text=payload.get("query"),
+                analyze=bool(payload.get("analyze", False)),
             )
         if path.startswith("/catalog/"):
             return self._post_catalog(request, path[len("/catalog/"):])
@@ -368,12 +372,19 @@ class Router:
             return self._serve_errors(error)
         return Response(200, response)
 
-    def _explain(self, document: str | None, query_text: str | None) -> Response:
+    def _explain(
+        self, document: str | None, query_text: str | None, analyze: bool = False
+    ) -> Response:
         """Answer ``/explain``: the structured Plan of one query as JSON.
 
         With a ``document`` the service attaches instance provenance (pool
-        residency in process, shard affinity + residency under a fleet);
-        without one the plan of the bare query text is returned.
+        residency in process, shard affinity + residency under a fleet)
+        and, when the service optimizes, the optimizer annotations of the
+        explain contract (:mod:`repro.api.plan`); without one the plan of
+        the bare query text is returned.  ``analyze`` (GET query param or
+        JSON body boolean) executes the plan and adds per-node ``actual``
+        cardinalities — it needs a document (a fleet measures on a private
+        dispatcher-side load so shard masters stay untouched).
         """
         if not isinstance(query_text, str) or not query_text:
             return self._plain_error(400, "explain needs a string field 'query'")
@@ -389,7 +400,7 @@ class Router:
                     "plan": Plan.from_query(query_text).to_dict(),
                 }
             else:
-                response = self.service.explain(document, query_text)
+                response = self.service.explain(document, query_text, analyze=analyze)
         except Exception as error:  # noqa: BLE001 - the client must get JSON
             return self._serve_errors(error)
         return Response(200, response)

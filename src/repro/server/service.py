@@ -58,6 +58,7 @@ from repro.server.pool import InstancePool, PoolEntry
 from repro.server.resilience import FAULTS, AdmissionController, Deadline
 from repro.xpath.algebra import AlgebraExpr
 from repro.xpath.compiler import compile_query, required_strings, required_tags
+from repro.xpath.optimizer import OptimizationResult, optimize as optimize_plan
 from repro.xpath.parser import parse_query
 
 
@@ -237,11 +238,17 @@ class QueryService:
         max_queue: int = 0,
         rate_limit: float = 0.0,
         degraded_shed_rate: float = 1.0,
+        optimize: bool = True,
     ):
         if mode not in ("snapshot", "persistent"):
             raise ReproError(f"unknown evaluation mode {mode!r}")
         self.catalog = catalog
         self.mode = mode
+        #: Cost-based plan optimization over the catalog's shred-time
+        #: statistics.  Per-document: a document published without usable
+        #: statistics (``Catalog.document_stats`` → ``None``) is served
+        #: with unoptimized plans — never an error.
+        self.optimize = optimize
         self.window = window
         self.max_batch = max(1, max_batch)
         self.axes = axes
@@ -255,6 +262,11 @@ class QueryService:
         self._pending: dict[tuple, _Pending] = {}
         self._pending_lock = threading.Lock()
         self._compiled = CompiledQueryCache(limit=self.COMPILED_CACHE_LIMIT)
+        #: Optimized plans, LRU-keyed ``(query text, document, registered
+        #: stamp)`` — the stamp invalidates on re-registration, when the
+        #: statistics (and with them the right rewrites) may change.
+        self._optimized: OrderedDict[tuple, OptimizationResult] = OrderedDict()
+        self._optimized_lock = threading.Lock()
 
     # -- compilation -----------------------------------------------------
 
@@ -275,6 +287,31 @@ class QueryService:
     ) -> None:
         """Adopt an externally-compiled query into the shared LRU."""
         self._compiled.seed(query_text, expr, tags, strings)
+
+    def _optimized_for(
+        self, document: str, registered_at: float, query_text: str, expr: AlgebraExpr
+    ) -> OptimizationResult:
+        """The (cached) optimization of ``expr`` against a document's stats.
+
+        Statistics come from the catalog's persisted ``stats.json``
+        (version-checked there); a document without usable statistics gets
+        the identity optimization — the unoptimized plan — so serving
+        never depends on statistics being present.
+        """
+        key = (query_text, document, registered_at)
+        with self._optimized_lock:
+            entry = self._optimized.get(key)
+            if entry is not None:
+                self._optimized.move_to_end(key)
+                return entry
+        stats = self.catalog.document_stats(document)  # outside the lock: disk
+        entry = optimize_plan(expr, stats)
+        with self._optimized_lock:
+            if key not in self._optimized:
+                while len(self._optimized) >= self.COMPILED_CACHE_LIMIT:
+                    self._optimized.popitem(last=False)
+            self._optimized[key] = entry
+        return entry
 
     # -- the public entry point ------------------------------------------
 
@@ -324,6 +361,10 @@ class QueryService:
     ) -> dict:
         catalog_entry = self.catalog.entry(document)  # raises when unknown
         expr, tags, strings = self._compiled_entry(query_text)
+        if self.optimize:
+            expr = self._optimized_for(
+                document, catalog_entry.registered_at, query_text, expr
+            ).expr
         request = _Request(
             query_text=query_text,
             expr=expr,
@@ -389,7 +430,7 @@ class QueryService:
             "load": self.pool.load_info(key),
         }
 
-    def explain(self, document: str, query_text: str) -> dict:
+    def explain(self, document: str, query_text: str, analyze: bool = False) -> dict:
         """The structured plan of ``query_text`` against a served document.
 
         The ``/explain`` payload: the :class:`repro.api.Plan` as JSON with
@@ -397,13 +438,95 @@ class QueryService:
         same LRU as :meth:`query`, so explaining is parse-free for hot
         texts and a malformed query fails with the same error the query
         path would raise.
+
+        When the service optimizes, the plan is the optimized tree with
+        per-node ``est_cardinality`` and rule tags (see the contract in
+        :mod:`repro.api.plan`).  ``analyze=True`` additionally *executes*
+        the plan — on a private copy of the pooled master, never mutating
+        served state — and attaches measured ``actual`` DAG/tree counts to
+        every node, the estimated-vs-actual view.  Analyze runs without
+        runtime short-circuiting so every node gets a measurement.
         """
         from repro.api.plan import Plan
 
+        catalog_entry = self.catalog.entry(document)
         expr, tags, strings = self._compiled_entry(query_text)
-        plan = Plan.from_compiled(query_text, expr, tags, strings)
+        optimization = None
+        plan_expr = expr
+        if self.optimize:
+            optimization = self._optimized_for(
+                document, catalog_entry.registered_at, query_text, expr
+            )
+            plan_expr = optimization.expr
+        actuals = None
+        if analyze:
+            actuals = self._measure(document, catalog_entry, plan_expr, tags, strings)
+        plan = Plan.from_compiled(
+            query_text, expr, tags, strings, optimization=optimization, actuals=actuals
+        )
         plan.instance = self.instance_info(document, strings)
-        return {"document": document, "query": query_text, "plan": plan.to_dict()}
+        payload = {"document": document, "query": query_text, "plan": plan.to_dict()}
+        if analyze:
+            payload["analyzed"] = True
+        return payload
+
+    def optimized_entry(self, document: str, query_text: str):
+        """The cached :class:`OptimizationResult` for a served query.
+
+        ``None`` when the service runs unoptimized; with statistics
+        unavailable for the document the result is the identity
+        optimization (``optimized=False``, no annotations).  The seam
+        :meth:`repro.api.Database.explain` reads optimizer metadata
+        through — the same cached object :meth:`query` evaluates, so node
+        identities line up with :meth:`measure_plan`.
+        """
+        if not self.optimize:
+            return None
+        catalog_entry = self.catalog.entry(document)
+        expr, _, _ = self._compiled_entry(query_text)
+        return self._optimized_for(
+            document, catalog_entry.registered_at, query_text, expr
+        )
+
+    def measure_plan(self, document: str, query_text: str) -> dict[int, dict]:
+        """Execute the served plan and measure per-node actual cardinalities.
+
+        ``id(node) -> {"dag_count", "tree_count"}`` over the same
+        expression tree :meth:`optimized_entry` (or, unoptimized, the
+        compiled cache) returns — evaluated on a private copy of the
+        pooled master, so served state is never mutated.
+        """
+        catalog_entry = self.catalog.entry(document)
+        expr, tags, strings = self._compiled_entry(query_text)
+        if self.optimize:
+            expr = self._optimized_for(
+                document, catalog_entry.registered_at, query_text, expr
+            ).expr
+        return self._measure(document, catalog_entry, expr, tags, strings)
+
+    def _measure(
+        self,
+        document: str,
+        catalog_entry,
+        expr: AlgebraExpr,
+        tags: tuple[str, ...],
+        strings: tuple[str, ...],
+    ) -> dict[int, dict]:
+        """Measure ``expr``'s per-node cardinalities on the pooled master.
+
+        Evaluation runs on a private copy (the same instance
+        :meth:`query` would use, so actuals describe real serving state).
+        """
+        from repro.engine.evaluator import measure_actuals
+
+        key = (document, strings, catalog_entry.registered_at)
+        entry = self.pool.get_or_load(key, lambda: self._load_master(key))
+        with entry.lock:
+            working = entry.instance.copy()
+        for tag in tags:
+            if not working.has_set(tag):
+                working.ensure_set(tag)
+        return measure_actuals(working, expr, axes=self.axes, copy=False)
 
     def stats_dict(self) -> dict:
         with self._stats_lock:
@@ -412,6 +535,7 @@ class QueryService:
             "service": service,
             "pool": self.pool.stats(),
             "mode": self.mode,
+            "optimize": self.optimize,
             "admission": self.admission.stats(),
             "quarantined": self.catalog.quarantined(),
             "kernel": kernel_info(),
@@ -643,7 +767,9 @@ class QueryService:
         later evaluator's fresh counter would silently reuse.
         """
         FAULTS.fire("service.evaluate", batch=len(batch))
-        evaluator = BatchEvaluator(working, copy=False, axes=self.axes)
+        evaluator = BatchEvaluator(
+            working, copy=False, axes=self.axes, short_circuit=self.optimize
+        )
         check = self._batch_check(batch)
         try:
             result = evaluator.evaluate_batch(

@@ -85,6 +85,20 @@ class ContextSet(AlgebraExpr):
 
 
 @dataclass(frozen=True)
+class EmptySet(AlgebraExpr):
+    """The empty selection — only ever produced by the optimizer.
+
+    The compiler never emits this node: it appears when the statistics
+    catalog proves a leaf set (or, through propagation, a whole branch)
+    selects nothing (:mod:`repro.xpath.optimizer`).  Evaluation
+    materialises a fresh empty selection without touching the structure.
+    """
+
+    def label(self) -> str:
+        return "∅"
+
+
+@dataclass(frozen=True)
 class NamedSet(AlgebraExpr):
     """A schema set: a tag set ``L_t`` or a string-constraint set."""
 
@@ -192,3 +206,27 @@ def uses_only_upward_axes(expr: AlgebraExpr) -> bool:
     from repro.xpath.ast import UPWARD_AXES
 
     return all(axis in UPWARD_AXES for axis in axis_applications(expr))
+
+
+def is_split_free(expr: AlgebraExpr) -> bool:
+    """True when evaluating ``expr`` can never split a vertex.
+
+    Upward axes and ``self`` are in-place mask passes (Proposition 3.3);
+    everything else — downward and sibling axes, and the ``following`` /
+    ``preceding`` compositions that contain them — may rebuild the
+    instance.  The optimizer (and the evaluator's short-circuit mode) may
+    only *skip* split-free subtrees: skipping a possibly-splitting one
+    would change the final instance's vertex partition, and with it the
+    DAG-vertex counts reported for other selections on the same instance.
+    Cached per node (expressions are immutable), same trick as
+    :meth:`AlgebraExpr.structural_key`.
+    """
+    from repro.xpath.ast import UPWARD_AXES
+
+    cached = getattr(expr, "_split_free", None)
+    if cached is None:
+        cached = (
+            not isinstance(expr, AxisApply) or expr.axis in UPWARD_AXES
+        ) and all(is_split_free(child) for child in expr.children())
+        object.__setattr__(expr, "_split_free", cached)
+    return cached

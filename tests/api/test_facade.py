@@ -138,9 +138,18 @@ class TestEmbeddedDatabase:
         assert db.explain("//author").instance["cached"] is True
 
     def test_explain_render_matches_engine_explain(self):
+        # The façade's explain is the *optimized* annotated plan; the raw
+        # Figure 3 view (what Engine.explain renders) is preserved as the
+        # optimizer block's unoptimized shadow.
         db = repro.open(BIB_XML)
         query_text = '//paper[author["Codd"] or not(following::*)]'
-        assert db.explain(query_text).render() == Engine(BIB_XML).explain(query_text)
+        plan = db.explain(query_text)
+        assert PreparedQuery.compile(query_text).plan().render() == Engine(
+            BIB_XML
+        ).explain(query_text)
+        assert "[est=" in plan.render()
+        assert plan.optimizer is not None
+        assert plan.optimizer["optimized"] is True
 
     def test_last_load_exposed(self):
         db = repro.open(BIB_XML)

@@ -76,3 +76,86 @@ class TestPlanStructure:
     def test_str_is_render(self):
         plan = Plan.from_query("//a")
         assert str(plan) == plan.render()
+
+
+class TestOptimizerAnnotations:
+    """The explain contract of :mod:`repro.api.plan`'s module docstring."""
+
+    def _optimization(self, query_text):
+        from repro.compress.stats import DocumentStats
+        from repro.model.instance import tree_instance
+        from repro.xpath.compiler import required_strings, required_tags
+        from repro.xpath.optimizer import optimize
+
+        from tests.conftest import BIB_SPEC
+
+        stats = DocumentStats.from_instance(
+            tree_instance(BIB_SPEC), complete_tags=True
+        )
+        expr = compile_query(query_text)
+        tags = tuple(sorted(required_tags(query_text)))
+        strings = tuple(sorted(required_strings(query_text)))
+        return expr, tags, strings, optimize(expr, stats)
+
+    def test_annotated_plan_carries_estimates(self):
+        expr, tags, strings, optimization = self._optimization("//book/author")
+        plan = Plan.from_compiled(
+            "//book/author", expr, tags, strings, optimization=optimization
+        )
+        as_dict = plan.to_dict()
+
+        def walk(node):
+            yield node
+            for child in node.get("children", ()):
+                yield from walk(child)
+
+        for node in walk(as_dict["algebra"]):
+            assert "est_cardinality" in node
+        block = as_dict["optimizer"]
+        assert block["optimized"] is True
+        assert block["stats_available"] is True
+        assert "unoptimized" in block
+        # The unoptimized shadow tree is unannotated.
+        for node in walk(block["unoptimized"]):
+            assert "est_cardinality" not in node
+            assert "actual" not in node
+
+    def test_unannotated_render_stays_byte_identical(self):
+        plan = Plan.from_query("//a/b")
+        assert plan.render() == compile_query("//a/b").render()
+
+    def test_annotated_render_gains_suffixes(self):
+        expr, tags, strings, optimization = self._optimization("//book/author")
+        plan = Plan.from_compiled(
+            "//book/author", expr, tags, strings, optimization=optimization
+        )
+        rendered = plan.render()
+        assert "[est=" in rendered
+
+    def test_actuals_attach_per_node(self):
+        from repro.engine.evaluator import measure_actuals
+        from repro.model.instance import tree_instance
+
+        from tests.conftest import BIB_SPEC
+
+        expr, tags, strings, optimization = self._optimization("//book/author")
+        instance = tree_instance(BIB_SPEC)
+        actuals = measure_actuals(instance, optimization.expr)
+        plan = Plan.from_compiled(
+            "//book/author", expr, tags, strings,
+            optimization=optimization, actuals=actuals,
+        )
+        root = plan.to_dict()["algebra"]
+        assert root["actual"] == {"dag_count": 3, "tree_count": 3}
+        assert "actual=3" in plan.render()
+
+    def test_identity_optimization_has_no_unoptimized_shadow(self):
+        from repro.xpath.optimizer import optimize
+
+        expr = compile_query("//a")
+        optimization = optimize(expr, None)
+        plan = Plan.from_compiled("//a", expr, ("a",), (), optimization=optimization)
+        block = plan.to_dict()["optimizer"]
+        assert block["optimized"] is False
+        assert block["stats_available"] is False
+        assert "unoptimized" not in block

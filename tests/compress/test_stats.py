@@ -39,3 +39,121 @@ class TestInstanceStats:
         stats = instance_stats(tree_instance(("only", [])))
         assert stats.tree_edges == 0
         assert stats.edge_ratio == 1.0
+
+
+# ----------------------------------------------------------------------
+# DocumentStats: the optimizer's statistics catalog
+# ----------------------------------------------------------------------
+
+import math
+
+import pytest
+
+from repro.compress.stats import STATS_FORMAT_VERSION, DocumentStats
+from repro.model.schema import string_set
+
+
+class TestDocumentStats:
+    def test_counts_from_tree(self, bib_tree):
+        stats = DocumentStats.from_instance(bib_tree, complete_tags=True)
+        assert stats.tree_nodes == 12
+        assert stats.dag_vertices == 12
+        assert stats.tree_count("bib") == 1
+        assert stats.tree_count("book") == 1
+        assert stats.tree_count("paper") == 2
+        assert stats.tree_count("title") == 3
+        assert stats.tree_count("author") == 5
+        assert stats.root_sets == ("bib",)
+        assert stats.root_in("bib") is True
+        assert stats.root_in("title") is False
+
+    def test_counts_survive_compression(self, bib_tree, figure2_compressed):
+        """Tree-node counts are multiplicity-weighted: identical for the
+        uncompressed tree and its compressed DAG (the whole point)."""
+        flat = DocumentStats.from_instance(bib_tree)
+        packed = DocumentStats.from_instance(figure2_compressed)
+        for name in ("bib", "book", "paper", "title", "author"):
+            assert flat.tree_count(name) == packed.tree_count(name)
+        assert flat.tree_nodes == packed.tree_nodes == 12
+        assert packed.dag_vertices == 5
+        assert math.isclose(flat.avg_depth, packed.avg_depth)
+        assert math.isclose(flat.avg_fanout, packed.avg_fanout)
+        assert math.isclose(flat.avg_subtree, packed.avg_subtree)
+
+    def test_unknown_tag_semantics(self, bib_tree):
+        complete = DocumentStats.from_instance(bib_tree, complete_tags=True)
+        partial = DocumentStats.from_instance(bib_tree, complete_tags=False)
+        assert complete.tree_count("absent") == 0
+        assert complete.is_empty("absent")
+        assert partial.tree_count("absent") is None
+        assert not partial.is_empty("absent")
+        # String sets are never provable from tag completeness alone.
+        assert complete.tree_count(string_set("x")) is None
+        assert not complete.is_empty(string_set("x"))
+
+    def test_string_selectivity_orders_needles(self, bib_tree):
+        stats = DocumentStats.from_instance(
+            bib_tree, text="the quick brown fox " * 50, complete_tags=True
+        )
+        common = stats.string_selectivity("the")
+        rare = stats.string_selectivity("zzz")
+        assert common is not None and rare is not None
+        assert common > rare
+        assert rare >= 0.0
+        # Without a sketch there is no estimate at all.
+        assert DocumentStats.from_instance(bib_tree).string_selectivity("x") is None
+
+    def test_round_trip(self, figure2_compressed):
+        stats = DocumentStats.from_instance(
+            figure2_compressed, text="abc", complete_tags=True
+        )
+        rebuilt = DocumentStats.from_dict(stats.to_dict())
+        assert rebuilt == stats
+
+    def test_round_trip_through_json(self, bib_tree):
+        import json
+
+        stats = DocumentStats.from_instance(bib_tree, text="hello", complete_tags=True)
+        rebuilt = DocumentStats.from_dict(json.loads(json.dumps(stats.to_dict())))
+        assert rebuilt == stats
+
+    def test_version_mismatch_raises(self, bib_tree):
+        payload = DocumentStats.from_instance(bib_tree).to_dict()
+        payload["format_version"] = STATS_FORMAT_VERSION + 1
+        with pytest.raises(ValueError):
+            DocumentStats.from_dict(payload)
+        with pytest.raises(ValueError):
+            DocumentStats.from_dict("not a dict")
+
+    def test_malformed_payload_raises(self, bib_tree):
+        payload = DocumentStats.from_instance(bib_tree).to_dict()
+        del payload["tree_nodes"]
+        with pytest.raises(ValueError):
+            DocumentStats.from_dict(payload)
+
+    def test_temps_and_results_excluded(self, bib_tree):
+        from repro.model.schema import result_set, temp_set
+
+        bib_tree.ensure_set(temp_set(1))
+        bib_tree.ensure_set(result_set(1))
+        stats = DocumentStats.from_instance(bib_tree)
+        assert temp_set(1) not in stats.sets
+        assert result_set(1) not in stats.sets
+
+    def test_huge_counts_saturate_floats(self):
+        """A Figure-5 style doubling chain: exact big-int tree counts, but
+        capped float aggregates (JSON has no Infinity)."""
+        from repro.model.instance import Instance
+
+        instance = Instance(["a"])
+        vertex = instance.new_vertex(["a"])
+        for _ in range(1100):
+            vertex = instance.new_vertex(["a"], [(vertex, 2)])
+        instance.set_root(vertex)
+        stats = DocumentStats.from_instance(instance)
+        assert stats.tree_nodes > 2**1000  # exact big int
+        assert stats.avg_depth <= 1e300
+        assert stats.avg_subtree <= 1e300
+        import json
+
+        json.dumps(stats.to_dict())  # serialisable despite the magnitudes

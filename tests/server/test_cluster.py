@@ -138,6 +138,24 @@ class TestDispatch:
         # Still servable afterwards (cold reload from the chunk store).
         assert shared_fleet.query("bib", "//author")["tree_count"] > 0
 
+    def test_explain_is_optimized_from_catalog_stats(self, shared_fleet):
+        payload = shared_fleet.explain("bib", "//book/author")
+        plan = payload["plan"]
+        assert plan["optimizer"]["optimized"] is True
+        assert plan["optimizer"]["stats_available"] is True
+        assert "analyzed" not in payload
+        assert "actual" not in plan["algebra"]
+
+    def test_explain_analyze_measures_dispatcher_side(self, shared_fleet):
+        # Actuals come from a private dispatcher-side load; the answer must
+        # agree with what the shard's worker actually serves.
+        payload = shared_fleet.explain("bib", "//book/author", analyze=True)
+        assert payload["analyzed"] is True
+        actual = payload["plan"]["algebra"]["actual"]
+        served = shared_fleet.query("bib", "//book/author")
+        assert actual["tree_count"] == served["tree_count"]
+        assert actual["dag_count"] == served["dag_count"]
+
 
 class TestFailover:
     def _shard_slot(self, fleet, document="bib"):

@@ -1,0 +1,244 @@
+"""End-to-end tests of the optimizer across catalog, service and routes.
+
+Covers the persisted statistics lifecycle (publish → stats.json → load),
+the version-stamp fallback (no stats, torn stats, old stats: serve the
+unoptimized plan, never error), service-level byte-identity of optimized
+vs. unoptimized answers, and the ``/explain`` analyze contract over HTTP.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.compress.stats import STATS_FORMAT_VERSION
+from repro.server.catalog import Catalog
+from repro.server.http import create_server, wait_ready
+from repro.server.service import QueryService
+
+from tests.skeleton.test_loader import BIB_XML
+
+QUERIES = [
+    "//author",
+    "//book/author",
+    "/bib/paper/title",
+    '//paper[author["Codd"]]',
+    "//absenttag",
+    "//absenttag/title",
+    "//paper[child::absenttag]/title",
+    "descendant::paper/following-sibling::paper",
+]
+
+
+@pytest.fixture
+def catalog(tmp_path):
+    catalog = Catalog(str(tmp_path / "cat"))
+    catalog.add("bib", BIB_XML)
+    return catalog
+
+
+def stats_path(catalog, name):
+    return os.path.join(catalog.root, name, "stats.json")
+
+
+class TestStatsPersistence:
+    def test_publish_writes_versioned_stats(self, catalog):
+        entry = catalog.entry("bib")
+        assert entry.stats_version == STATS_FORMAT_VERSION
+        assert entry.skeleton_version >= 1
+        with open(stats_path(catalog, "bib"), encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["format_version"] == STATS_FORMAT_VERSION
+        assert payload["complete_tags"] is True
+
+    def test_document_stats_loads_and_caches(self, catalog):
+        stats = catalog.document_stats("bib")
+        assert stats is not None
+        assert stats.tree_count("author") == 5
+        assert stats.is_empty("absenttag")  # complete tag universe
+        assert catalog.document_stats("bib") is stats  # cached object
+
+    def test_fresh_catalog_instance_reads_persisted_stats(self, catalog):
+        reread = Catalog(catalog.root)
+        stats = reread.document_stats("bib")
+        assert stats is not None
+        assert stats.tree_count("paper") == 2
+
+    def test_missing_stats_file_falls_back(self, catalog):
+        os.remove(stats_path(catalog, "bib"))
+        assert Catalog(catalog.root).document_stats("bib") is None
+
+    def test_torn_stats_file_falls_back(self, catalog):
+        with open(stats_path(catalog, "bib"), "w", encoding="utf-8") as handle:
+            handle.write('{"format_version": 1, "tree_no')
+        assert Catalog(catalog.root).document_stats("bib") is None
+
+    def test_old_stats_version_falls_back(self, catalog):
+        manifest = os.path.join(catalog.root, "catalog.json")
+        with open(manifest, encoding="utf-8") as handle:
+            raw = json.load(handle)
+        for entry in raw["documents"]:
+            entry["stats_version"] = STATS_FORMAT_VERSION + 1
+        with open(manifest, "w", encoding="utf-8") as handle:
+            json.dump(raw, handle)
+        assert Catalog(catalog.root).document_stats("bib") is None
+
+    def test_pre_stats_manifest_loads(self, catalog):
+        """A manifest written before the stats catalog existed (no
+        ``stats_version`` field at all) still loads and serves queries."""
+        manifest = os.path.join(catalog.root, "catalog.json")
+        with open(manifest, encoding="utf-8") as handle:
+            raw = json.load(handle)
+        for entry in raw["documents"]:
+            entry.pop("stats_version", None)
+            entry.pop("skeleton_version", None)
+        with open(manifest, "w", encoding="utf-8") as handle:
+            json.dump(raw, handle)
+        reread = Catalog(catalog.root)
+        assert reread.entry("bib").stats_version == 0
+        assert reread.document_stats("bib") is None
+        service = QueryService(reread)
+        try:
+            payload = service.query("bib", "//author")
+            assert payload["tree_count"] == 5
+        finally:
+            service.close()
+
+    def test_remove_drops_cached_stats(self, catalog):
+        assert catalog.document_stats("bib") is not None
+        catalog.remove("bib")
+        with pytest.raises(Exception):
+            catalog.document_stats("bib")
+
+
+class TestServiceByteIdentity:
+    @pytest.mark.parametrize("mode", ["snapshot", "persistent"])
+    def test_optimized_matches_unoptimized(self, catalog, mode):
+        plain = QueryService(catalog, mode=mode, optimize=False)
+        tuned = QueryService(catalog, mode=mode, optimize=True)
+        try:
+            for query in QUERIES:
+                expected = plain.query("bib", query, paths=10)
+                actual = tuned.query("bib", query, paths=10)
+                expected.pop("seconds", None)
+                actual.pop("seconds", None)
+                assert actual == expected, query
+        finally:
+            plain.close()
+            tuned.close()
+
+    def test_stats_report_optimize_flag(self, catalog):
+        service = QueryService(catalog, optimize=True)
+        try:
+            assert service.stats_dict()["optimize"] is True
+        finally:
+            service.close()
+
+    def test_unoptimized_service_explains_without_optimizer_block(self, catalog):
+        service = QueryService(catalog, optimize=False)
+        try:
+            plan = service.explain("bib", "//absenttag/title")["plan"]
+            assert "optimizer" not in plan
+        finally:
+            service.close()
+
+
+class TestExplainAnalyze:
+    def test_explain_reports_estimates_and_rules(self, catalog):
+        service = QueryService(catalog)
+        try:
+            plan = service.explain("bib", "//book/author")["plan"]
+            block = plan["optimizer"]
+            assert block["stats_available"] is True
+            assert "root-axis-identity" in block["rules_applied"]
+            assert "unoptimized" in block
+            assert isinstance(plan["algebra"]["est_cardinality"], float)
+        finally:
+            service.close()
+
+    def test_analyze_attaches_actuals(self, catalog):
+        service = QueryService(catalog)
+        try:
+            payload = service.explain("bib", "//book/author", analyze=True)
+            assert payload["analyzed"] is True
+            root = payload["plan"]["algebra"]
+            assert root["actual"]["tree_count"] == 3  # the book's three authors
+            stack, annotated = [root], 0
+            while stack:
+                node = stack.pop()
+                if "actual" in node:
+                    annotated += 1
+                    assert set(node["actual"]) == {"dag_count", "tree_count"}
+                stack.extend(node.get("children", ()))
+            assert annotated >= 3
+        finally:
+            service.close()
+
+    def test_analyze_of_folded_plan(self, catalog):
+        service = QueryService(catalog)
+        try:
+            payload = service.explain("bib", "//absenttag/title", analyze=True)
+            root = payload["plan"]["algebra"]
+            assert root["op"] == "empty-set"
+            assert root["actual"] == {"dag_count": 0, "tree_count": 0}
+        finally:
+            service.close()
+
+
+@pytest.fixture
+def server(catalog):
+    import threading
+
+    server = create_server(catalog.root, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    assert wait_ready(host, port, timeout=30)
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+
+def http_request(server, method, path, body=None):
+    import http.client
+
+    host, port = server.server_address[:2]
+    connection = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        payload = json.dumps(body) if body is not None else None
+        connection.request(method, path, payload)
+        response = connection.getresponse()
+        return response.status, json.loads(response.read().decode("utf-8"))
+    finally:
+        connection.close()
+
+
+class TestHTTPExplain:
+    def test_get_explain_analyze(self, server):
+        status, payload = http_request(
+            server, "GET", "/explain?document=bib&query=%2F%2Fbook%2Fauthor&analyze=1"
+        )
+        assert status == 200
+        assert payload["analyzed"] is True
+        assert "actual" in payload["plan"]["algebra"]
+        assert "optimizer" in payload["plan"]
+        status, plain = http_request(
+            server, "GET", "/explain?document=bib&query=%2F%2Fbook%2Fauthor"
+        )
+        assert status == 200
+        assert "analyzed" not in plain
+        assert "actual" not in plain["plan"]["algebra"]
+
+    def test_post_explain_analyze(self, server):
+        status, payload = http_request(
+            server,
+            "POST",
+            "/explain",
+            {"document": "bib", "query": "//author", "analyze": True},
+        )
+        assert status == 200
+        assert payload["analyzed"] is True
+        assert payload["plan"]["algebra"]["actual"]["tree_count"] == 5

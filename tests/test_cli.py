@@ -278,6 +278,28 @@ class TestExplain:
         assert main(["explain", "/self::*[a/b]"]) == 0
         assert "Corollary 3.7" in capsys.readouterr().out
 
+    def test_file_plan_is_annotated(self, tmp_path, capsys):
+        doc = tmp_path / "doc.xml"
+        doc.write_text("<a><b><c/></b><b/></a>")
+        assert main(["explain", "--file", str(doc), "//b/c"]) == 0
+        out = capsys.readouterr().out
+        assert "[est=" in out
+        assert "rewrites:" in out
+
+    def test_analyze_attaches_actuals(self, tmp_path, capsys):
+        doc = tmp_path / "doc.xml"
+        doc.write_text("<a><b><c/></b><b/></a>")
+        assert main(["explain", "--file", str(doc), "--analyze", "--json", "//b/c"]) == 0
+        import json as json_module
+
+        payload = json_module.loads(capsys.readouterr().out)
+        assert payload["algebra"]["actual"]["tree_count"] == 1
+        assert "optimizer" in payload
+
+    def test_analyze_without_file_is_usage_error(self, capsys):
+        assert main(["explain", "--analyze", "//a"]) == 2
+        assert "--analyze needs --file" in capsys.readouterr().err
+
 
 class TestServeValidation:
     def test_zero_worker_threads_rejected(self, tmp_path, capsys):
