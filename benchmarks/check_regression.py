@@ -17,7 +17,9 @@ serves every report shape:
 * ``overload``         — ``accepted_rps`` (admitted throughput while
   shedding the excess of a 2x-capacity offered load with honest 429s);
 * ``optimizer``        — ``geomean_speedup`` (optimized vs unoptimized
-  plans, byte-identical results required).
+  plans, byte-identical results required);
+* ``mutation``         — ``geomean_speedup`` (incremental maintenance vs
+  full re-shred, byte-identical results required).
 
 PR-level smoke mode validates freshly produced smoke artifacts without a
 baseline (smoke corpora are too small for absolute comparison against the
@@ -49,6 +51,7 @@ HEADLINE = {
     "cluster": "best_scaling",
     "overload": "accepted_rps",
     "optimizer": "geomean_speedup",
+    "mutation": "geomean_speedup",
 }
 
 #: benchmark name -> (measured key, embedded requirement key) pairs checked
@@ -63,6 +66,7 @@ SMOKE_FLOORS = {
     "cluster": [("scaling_at_4_workers", "min_scaling_required")],
     "overload": [("accepted_rps", "min_accepted_rps_required")],
     "optimizer": [("geomean_speedup", "min_speedup_required")],
+    "mutation": [("geomean_speedup", "min_speedup_required")],
 }
 
 #: benchmark name -> additional metric keys compared against the baseline
@@ -93,11 +97,12 @@ def check_smoke(path: str) -> list[str]:
             )
     if report["benchmark"] == "cluster" and not report.get("checked_byte_identical_total"):
         problems.append(f"{path}: cluster report ran no byte-identical checks")
-    if report["benchmark"] == "optimizer":
+    if report["benchmark"] in ("optimizer", "mutation"):
+        kind = report["benchmark"]
         if not report.get("checked_byte_identical_total"):
-            problems.append(f"{path}: optimizer report ran no byte-identical checks")
+            problems.append(f"{path}: {kind} report ran no byte-identical checks")
         if not report.get("byte_identical"):
-            problems.append(f"{path}: optimizer run was not byte-identical")
+            problems.append(f"{path}: {kind} run was not byte-identical")
     if report["benchmark"] == "overload":
         if not report.get("passed"):
             problems.append(f"{path}: the overload run failed its own gates")

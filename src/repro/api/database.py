@@ -187,6 +187,43 @@ class Database:
         self.service.catalog.remove(name)
         self.service.evict(name)
 
+    # -- mutation (served databases only) --------------------------------
+
+    def mutate(
+        self,
+        op: str,
+        path: Sequence[int],
+        xml: str | None = None,
+        document: str | None = None,
+    ) -> dict:
+        """Apply one in-place edit to a served document.
+
+        ``op`` is ``append_child``, ``replace_subtree`` or
+        ``delete_subtree``; ``path`` addresses the target element by
+        element-child ordinals from the root (``[]`` is the root element
+        itself); ``xml`` carries the fragment for the inserting ops.  The
+        edit is journaled, applied incrementally to the compressed DAG,
+        and published under a new ``doc_version`` — subsequent queries on
+        every surface see the new state, in-flight queries finish on the
+        snapshot they started with.  Returns the publish summary (new
+        ``doc_version``, ops applied, maintenance seconds).
+        """
+        return self.apply_patch(
+            [{"op": op, "path": list(path), "xml": xml}], document=document
+        )
+
+    def apply_patch(self, mutations, document: str | None = None) -> dict:
+        """Apply an ordered batch of mutation dicts atomically (all or none).
+
+        Each element is ``{"op", "path", "xml"?}`` (or a
+        :class:`repro.mutation.Mutation`).  The batch commits as one
+        journal record and one version publish: a failure anywhere leaves
+        the document exactly at its prior version.
+        """
+        if self._service is None:
+            raise ReproError("mutations need a served database (catalog-backed)")
+        return self._service.mutate(self._document_name(document), mutations)
+
     # -- preparation -----------------------------------------------------
 
     def prepare(self, query: str | PreparedQuery) -> PreparedQuery:

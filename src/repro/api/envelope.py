@@ -29,6 +29,7 @@ from repro.errors import (
     ClusterError,
     DeadlineExceededError,
     IntegrityError,
+    MutationError,
     OverloadedError,
     QuarantinedError,
     ReproError,
@@ -54,6 +55,7 @@ ERROR_KINDS = {
     "quarantined": QuarantinedError,
     "integrity": IntegrityError,
     "catalog": CatalogError,
+    "mutation": MutationError,
     "xpath-syntax": XPathSyntaxError,
     "xpath-compile": XPathCompileError,
     "deadline_exceeded": DeadlineExceededError,

@@ -13,6 +13,7 @@ Installed as the ``repro`` console script::
     repro explain --json '//a/b'                   # the same plan as JSON
     repro explain --file d.xml --analyze '//a/b'   # optimized plan, est vs actual
     repro catalog add dblp d.xml          # shred once into the catalog
+    repro catalog update dblp --op append_child --path . --fragment new.xml
     repro serve --port 8080               # concurrent query service
     repro serve --workers 4               # ... sharded over 4 worker processes
 
@@ -36,6 +37,7 @@ import sys
 from repro.errors import (
     CatalogError,
     CorpusError,
+    MutationError,
     ReproError,
     XPathCompileError,
     XPathSyntaxError,
@@ -285,6 +287,52 @@ def _cmd_catalog_evict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_tree_path(spec: str) -> list[int]:
+    """``"0.2.1"`` -> ``[0, 2, 1]``; ``""`` or ``"."`` address the root element."""
+    spec = spec.strip()
+    if spec in ("", "."):
+        return []
+    try:
+        return [int(step) for step in spec.replace("/", ".").split(".")]
+    except ValueError:
+        raise MutationError(
+            f"bad --path {spec!r}: expected dot-separated element ordinals like 0.2.1"
+        ) from None
+
+
+def _cmd_catalog_update(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.server.catalog import Catalog
+
+    if args.patch:
+        if args.op or args.path is not None or args.fragment:
+            print("error: --patch replaces --op/--path/--fragment", file=sys.stderr)
+            return EXIT_USAGE
+        try:
+            mutations = json.loads(_read(args.patch))
+        except json.JSONDecodeError as error:
+            print(f"error: --patch {args.patch!r} is not valid JSON: {error}",
+                  file=sys.stderr)
+            return EXIT_USAGE
+    else:
+        if not args.op:
+            print("error: give --op (with --path/--fragment) or --patch FILE",
+                  file=sys.stderr)
+            return EXIT_USAGE
+        mutation = {"op": args.op, "path": _parse_tree_path(args.path or "")}
+        if args.fragment:
+            mutation["xml"] = _read(args.fragment)
+        mutations = [mutation]
+    entry = Catalog(args.catalog).mutate(args.name, mutations)
+    print(
+        f"updated {entry.name} -> v{entry.doc_version}: "
+        f"{entry.skeleton_nodes:,} skeleton nodes -> {entry.dag_vertices:,} dag "
+        f"vertices ({entry.shred_seconds:.3f}s incremental maintenance)"
+    )
+    return 0
+
+
 def _cmd_catalog_verify(args: argparse.Namespace) -> int:
     from repro.server.catalog import Catalog
 
@@ -299,6 +347,16 @@ def _cmd_catalog_verify(args: argparse.Namespace) -> int:
         line = f"{name:20s} {status:12s} {chunks} chunk(s)"
         if corrupt:
             line += f"  corrupt: {', '.join(map(str, corrupt))}"
+        journal = entry.get("journal")
+        if isinstance(journal, dict) and (journal.get("records") or journal.get("torn")):
+            line += (
+                f"  journal: {journal.get('records', 0)} record(s), "
+                f"{journal.get('pending', 0)} pending"
+            )
+            if journal.get("torn"):
+                line += ", torn tail"
+            if journal.get("repaired") is not None:
+                line += f", replayed {journal['repaired']}"
         print(line)
         if status == "corrupt":
             worst = EXIT_ERROR
@@ -518,12 +576,38 @@ def build_parser() -> argparse.ArgumentParser:
     add_catalog_dir(catalog_evict)
     catalog_evict.set_defaults(func=_cmd_catalog_evict)
 
+    catalog_update = actions.add_parser(
+        "update", help="apply an incremental mutation to a registered document"
+    )
+    catalog_update.add_argument("name")
+    catalog_update.add_argument(
+        "--op", choices=("append_child", "replace_subtree", "delete_subtree"),
+        help="the mutation operation (or use --patch for a batch)",
+    )
+    catalog_update.add_argument(
+        "--path", default=None, metavar="ORDINALS",
+        help="target element as dot-separated element-child ordinals from the "
+        "root ('' or '.' = the root element itself), e.g. 0.2.1",
+    )
+    catalog_update.add_argument(
+        "--fragment", metavar="FILE",
+        help="XML fragment file ('-' for stdin) for append_child/replace_subtree",
+    )
+    catalog_update.add_argument(
+        "--patch", metavar="FILE",
+        help="JSON file ('-' for stdin) holding a list of "
+        '{"op", "path", "xml"?} mutations applied as one atomic batch',
+    )
+    add_catalog_dir(catalog_update)
+    catalog_update.set_defaults(func=_cmd_catalog_update)
+
     catalog_verify = actions.add_parser(
         "verify", help="check every document's chunk checksums; exit 1 on corruption"
     )
     catalog_verify.add_argument(
         "--repair", action="store_true",
-        help="re-shred corrupt documents from their kept source text",
+        help="re-shred corrupt documents from their kept source text and "
+        "replay/truncate any pending or torn journal records",
     )
     add_catalog_dir(catalog_verify)
     catalog_verify.set_defaults(func=_cmd_catalog_verify)
@@ -539,7 +623,7 @@ def main(argv: list[str] | None = None) -> int:
     except (XPathSyntaxError, XPathCompileError) as error:
         print(f"error: invalid query: {error}", file=sys.stderr)
         return EXIT_USAGE
-    except (CorpusError, CatalogError) as error:
+    except (CorpusError, CatalogError, MutationError) as error:
         print(f"error: {error}", file=sys.stderr)
         return EXIT_USAGE
     except FileNotFoundError as error:

@@ -94,6 +94,17 @@ class QuarantinedError(CatalogError):
     """
 
 
+class MutationError(ReproError):
+    """A document mutation request is invalid or cannot be applied.
+
+    Raised for malformed mutation specs (unknown op, negative path steps, a
+    missing or superfluous XML fragment), paths that address no element in
+    the target document, and ops that would break the document shape
+    (deleting the root element).  Mapped to HTTP 400: the request — not the
+    catalog — is at fault, and nothing was changed.
+    """
+
+
 class DeadlineExceededError(ReproError):
     """The request's end-to-end deadline expired before a result was ready.
 

@@ -1,0 +1,118 @@
+"""The mutation vocabulary: one op shape across HTTP, CLI, journal and API.
+
+A mutation addresses its target by a **tree path**: the sequence of
+element-child ordinals walked from the document's root element, with edge
+multiplicities expanded — ``[]`` is the root element itself, ``[2]`` its
+third element child, ``[2, 0]`` that child's first element child.  In
+``attributes="nodes"`` documents the synthetic ``@name`` children do not
+consume ordinals: paths always count *element* children, so the same path
+means the same node in the text and in the shredded instance.
+
+Three ops cover subtree-granular editing:
+
+* ``append_child(path, xml)``  — append ``xml`` as the new last child of
+  the element at ``path``;
+* ``replace_subtree(path, xml)`` — replace the element at ``path``
+  (including its whole subtree) with ``xml``;
+* ``delete_subtree(path)``     — remove the element at ``path``; deleting
+  the root element (``path=[]``) is refused — a document must keep one.
+
+``xml`` must be a single well-formed element (it is shredded by the same
+loader that registered the document, so malformed fragments are rejected
+before anything is touched).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import MutationError
+
+#: The supported mutation operations.
+OPS = ("append_child", "replace_subtree", "delete_subtree")
+
+#: Ops that carry an XML fragment payload.
+_FRAGMENT_OPS = ("append_child", "replace_subtree")
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One validated mutation: ``op`` at ``path``, optionally with ``xml``."""
+
+    op: str
+    path: tuple[int, ...]
+    xml: str | None = None
+
+    def __post_init__(self):
+        if self.op not in OPS:
+            raise MutationError(
+                f"unknown mutation op {self.op!r}; supported: {', '.join(OPS)}"
+            )
+        if not isinstance(self.path, tuple) or not all(
+            isinstance(step, int) and not isinstance(step, bool) and step >= 0
+            for step in self.path
+        ):
+            raise MutationError(
+                f"mutation path must be a sequence of non-negative element-child "
+                f"ordinals, got {self.path!r}"
+            )
+        if self.op in _FRAGMENT_OPS:
+            if not isinstance(self.xml, str) or not self.xml.strip():
+                raise MutationError(f"{self.op} needs a non-empty 'xml' fragment")
+        elif self.xml is not None:
+            raise MutationError("delete_subtree takes no 'xml' fragment")
+        if self.op == "delete_subtree" and not self.path:
+            raise MutationError(
+                "cannot delete the root element (a document must keep one); "
+                "use replace_subtree to swap it"
+            )
+
+    def to_dict(self) -> dict:
+        """The canonical JSON shape (journal records, HTTP bodies, patches)."""
+        record: dict = {"op": self.op, "path": list(self.path)}
+        if self.xml is not None:
+            record["xml"] = self.xml
+        return record
+
+    @classmethod
+    def from_dict(cls, raw: Mapping) -> "Mutation":
+        """Validate one JSON-shaped mutation; raises :class:`MutationError`."""
+        if not isinstance(raw, Mapping):
+            raise MutationError(f"a mutation must be an object, got {type(raw).__name__}")
+        unknown = set(raw) - {"op", "path", "xml"}
+        if unknown:
+            raise MutationError(f"unknown mutation field(s): {', '.join(sorted(unknown))}")
+        op = raw.get("op")
+        if not isinstance(op, str):
+            raise MutationError("a mutation needs a string field 'op'")
+        path = raw.get("path", [])
+        if not isinstance(path, Sequence) or isinstance(path, (str, bytes)):
+            raise MutationError("'path' must be a list of element-child ordinals")
+        xml = raw.get("xml")
+        if xml is not None and not isinstance(xml, str):
+            raise MutationError("'xml' must be a string when given")
+        try:
+            steps = tuple(int(step) for step in path)
+        except (TypeError, ValueError) as error:
+            raise MutationError(f"non-integer path step: {error}") from None
+        for given, step in zip(path, steps):
+            if isinstance(given, bool) or (isinstance(given, float) and given != step):
+                raise MutationError(f"non-integer path step: {given!r}")
+        return cls(op=op, path=steps, xml=xml)
+
+
+def as_mutations(raw: Iterable) -> list[Mutation]:
+    """Validate a whole patch (a list of mutations, JSON-shaped or typed).
+
+    Accepts :class:`Mutation` objects and dicts interchangeably; an empty
+    patch is refused (a no-op write should not burn a document version).
+    """
+    if isinstance(raw, (str, bytes, Mapping)):
+        raise MutationError("a patch must be a list of mutations")
+    mutations: list[Mutation] = []
+    for item in raw:
+        mutations.append(item if isinstance(item, Mutation) else Mutation.from_dict(item))
+    if not mutations:
+        raise MutationError("a patch must contain at least one mutation")
+    return mutations

@@ -1,0 +1,133 @@
+"""Byte-span location and splicing of elements in the kept document text.
+
+The catalog keeps every registered document's original text beside its
+shredded chunks (string-schema reloads re-scan it), so a mutation must
+edit *both* representations.  This module does the text half: it walks the
+tokenizer's event stream — whose events carry exact byte offsets — down a
+tree path of element-child ordinals, finds the target element's span, and
+splices the edit in.  One pass, no DOM, and the spliced text re-parses to
+exactly the mutated skeleton (the property oracle pins this).
+
+Self-closing targets are handled structurally: appending into ``<a/>``
+rewrites it as ``<a>...</a>`` (attribute blob preserved verbatim).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MutationError
+from repro.mutation.ops import Mutation
+from repro.xmlio.events import EndElement, StartElement
+from repro.xmlio.tokenizer import _CLOSE_RE, _OPEN_RE, tokenize
+
+
+@dataclass(frozen=True)
+class ElementSpan:
+    """Where one element lives in the document text."""
+
+    #: Tag name of the element.
+    name: str
+    #: Offset of the ``<`` of the start tag.
+    start: int
+    #: Offset just past the ``>`` of the start tag.
+    open_end: int
+    #: Offset of the ``<`` of the end tag (== ``start`` when self-closing).
+    close_start: int
+    #: Offset just past the ``>`` of the end tag.
+    end: int
+    #: True for ``<name .../>`` forms.
+    self_closing: bool
+
+
+def locate(text: str, path: tuple[int, ...]) -> ElementSpan:
+    """The byte span of the element at ``path`` (see :mod:`repro.mutation.ops`).
+
+    Raises :class:`MutationError` when the path walks off the document —
+    an ordinal past the last element child, or a path deeper than the tree.
+    """
+    target = tuple(path)
+    counters = [0]  # element children seen so far at each open depth
+    open_depth = 0
+    match_depth = 0  # how many levels of the open chain lie on the target path
+    awaiting_close_at: int | None = None
+    start = None
+    for event in tokenize(text):
+        if isinstance(event, StartElement):
+            depth = open_depth
+            ordinal = counters[depth]
+            counters[depth] += 1
+            on_path = match_depth == depth and depth <= len(target)
+            if on_path:
+                wanted = 0 if depth == 0 else target[depth - 1]
+                on_path = ordinal == wanted
+            if on_path:
+                if depth == len(target):
+                    start = event.offset
+                    awaiting_close_at = depth
+                match_depth = depth + 1
+            open_depth += 1
+            counters.append(0)
+        elif isinstance(event, EndElement):
+            open_depth -= 1
+            counters.pop()
+            if match_depth > open_depth:
+                match_depth = open_depth
+            if awaiting_close_at is not None and open_depth == awaiting_close_at:
+                assert start is not None
+                open_match = _OPEN_RE.match(text, start)
+                if text.startswith("</", event.offset):
+                    close_match = _CLOSE_RE.match(text, event.offset)
+                    return ElementSpan(
+                        name=event.name,
+                        start=start,
+                        open_end=open_match.end(),
+                        close_start=event.offset,
+                        end=close_match.end(),
+                        self_closing=False,
+                    )
+                # Self-closing: the end event carries the start tag's offset.
+                return ElementSpan(
+                    name=event.name,
+                    start=start,
+                    open_end=open_match.end(),
+                    close_start=start,
+                    end=open_match.end(),
+                    self_closing=True,
+                )
+    raise MutationError(
+        f"path {list(target)} addresses no element in the document "
+        f"(an ordinal is past the last element child, or the path is too deep)"
+    )
+
+
+def splice(text: str, mutation: Mutation) -> tuple[str, str, str]:
+    """Apply ``mutation`` to the document text.
+
+    Returns ``(new_text, removed, inserted)`` where ``removed`` and
+    ``inserted`` are the exact substrings taken out of / put into the
+    document — the inputs of the incremental character-sketch patch
+    (:func:`repro.mutation.apply.patch_chars`).
+    """
+    span = locate(text, mutation.path)
+    if mutation.op == "delete_subtree":
+        removed = text[span.start : span.end]
+        return text[: span.start] + text[span.end :], removed, ""
+    if mutation.op == "replace_subtree":
+        removed = text[span.start : span.end]
+        fragment = mutation.xml or ""
+        return text[: span.start] + fragment + text[span.end :], removed, fragment
+    # append_child: insert just before the close tag; a self-closing target
+    # is first expanded to an explicit open/close pair.
+    fragment = mutation.xml or ""
+    if span.self_closing:
+        open_match = _OPEN_RE.match(text, span.start)
+        name, attr_blob, _ = open_match.groups()
+        rebuilt = f"<{name}{attr_blob}>{fragment}</{name}>"
+        removed = text[span.start : span.end]
+        return text[: span.start] + rebuilt + text[span.end :], removed, rebuilt
+    return (
+        text[: span.close_start] + fragment + text[span.close_start :],
+        "",
+        fragment,
+    )

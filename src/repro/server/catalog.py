@@ -11,6 +11,17 @@ A :class:`Catalog` is a directory::
     <root>/catalog.json            registry: name -> entry metadata
     <root>/<name>/document.xml     the original text (string-schema reloads)
     <root>/<name>/chunks/          the shredded instance (storage.chunked)
+    <root>/<name>/stats.json       optimizer statistics (PR 9)
+    <root>/<name>/journal.wal      mutation write-ahead journal (live docs)
+    <root>/<name>/v<N>/            a mutated version's document.xml/chunks/stats
+
+Registration publishes into the document directory itself (the layout
+above, ``version_dir == ""``); each :meth:`mutate` publishes a complete
+new version *directory* ``v<N>`` beside it and flips the manifest entry's
+``version_dir`` — readers holding the previous version keep valid paths
+until the post-publish GC, and a crashed mutation can never half-overwrite
+the live version.  The manifest rewrite is the single commit point for
+both paths.
 
 Documents are registered with **every** tag as a node set, so any tag-only
 query can be served from the shredded chunks alone (a *warm start*: one
@@ -45,6 +56,9 @@ from dataclasses import asdict, dataclass, field
 
 from repro.compress.stats import STATS_FORMAT_VERSION, DocumentStats
 from repro.errors import CatalogError, IntegrityError, QuarantinedError, ReproError
+from repro.mutation.apply import apply_mutations
+from repro.mutation.ops import as_mutations
+from repro.server.journal import JOURNAL_FILE, Journal
 from repro.server.resilience import FAULTS
 from repro.skeleton.loader import load
 from repro.storage.chunked import ChunkedStore
@@ -97,14 +111,29 @@ class CatalogEntry:
     #: falls back to the unoptimized plan instead of erroring.
     stats_version: int = 0
     skeleton_version: int = 0
+    #: Monotonic per-catalog document version.  Allocated from the
+    #: manifest's ``next_version`` counter on every publish — registration,
+    #: re-registration under the same name, and each mutation — so caches
+    #: keyed on it (instance pools, optimized plans, worker masters) can
+    #: never confuse two states of a name, even when two registrations land
+    #: on the same ``registered_at`` wall-clock stamp.
+    doc_version: int = 0
+    #: Subdirectory of ``<root>/<name>/`` holding this version's files;
+    #: ``""`` is the registration layout (files in the document directory
+    #: itself), ``"v<N>"`` a mutation-published version directory.
+    version_dir: str = ""
 
 
 class Catalog:
     """A directory of registered documents, shredded once, served many times."""
 
-    def __init__(self, root: str):
+    def __init__(self, root: str, journal_replay: bool = True):
         self.root = root
         self._lock = threading.RLock()
+        #: Serialises whole mutations (journal append through publish) per
+        #: catalog, so two writers in one process cannot interleave version
+        #: allocation and replay.  The registry ``_lock`` stays fine-grained.
+        self._mutation_lock = threading.Lock()
         self._entries: dict[str, CatalogEntry] = {}
         self._stores: dict[str, ChunkedStore] = {}
         #: Parsed stats.json per name (``None`` = known absent/unreadable).
@@ -112,12 +141,22 @@ class Catalog:
         #: Names whose chunks failed an integrity check; serving is refused
         #: (:class:`QuarantinedError`) until :meth:`reload` re-shreds them.
         self._quarantined: set[str] = set()
+        #: Next ``doc_version`` to allocate; floor 1 so version 0 always
+        #: means "published before versioning existed".
+        self._next_version = 1
         #: What startup recovery swept (observability; see :meth:`recover`).
         self.last_recovery: dict = {}
+        #: What journal replay re-applied at startup (see :meth:`replay_journals`).
+        self.last_replay: dict = {}
         self.recover()
         # One manifest-reading path for open and re-open: refresh() treats
         # a missing manifest as an empty catalog, same as a fresh directory.
         self.refresh()
+        # Only the writing process replays: pre-forked reader workers open
+        # the same directory concurrently, and N processes re-applying the
+        # same intent would race each other's staging renames.
+        if journal_replay:
+            self.replay_journals()
 
     # -- registry --------------------------------------------------------
 
@@ -180,6 +219,15 @@ class Catalog:
             entry = CatalogEntry(**raw)
             fresh[entry.name] = entry
         with self._lock:
+            # The version counter only ratchets forward: the manifest's
+            # persisted watermark, the highest published version, and any
+            # in-memory allocations (journaled intents not yet published)
+            # all hold it up.
+            self._next_version = max(
+                self._next_version,
+                int(manifest.get("next_version") or 0),
+                1 + max((entry.doc_version for entry in fresh.values()), default=0),
+            )
             for name in list(self._stores):
                 # Dataclass equality over every field including the
                 # registration stamp: removal and replacement both
@@ -260,6 +308,7 @@ class Catalog:
     def _write_manifest(self) -> None:
         manifest = {
             "format": _FORMAT,
+            "next_version": self._next_version,
             "documents": [asdict(self._entries[name]) for name in sorted(self._entries)],
         }
         os.makedirs(self.root, exist_ok=True)
@@ -349,6 +398,8 @@ class Catalog:
             # Re-open at the published path — the staging store's directory
             # no longer exists, so its lazy chunk loads would miss.
             store = ChunkedStore(os.path.join(doc_dir, "chunks"))
+            entry.doc_version = self._next_version
+            self._next_version += 1
             self._entries[name] = entry
             self._stores[name] = store
             self._stats[name] = stats
@@ -374,11 +425,16 @@ class Catalog:
 
     # -- serving ---------------------------------------------------------
 
+    def _data_dir(self, entry: CatalogEntry) -> str:
+        """Where ``entry``'s files live: the doc dir, or its version subdir."""
+        base = os.path.join(self.root, entry.name)
+        return os.path.join(base, entry.version_dir) if entry.version_dir else base
+
     def xml(self, name: str) -> str:
-        """The original document text (string-schema reloads only)."""
-        self.entry(name)
+        """The current document text (string-schema reloads, mutation base)."""
+        entry = self.entry(name)
         with open(
-            os.path.join(self.root, name, "document.xml"), "r", encoding="utf-8"
+            os.path.join(self._data_dir(entry), "document.xml"), "r", encoding="utf-8"
         ) as handle:
             return handle.read()
 
@@ -387,8 +443,8 @@ class Catalog:
         with self._lock:
             store = self._stores.get(name)
             if store is None:
-                self.entry(name)
-                store = ChunkedStore(os.path.join(self.root, name, "chunks"))
+                entry = self.entry(name)
+                store = ChunkedStore(os.path.join(self._data_dir(entry), "chunks"))
                 self._stores[name] = store
             return store
 
@@ -411,7 +467,7 @@ class Catalog:
         stats: DocumentStats | None
         try:
             with open(
-                os.path.join(self.root, name, _STATS_FILE), "r", encoding="utf-8"
+                os.path.join(self._data_dir(entry), _STATS_FILE), "r", encoding="utf-8"
             ) as handle:
                 stats = DocumentStats.from_dict(json.load(handle))
         except (OSError, ValueError, json.JSONDecodeError, UnicodeDecodeError):
@@ -449,6 +505,210 @@ class Catalog:
         return load(
             self.xml(name), tags=None, strings=list(strings), attributes=entry.attributes
         ).instance
+
+    # -- mutation --------------------------------------------------------
+
+    def _journal(self, name: str) -> Journal:
+        return Journal(os.path.join(self.root, name, JOURNAL_FILE))
+
+    def mutate(self, name: str, mutations) -> CatalogEntry:
+        """Apply a mutation batch to ``name`` and publish the new version.
+
+        The durability order is journal-first: the validated batch is
+        appended to the document's write-ahead journal (fsynced) *before*
+        any maintenance work, so a crash anywhere after the append is
+        recoverable by replay — :meth:`replay_journals` re-applies the
+        intent deterministically from the last published text.  Then the
+        incremental maintainer (:func:`repro.mutation.apply.apply_mutations`)
+        produces the new instance/text/stats, which are staged and renamed
+        to ``v<doc_version>`` and committed by the atomic manifest rewrite.
+        Readers of the previous version are untouched until the manifest
+        flips; their files are GCed only after publish.
+        """
+        batch = as_mutations(mutations)
+        with self._mutation_lock:
+            entry = self.check_serveable(name)
+            with self._lock:
+                target_version = self._next_version
+                self._next_version += 1
+            self._journal(name).append(
+                {
+                    "name": name,
+                    "base_version": entry.doc_version,
+                    "doc_version": target_version,
+                    "mutations": [mutation.to_dict() for mutation in batch],
+                    "ts": time.time(),
+                }
+            )
+            return self._apply_and_publish(name, entry, batch, target_version)
+
+    def _apply_and_publish(
+        self, name: str, entry: CatalogEntry, batch: list, target_version: int
+    ) -> CatalogEntry:
+        """Maintenance + staged publish of one journaled mutation batch."""
+        started = time.perf_counter()
+        try:
+            instance = self.store(name).assemble()
+        except IntegrityError:
+            self.quarantine(name)
+            raise
+        outcome = apply_mutations(
+            instance,
+            self.xml(name),
+            batch,
+            attributes=entry.attributes,
+            old_stats=self.document_stats(name),
+        )
+        staging = os.path.join(
+            self.root, f".staging-{name}-{os.getpid()}-{threading.get_ident()}"
+        )
+        try:
+            return self._publish_version(name, entry, outcome, target_version, staging, started)
+        finally:
+            # On success the staging directory was renamed away; on failure
+            # this sweeps the half-written version files (the journal keeps
+            # the intent, so a later replay can retry).
+            shutil.rmtree(staging, ignore_errors=True)
+
+    def _publish_version(
+        self, name, base_entry, outcome, version: int, staging: str, started: float
+    ) -> CatalogEntry:
+        """Stage ``outcome`` as ``v<version>`` and commit it to the manifest."""
+        os.makedirs(staging)
+        with open(os.path.join(staging, "document.xml"), "w", encoding="utf-8") as handle:
+            handle.write(outcome.text)
+        ChunkedStore.save(outcome.instance, os.path.join(staging, "chunks"))
+        with open(os.path.join(staging, _STATS_FILE), "w", encoding="utf-8") as handle:
+            json.dump(outcome.stats.to_dict(), handle)
+            handle.write("\n")
+        version_dir = f"v{version}"
+        target = os.path.join(self.root, name, version_dir)
+        with self._lock:
+            current = self._entries.get(name)
+            if current is None or current.doc_version != base_entry.doc_version:
+                raise CatalogError(
+                    f"document {name!r} changed underneath the mutation "
+                    f"(expected version {base_entry.doc_version}); retry against "
+                    f"the current version"
+                )
+            if os.path.exists(target):
+                # A crashed earlier attempt at this version number left a
+                # stray directory; it was never published, so replace it.
+                shutil.rmtree(target, ignore_errors=True)
+            os.rename(staging, target)
+            store = ChunkedStore(os.path.join(target, "chunks"))
+            # The chaos seam between the two commit points: a kill here has
+            # journaled + staged the version but not published it, which is
+            # exactly what replay_journals() must recover.
+            FAULTS.fire("catalog.journal", op="commit", name=name, doc_version=version)
+            entry = CatalogEntry(
+                name=name,
+                attributes=base_entry.attributes,
+                megabytes=len(outcome.text.encode("utf-8")) / 1e6,
+                skeleton_nodes=outcome.stats.tree_nodes,
+                dag_vertices=outcome.instance.num_vertices,
+                dag_edge_entries=outcome.instance.num_edge_entries,
+                chunks=store.num_chunks,
+                shred_seconds=time.perf_counter() - started,
+                tags=[
+                    set_name
+                    for set_name in outcome.instance.schema
+                    if not set_name.startswith("#")
+                ],
+                registered_at=time.time(),
+                stats_version=STATS_FORMAT_VERSION,
+                skeleton_version=SKELETON_FORMAT_VERSION,
+                doc_version=version,
+                version_dir=version_dir,
+            )
+            self._entries[name] = entry
+            self._stores[name] = store
+            self._stats[name] = outcome.stats
+            self._next_version = max(self._next_version, version + 1)
+            self._write_manifest()
+        # Post-publish housekeeping: the previous version's files are
+        # unreferenced now, and the journaled intent is live in the manifest.
+        self._gc_version_files(name, base_entry)
+        self._journal(name).compact(version)
+        return entry
+
+    def _gc_version_files(self, name: str, old_entry) -> None:
+        """Delete the files of a superseded version (never the journal)."""
+        if old_entry.version_dir:
+            shutil.rmtree(
+                os.path.join(self.root, name, old_entry.version_dir), ignore_errors=True
+            )
+            return
+        # Registration layout: the version's files live in the document
+        # directory itself, next to the journal and the new v<N> subdirs.
+        doc_dir = os.path.join(self.root, name)
+        for leftover in ("document.xml", _STATS_FILE):
+            try:
+                os.remove(os.path.join(doc_dir, leftover))
+            except OSError:
+                pass
+        shutil.rmtree(os.path.join(doc_dir, "chunks"), ignore_errors=True)
+
+    def _sweep_stray_versions(self, name: str, entry) -> list[str]:
+        """Remove unpublished ``v<N>`` directories (crashed staging renames)."""
+        doc_dir = os.path.join(self.root, name)
+        swept = []
+        try:
+            children = os.listdir(doc_dir)
+        except OSError:
+            return swept
+        for child in children:
+            if re.fullmatch(r"v\d+", child) and child != entry.version_dir:
+                shutil.rmtree(os.path.join(doc_dir, child), ignore_errors=True)
+                swept.append(child)
+        return swept
+
+    def replay_journals(self) -> dict:
+        """Re-apply journaled intents the manifest never published.
+
+        Runs at writer startup (after :meth:`recover` and :meth:`refresh`):
+        for every document, torn journal tails are truncated, intent
+        records newer than the published ``doc_version`` are re-applied in
+        version order — each must chain from the version the previous one
+        published, else replay stops (the remaining intents were written
+        against a state that no longer exists, e.g. after a reload) — and
+        stray ``v<N>`` directories from crashed publishes are swept.
+        Returns (and stores on ``last_replay``) a per-document report.
+        """
+        report: dict = {}
+        with self._mutation_lock:
+            for name in self.names():
+                entry = self.entry(name)
+                journal = self._journal(name)
+                records, torn = journal.records()
+                if torn:
+                    journal.repair()
+                pending = sorted(
+                    (r for r in records if r.get("doc_version", 0) > entry.doc_version),
+                    key=lambda r: r.get("doc_version", 0),
+                )
+                replayed: list[int] = []
+                for record in pending:
+                    if record.get("base_version") != entry.doc_version:
+                        break
+                    try:
+                        batch = as_mutations(record.get("mutations", []))
+                        entry = self._apply_and_publish(
+                            name, entry, batch, int(record["doc_version"])
+                        )
+                    except ReproError:
+                        break
+                    replayed.append(entry.doc_version)
+                journal.compact(entry.doc_version)
+                swept = self._sweep_stray_versions(name, entry)
+                if torn or replayed or swept:
+                    report[name] = {
+                        "replayed": replayed,
+                        "torn_truncated": torn,
+                        "stray_versions_swept": swept,
+                    }
+        self.last_replay = report
+        return report
 
     # -- integrity -------------------------------------------------------
 
@@ -489,13 +749,17 @@ class Catalog:
             return sorted(self._quarantined)
 
     def verify(self, repair: bool = False) -> dict:
-        """Checksum every registered document's chunks; optionally repair.
+        """Checksum chunks and validate journals; optionally repair both.
 
-        Returns ``{name: {"status", "chunks", "corrupt"}}`` where status is
-        ``ok`` / ``corrupt`` / ``repaired`` / ``unverifiable`` (pre-checksum
-        store).  Corrupt documents are quarantined; with ``repair=True``
-        they are immediately re-shredded from the kept original text (see
-        :meth:`reload` for why re-shred, not patch).
+        Returns ``{name: {"status", "chunks", "corrupt", "journal"}}`` where
+        status is ``ok`` / ``corrupt`` / ``repaired`` / ``unverifiable``
+        (pre-checksum store) and ``journal`` reports the write-ahead
+        journal's intact record count, whether its tail is torn, and how
+        many intents are still unpublished.  Corrupt documents are
+        quarantined; with ``repair=True`` they are immediately re-shredded
+        from the kept original text (see :meth:`reload` for why re-shred,
+        not patch), torn journal tails are truncated, and unpublished
+        intents are replayed (:meth:`replay_journals`).
         """
         report: dict = {}
         for name in self.names():
@@ -518,7 +782,22 @@ class Catalog:
                 if repair:
                     self.reload(name)
                     row["status"] = "repaired"
+            records, torn = self._journal(name).records()
+            entry = self._entries.get(name)
+            published = entry.doc_version if entry else 0
+            row["journal"] = {
+                "records": len(records),
+                "torn": torn,
+                "pending": sum(
+                    1 for r in records if r.get("doc_version", 0) > published
+                ),
+            }
             report[name] = row
+        if repair:
+            replayed = self.replay_journals()
+            for name, outcome in replayed.items():
+                if name in report:
+                    report[name]["journal"]["repaired"] = outcome
         return report
 
     def reload(self, name: str) -> CatalogEntry:

@@ -240,6 +240,8 @@ class WorkerFleet:
         self._closing = threading.Event()
         self._respawns = 0
         self._stats_lock = threading.Lock()
+        #: Dispatcher-side mutation counters (writes never reach workers).
+        self._mutations: dict = {"applied": 0, "failed": 0, "ops": {}}
         self._slots = [
             _WorkerSlot(
                 slot_id,
@@ -565,7 +567,7 @@ class WorkerFleet:
             deadline.check("request")
         self.admission.admit(client)
         try:
-            self.catalog.entry(document)  # raises CatalogError when unknown
+            entry = self.catalog.entry(document)  # raises CatalogError when unknown
             # Full parse+compile (cached), not just the string schema:
             # malformed and uncompilable queries must 400 here, before any
             # IPC, exactly as they do on the --workers 0 path — a bad query
@@ -589,6 +591,11 @@ class WorkerFleet:
                         limit,
                         None if deadline is None else deadline.at,
                         trace,
+                        # The version the dispatcher routed against: a worker
+                        # whose manifest view is older refreshes before
+                        # serving, so post-mutation queries are never
+                        # answered from a stale master anywhere in the fleet.
+                        entry.doc_version,
                     ),
                 )
                 payload = self._await(slot, request_id, future, timeout)
@@ -661,13 +668,16 @@ class WorkerFleet:
         keyed by node identity, so the annotated plan and the measured
         trace must share expression nodes (the same contract
         :meth:`repro.server.service.QueryService.optimized_entry` keeps).
-        Re-registration publishes a fresh ``registered_at`` stamp, which
-        invalidates the cached plan.
+        Every publish — re-registration *and* mutation — bumps the entry's
+        ``doc_version``, which keys (and so invalidates) the cached plan;
+        the registration stamp alone could collide when a name is removed
+        and re-added within wall-clock resolution.
         """
         from repro.xpath.optimizer import optimize as optimize_plan
 
         expr, _, _ = self._compiled.entry(query_text)
-        key = (document, self.catalog.entry(document).registered_at, query_text)
+        entry = self.catalog.entry(document)
+        key = (document, entry.registered_at, entry.doc_version, query_text)
         with self._optimized_lock:
             cached = self._optimized.get(key)
             if cached is not None:
@@ -729,6 +739,47 @@ class WorkerFleet:
             working, optimization.expr, axes=self._config["axes"], copy=False
         )
 
+    def mutate(self, document: str, mutations) -> dict:
+        """Apply a mutation batch and invalidate the whole fleet.
+
+        The write happens dispatcher-side (this process owns the catalog
+        directory — workers are readers; see
+        :meth:`repro.server.catalog.Catalog.mutate` for the journal →
+        maintain → publish protocol), then residency is dropped in every
+        worker via the evict broadcast.  Workers that miss the broadcast
+        (busy, mid-respawn) still converge: every dispatched query carries
+        the routed ``doc_version``, and a worker behind it refreshes before
+        serving — the broadcast is an optimization, the version stamp is
+        the guarantee.
+        """
+        started = time.monotonic()
+        try:
+            entry = self.catalog.mutate(document, mutations)
+        except Exception:
+            with self._stats_lock:
+                self._mutations["failed"] += 1
+            raise
+        evicted = self.evict(document)
+        ops: dict[str, int] = {}
+        for mutation in mutations:
+            op = mutation["op"] if isinstance(mutation, dict) else mutation.op
+            ops[op] = ops.get(op, 0) + 1
+        with self._stats_lock:
+            self._mutations["applied"] += 1
+            for op, count in ops.items():
+                self._mutations["ops"][op] = self._mutations["ops"].get(op, 0) + count
+        return {
+            "document": document,
+            "doc_version": entry.doc_version,
+            "applied": sum(ops.values()),
+            "ops": ops,
+            "seconds": time.monotonic() - started,
+            "maintenance_seconds": entry.shred_seconds,
+            "pool_entries_evicted": evicted,
+            "dag_vertices": entry.dag_vertices,
+            "skeleton_nodes": entry.skeleton_nodes,
+        }
+
     def evict(self, document: str) -> int:
         """Drop ``document`` residency in every worker; return entries dropped.
 
@@ -785,6 +836,11 @@ class WorkerFleet:
         """
         with self._stats_lock:
             respawns = self._respawns
+            mutations = {
+                "applied": self._mutations["applied"],
+                "failed": self._mutations["failed"],
+                "ops": dict(self._mutations["ops"]),
+            }
             snapshot = [
                 {
                     "worker": slot.id,
@@ -861,6 +917,10 @@ class WorkerFleet:
             "mode": self.mode,
             "admission": self.admission.stats(),
             "kernel": kernel_info(),
+            "mutations": mutations,
+            "doc_versions": {
+                entry.name: entry.doc_version for entry in self.catalog.entries()
+            },
         }
 
     def health_dict(self) -> dict:

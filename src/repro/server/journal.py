@@ -1,0 +1,141 @@
+"""The per-document write-ahead journal behind :meth:`Catalog.mutate`.
+
+Durability protocol (two independent commit points, journal first):
+
+1. The mutation batch is appended here — one framed record, flushed and
+   fsynced — *before* any shredding work starts.
+2. The new document version is staged to a side directory, renamed into
+   place, and the manifest rewrite (the catalog's existing atomic
+   tmp+``os.replace``) publishes it.  The manifest is the commit point.
+3. After publish, records at or below the live version are compacted away.
+
+A crash between 1 and 2 leaves an intent record whose version never made
+the manifest; startup replay re-applies it deterministically from the
+last published text.  A crash *during* 1 leaves a torn tail; framing makes
+that detectable and truncation safe (the writer never got an acknowledged
+append, so dropping the tail loses nothing that was promised).
+
+Frame format — one record per line::
+
+    <blake2b-16-hex-digest-of-payload> <compact-json-payload>\\n
+
+The payload is ``json.dumps(..., separators=(",", ":"), sort_keys=True)``
+— no embedded newlines, so a line either round-trips exactly through its
+checksum or the record is torn/corrupt.  Keyed BLAKE2b is unnecessary:
+this guards torn writes and bit rot, not adversaries.
+
+The chaos seam ``catalog.journal`` fires on every append (op="append")
+and just before the manifest commit (op="commit", fired by the catalog),
+so tests can kill the process between the two commit points for real.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Iterable
+
+from repro.server.resilience import FAULTS
+
+#: Journal file name inside a document's catalog directory.
+JOURNAL_FILE = "journal.wal"
+
+_DIGEST_SIZE = 16  # bytes; 32 hex chars per frame header
+
+
+def _digest(payload: bytes) -> str:
+    return hashlib.blake2b(payload, digest_size=_DIGEST_SIZE).hexdigest()
+
+
+def _frame(record: dict) -> bytes:
+    payload = json.dumps(record, separators=(",", ":"), sort_keys=True).encode("utf-8")
+    return _digest(payload).encode("ascii") + b" " + payload + b"\n"
+
+
+class Journal:
+    """Framed, checksummed, append-only mutation intents for one document."""
+
+    def __init__(self, path: str):
+        self.path = path
+
+    # -- writing ---------------------------------------------------------
+
+    def append(self, record: dict) -> None:
+        """Durably append one intent record (flush + fsync before return)."""
+        FAULTS.fire("catalog.journal", op="append", path=self.path, record=record)
+        with open(self.path, "ab") as handle:
+            handle.write(_frame(record))
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    # -- reading ---------------------------------------------------------
+
+    def records(self) -> tuple[list[dict], bool]:
+        """All intact records, plus whether a torn/corrupt tail was cut.
+
+        Reading stops at the first bad frame: a record after a torn one
+        cannot be trusted to have been acknowledged in order, and the
+        append-only protocol means garbage only ever appears at the tail.
+        """
+        try:
+            with open(self.path, "rb") as handle:
+                raw = handle.read()
+        except FileNotFoundError:
+            return [], False
+        records: list[dict] = []
+        offset = 0
+        while offset < len(raw):
+            newline = raw.find(b"\n", offset)
+            if newline < 0:
+                return records, True  # incomplete tail (no terminator)
+            line = raw[offset:newline]
+            space = line.find(b" ")
+            if space != 2 * _DIGEST_SIZE:
+                return records, True
+            payload = line[space + 1 :]
+            if line[:space].decode("ascii", "replace") != _digest(payload):
+                return records, True
+            try:
+                record = json.loads(payload)
+            except ValueError:
+                return records, True
+            if not isinstance(record, dict):
+                return records, True
+            records.append(record)
+            offset = newline + 1
+        return records, False
+
+    # -- maintenance -----------------------------------------------------
+
+    def _rewrite(self, records: Iterable[dict]) -> None:
+        """Atomically replace the journal with exactly ``records``."""
+        kept = list(records)
+        if not kept:
+            try:
+                os.remove(self.path)
+            except FileNotFoundError:
+                pass
+            return
+        tmp = self.path + ".tmp"
+        with open(tmp, "wb") as handle:
+            for record in kept:
+                handle.write(_frame(record))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+
+    def repair(self) -> int:
+        """Truncate a torn tail in place; returns 1 if anything was cut."""
+        records, torn = self.records()
+        if not torn:
+            return 0
+        self._rewrite(records)
+        return 1
+
+    def compact(self, published_version: int) -> None:
+        """Drop records whose version is already live in the manifest."""
+        records, torn = self.records()
+        pending = [r for r in records if r.get("doc_version", 0) > published_version]
+        if torn or len(pending) != len(records):
+            self._rewrite(pending)

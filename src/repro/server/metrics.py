@@ -493,7 +493,7 @@ def quantile_bounds(
 
 #: Bounded route label space — raw paths would make label cardinality
 #: unbounded (every document name a new series).
-_KNOWN_ROUTES = ("/query", "/explain", "/stats", "/healthz", "/catalog", "/metrics")
+_KNOWN_ROUTES = ("/query", "/explain", "/mutate", "/stats", "/healthz", "/catalog", "/metrics")
 
 
 def route_label(path: str) -> str:
@@ -680,8 +680,62 @@ def _service_counter_families(service_stats: dict, pool_stats) -> list[RawFamily
     return families
 
 
+def _mutation_families(mutations, doc_versions) -> list[RawFamily]:
+    """Write-path families shared by both front-ends.
+
+    ``mutations`` is the ``{"applied", "failed", "ops"}`` dict either
+    service exposes; ``doc_versions`` maps document name to the
+    monotone version stamped at its last publish, so dashboards can
+    watch the fleet converge after a mutation.
+    """
+    families: list[RawFamily] = []
+    if isinstance(mutations, dict):
+        families.append(
+            RawFamily(
+                "repro_mutations_total", "counter",
+                "Mutation batches, by outcome (applied committed and published; "
+                "failed rejected or rolled back).",
+                [
+                    ("repro_mutations_total", {"outcome": "applied"},
+                     float(mutations.get("applied", 0))),
+                    ("repro_mutations_total", {"outcome": "failed"},
+                     float(mutations.get("failed", 0))),
+                ],
+            )
+        )
+        ops = mutations.get("ops")
+        if isinstance(ops, dict) and ops:
+            families.append(
+                RawFamily(
+                    "repro_mutation_ops_total", "counter",
+                    "Individual mutation operations applied, by op.",
+                    [
+                        ("repro_mutation_ops_total", {"op": str(op)}, float(count))
+                        for op, count in sorted(ops.items())
+                    ],
+                )
+            )
+    if isinstance(doc_versions, dict) and doc_versions:
+        families.append(
+            RawFamily(
+                "repro_catalog_doc_version", "gauge",
+                "Monotone version of each registered document's published state.",
+                [
+                    ("repro_catalog_doc_version", {"document": str(name)}, float(version))
+                    for name, version in sorted(doc_versions.items())
+                ],
+            )
+        )
+    return families
+
+
 def _inprocess_families(stats: dict) -> list[RawFamily]:
-    families = _service_counter_families(stats.get("service", {}), stats.get("pool"))
+    service_stats = stats.get("service", {})
+    families = _service_counter_families(service_stats, stats.get("pool"))
+    if isinstance(service_stats, dict):
+        families.extend(
+            _mutation_families(service_stats.get("mutations"), stats.get("doc_versions"))
+        )
     quarantined = stats.get("quarantined")
     if isinstance(quarantined, list):
         families.append(
@@ -728,6 +782,9 @@ def _cluster_families(stats: dict) -> list[RawFamily]:
             _counter_samples("repro_cluster_alive", cluster, "alive"),
         ),
     ]
+    families.extend(
+        _mutation_families(stats.get("mutations"), stats.get("doc_versions"))
+    )
     worker_rows = stats.get("workers")
     if isinstance(worker_rows, list):
         depth, dispatched, completed, failed, alive, shards, breaker_open = (

@@ -21,10 +21,11 @@ the HTTP front-end:
   half-open probe decides whether the shard is back.
 * :class:`FaultInjector` — the test seam the chaos suite drives.
   Injection points registered through the serving path (catalog, pool,
-  service, worker wire) are no-ops in production (one attribute read) and
-  inject latency / errors / corruption callbacks when armed; specs are
-  plain primitives so a spawned worker can arm its own injector from the
-  fleet config.
+  service, worker wire, and the mutation write path's ``catalog.journal``
+  seam, which fires at both the WAL append and the publish commit point)
+  are no-ops in production (one attribute read) and inject latency /
+  errors / corruption callbacks when armed; specs are plain primitives so
+  a spawned worker can arm its own injector from the fleet config.
 
 Everything here is thread-safe and stdlib-only.
 """

@@ -30,6 +30,7 @@ from repro.errors import (
     CatalogError,
     DeadlineExceededError,
     IntegrityError,
+    MutationError,
     OverloadedError,
     QuarantinedError,
     ReproError,
@@ -194,6 +195,10 @@ class Router:
             # document is the server's problem (503 until verified or
             # repaired), not a client addressing mistake (404).
             return self._fail(503, error)
+        if isinstance(error, MutationError):
+            # The mutation request — not the catalog — is at fault (unknown
+            # op, unreachable path, malformed fragment); nothing was changed.
+            return self._fail(400, error)
         if isinstance(error, CatalogError):
             return self._fail(404, error)
         if isinstance(error, (XPathSyntaxError, XPathCompileError)):
@@ -301,6 +306,8 @@ class Router:
                 query_text=payload.get("query"),
                 analyze=bool(payload.get("analyze", False)),
             )
+        if path == "/mutate":
+            return self._post_mutate(request)
         if path.startswith("/catalog/"):
             return self._post_catalog(request, path[len("/catalog/"):])
         return self._plain_error(404, f"no such endpoint: POST {path}", kind="not-found")
@@ -401,6 +408,31 @@ class Router:
                 }
             else:
                 response = self.service.explain(document, query_text, analyze=analyze)
+        except Exception as error:  # noqa: BLE001 - the client must get JSON
+            return self._serve_errors(error)
+        return Response(200, response)
+
+    def _post_mutate(self, request: Request) -> Response:
+        """``POST /mutate``: apply a mutation batch to a served document.
+
+        Body: ``{"document": name, "mutations": [{"op", "path", "xml"?}, ...]}``
+        (see :mod:`repro.mutation.ops` for the op vocabulary and path
+        addressing).  The whole batch applies atomically — on any error
+        nothing is published and the client gets 400 (bad mutation) or 404
+        (unknown document); on success the response carries the new
+        ``doc_version`` and maintenance timings.
+        """
+        payload, failure = self._read_json(request)
+        if failure is not None:
+            return failure
+        document = payload.get("document")
+        mutations = payload.get("mutations")
+        if not isinstance(document, str):
+            return self._plain_error(400, "body needs a string field 'document'")
+        if not isinstance(mutations, list):
+            return self._plain_error(400, "body needs a list field 'mutations'")
+        try:
+            response = self.service.mutate(document, mutations)
         except Exception as error:  # noqa: BLE001 - the client must get JSON
             return self._serve_errors(error)
         return Response(200, response)

@@ -171,10 +171,21 @@ class ServiceStats:
     )
     #: Total queries over all observed batches (the histogram's _sum).
     batch_size_sum: int = 0
+    #: Mutation batches successfully applied and published.
+    mutations_applied: int = 0
+    #: Mutation batches refused or failed (nothing published).
+    mutations_failed: int = 0
+    #: Individual ops applied, per op name (one batch may carry several).
+    mutation_ops: dict = field(default_factory=dict)
 
     def observe_batch(self, size: int) -> None:
         self.batch_size_counts[bisect_left(BATCH_SIZE_BUCKETS, size)] += 1
         self.batch_size_sum += size
+
+    def observe_mutation(self, ops: dict) -> None:
+        self.mutations_applied += 1
+        for op, count in ops.items():
+            self.mutation_ops[op] = self.mutation_ops.get(op, 0) + count
 
     def as_dict(self) -> dict:
         return {
@@ -189,6 +200,11 @@ class ServiceStats:
                 "counts": list(self.batch_size_counts),
                 "sum": self.batch_size_sum,
                 "count": sum(self.batch_size_counts),
+            },
+            "mutations": {
+                "applied": self.mutations_applied,
+                "failed": self.mutations_failed,
+                "ops": dict(self.mutation_ops),
             },
         }
 
@@ -289,16 +305,21 @@ class QueryService:
         self._compiled.seed(query_text, expr, tags, strings)
 
     def _optimized_for(
-        self, document: str, registered_at: float, query_text: str, expr: AlgebraExpr
+        self, document: str, catalog_entry, query_text: str, expr: AlgebraExpr
     ) -> OptimizationResult:
         """The (cached) optimization of ``expr`` against a document's stats.
 
         Statistics come from the catalog's persisted ``stats.json``
         (version-checked there); a document without usable statistics gets
         the identity optimization — the unoptimized plan — so serving
-        never depends on statistics being present.
+        never depends on statistics being present.  The cache keys on the
+        entry's ``doc_version`` as well as its registration stamp: two
+        registrations can land on the same wall-clock stamp (remove +
+        re-add within timer resolution), and a mutation changes the
+        statistics without the name changing — the version counter is the
+        one key that moves on every publish.
         """
-        key = (query_text, document, registered_at)
+        key = (query_text, document, catalog_entry.registered_at, catalog_entry.doc_version)
         with self._optimized_lock:
             entry = self._optimized.get(key)
             if entry is not None:
@@ -363,7 +384,7 @@ class QueryService:
         expr, tags, strings = self._compiled_entry(query_text)
         if self.optimize:
             expr = self._optimized_for(
-                document, catalog_entry.registered_at, query_text, expr
+                document, catalog_entry, query_text, expr
             ).expr
         request = _Request(
             query_text=query_text,
@@ -374,12 +395,15 @@ class QueryService:
             deadline=deadline,
             trace=trace,
         )
-        # The registration stamp is part of the residency key: a document
-        # removed and re-registered under the same name gets fresh keys, so
-        # a master loaded by a query racing the removal (it can land in the
-        # pool *after* the eviction scan) is unreachable to later queries —
-        # stale data is never served, it just ages out of the LRU.
-        key = (document, strings, catalog_entry.registered_at)
+        # The registration stamp and document version are both part of the
+        # residency key: a document removed and re-registered under the same
+        # name gets fresh keys, so a master loaded by a query racing the
+        # removal (it can land in the pool *after* the eviction scan) is
+        # unreachable to later queries — stale data is never served, it
+        # just ages out of the LRU.  The version covers mutations too: a
+        # mutated document is a new key, and in-flight queries holding the
+        # previous key finish on their snapshot (readers never block).
+        key = (document, strings, catalog_entry.registered_at, catalog_entry.doc_version)
         future: Future = Future()
         pending = self._pending_for(key)
         with pending.mutex:
@@ -409,6 +433,49 @@ class QueryService:
         """Drop every resident pool instance of ``document``; return count."""
         return self.pool.evict(lambda key: key[0] == document)
 
+    # -- mutation --------------------------------------------------------
+
+    def mutate(self, document: str, mutations) -> dict:
+        """Apply a mutation batch to a served document; returns the outcome.
+
+        Delegates durability and publication to
+        :meth:`repro.server.catalog.Catalog.mutate` (journal append →
+        incremental maintenance → staged version publish), then evicts the
+        document's resident masters so the next query loads the new
+        version.  In-flight queries keep evaluating on their snapshot —
+        their pool keys carry the old ``doc_version`` — so readers never
+        block on this writer.
+        """
+        started = time.perf_counter()
+        try:
+            entry = self.catalog.mutate(document, mutations)
+        except ReproError:
+            with self._stats_lock:
+                self.stats.mutations_failed += 1
+            raise
+        evicted = self.evict(document)
+        batch = [
+            mutation
+            for mutation in (mutations if not isinstance(mutations, dict) else [mutations])
+        ]
+        ops: dict[str, int] = {}
+        for mutation in batch:
+            op = mutation["op"] if isinstance(mutation, dict) else mutation.op
+            ops[op] = ops.get(op, 0) + 1
+        with self._stats_lock:
+            self.stats.observe_mutation(ops)
+        return {
+            "document": document,
+            "doc_version": entry.doc_version,
+            "applied": len(batch),
+            "ops": ops,
+            "seconds": time.perf_counter() - started,
+            "maintenance_seconds": entry.shred_seconds,
+            "pool_entries_evicted": evicted,
+            "dag_vertices": entry.dag_vertices,
+            "skeleton_nodes": entry.skeleton_nodes,
+        }
+
     # -- plans -----------------------------------------------------------
 
     def instance_info(self, document: str, strings: tuple[str, ...]) -> dict:
@@ -420,7 +487,7 @@ class QueryService:
         :class:`repro.errors.CatalogError` for unknown documents.
         """
         entry = self.catalog.entry(document)
-        key = (document, tuple(strings), entry.registered_at)
+        key = (document, tuple(strings), entry.registered_at, entry.doc_version)
         return {
             "source": "pool",
             "mode": self.mode,
@@ -455,7 +522,7 @@ class QueryService:
         plan_expr = expr
         if self.optimize:
             optimization = self._optimized_for(
-                document, catalog_entry.registered_at, query_text, expr
+                document, catalog_entry, query_text, expr
             )
             plan_expr = optimization.expr
         actuals = None
@@ -485,7 +552,7 @@ class QueryService:
         catalog_entry = self.catalog.entry(document)
         expr, _, _ = self._compiled_entry(query_text)
         return self._optimized_for(
-            document, catalog_entry.registered_at, query_text, expr
+            document, catalog_entry, query_text, expr
         )
 
     def measure_plan(self, document: str, query_text: str) -> dict[int, dict]:
@@ -500,7 +567,7 @@ class QueryService:
         expr, tags, strings = self._compiled_entry(query_text)
         if self.optimize:
             expr = self._optimized_for(
-                document, catalog_entry.registered_at, query_text, expr
+                document, catalog_entry, query_text, expr
             ).expr
         return self._measure(document, catalog_entry, expr, tags, strings)
 
@@ -519,7 +586,7 @@ class QueryService:
         """
         from repro.engine.evaluator import measure_actuals
 
-        key = (document, strings, catalog_entry.registered_at)
+        key = (document, strings, catalog_entry.registered_at, catalog_entry.doc_version)
         entry = self.pool.get_or_load(key, lambda: self._load_master(key))
         with entry.lock:
             working = entry.instance.copy()
@@ -539,6 +606,9 @@ class QueryService:
             "admission": self.admission.stats(),
             "quarantined": self.catalog.quarantined(),
             "kernel": kernel_info(),
+            "doc_versions": {
+                entry.name: entry.doc_version for entry in self.catalog.entries()
+            },
         }
 
     def health_dict(self) -> dict:

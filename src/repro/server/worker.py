@@ -18,11 +18,14 @@ shared memory, and a worker crash can never corrupt a sibling.
 Wire protocol (multiprocessing queues, all values picklable primitives):
 
 * requests  — ``("query", id, document, query_text, paths, limit,
-  deadline_at, trace)`` (``deadline_at`` an absolute ``time.monotonic``
-  stamp or ``None`` — the monotonic clock is machine-wide, so the
-  instant means the same thing here; ``trace`` the request's trace ID or
-  ``None``, echoed in the payload), ``("stats", id)``, ``("ping", id)``,
-  ``("evict", id, document)``, ``("shutdown",)``;
+  deadline_at, trace, doc_version)`` (``deadline_at`` an absolute
+  ``time.monotonic`` stamp or ``None`` — the monotonic clock is
+  machine-wide, so the instant means the same thing here; ``trace`` the
+  request's trace ID or ``None``, echoed in the payload; ``doc_version``
+  the document version the dispatcher routed against — a worker whose
+  manifest view is older refreshes before serving, so a mutation is
+  never answered from a stale master fleet-wide), ``("stats", id)``,
+  ``("ping", id)``, ``("evict", id, document)``, ``("shutdown",)``;
 * responses — ``(id, "ok", payload)`` or ``(id, "error", kind, message)``
   where ``kind`` names the error family (see :data:`ERROR_KINDS`) so the
   dispatcher re-raises the *same* exception type the in-process service
@@ -62,12 +65,24 @@ def _serve_one(service, message, response_queue) -> None:
     try:
         FAULTS.fire("worker.serve", kind=kind)
         if kind == "query":
-            _, _, document, query_text, paths, limit, deadline_at, trace = message
+            _, _, document, query_text, paths, limit, deadline_at, trace, doc_version = message
             # Time queued in the request pipe counted against the budget;
             # answer dead-on-arrival requests without touching the service.
             deadline = Deadline.from_wire(deadline_at)
             if deadline is not None:
                 deadline.check("request (expired in the worker's queue)")
+            # Lazy version reconciliation: the dispatcher stamped the
+            # version it routed against; if this worker's manifest view is
+            # older (a mutation published since its last refresh), one
+            # re-read + eviction brings it current before serving.
+            if doc_version:
+                try:
+                    known = service.catalog.entry(document).doc_version
+                except CatalogError:
+                    known = -1
+                if known < doc_version:
+                    service.catalog.refresh()
+                    service.evict(document)
             try:
                 payload = service.query(
                     document, query_text, paths=paths, limit=limit,
@@ -126,7 +141,10 @@ def worker_main(worker_id: int, catalog_dir: str, request_queue, response_queue,
         FAULTS.arm_from_spec(config["faults"])
 
     service = QueryService(
-        Catalog(catalog_dir),
+        # Readers never replay the journal: N workers re-applying the same
+        # intent would race each other's staging renames; the dispatching
+        # front-end (the single writer) replays at its own startup.
+        Catalog(catalog_dir, journal_replay=False),
         mode=config.get("mode", "snapshot"),
         window=config.get("window", 0.0),
         max_batch=config.get("max_batch", 64),

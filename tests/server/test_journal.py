@@ -1,0 +1,82 @@
+"""Unit tests for the write-ahead journal's framing and recovery contract.
+
+A journal survives exactly the failures the mutation path can hit:
+torn final frames (crash mid-append) are detected and truncated, bad
+checksums stop the replay scan cold, and compaction drops everything a
+published version already covers.
+"""
+
+import os
+
+import pytest
+
+from repro.server.journal import JOURNAL_FILE, Journal
+
+
+@pytest.fixture
+def journal(tmp_path):
+    return Journal(str(tmp_path / JOURNAL_FILE))
+
+
+def test_append_and_read_roundtrip(journal):
+    first = {"name": "d", "base_version": 1, "doc_version": 2, "mutations": []}
+    second = {"name": "d", "base_version": 2, "doc_version": 3, "mutations": [1]}
+    journal.append(first)
+    journal.append(second)
+    records, torn = journal.records()
+    assert records == [first, second]
+    assert torn == 0
+
+
+def test_missing_file_reads_empty(journal):
+    assert journal.records() == ([], 0)
+
+
+def test_torn_tail_detected_and_replay_stops(journal):
+    keep = {"doc_version": 2}
+    journal.append(keep)
+    with open(journal.path, "a", encoding="utf-8") as handle:
+        handle.write("deadbeef" * 4 + " {\"doc_version\": 3")  # no newline: torn
+    records, torn = journal.records()
+    assert records == [keep]
+    assert torn == 1
+
+
+def test_checksum_mismatch_stops_scan(journal):
+    journal.append({"doc_version": 2})
+    journal.append({"doc_version": 3})
+    with open(journal.path, "r", encoding="utf-8") as handle:
+        first, second = handle.readlines()
+    # Flip a digest hex digit in the first frame: both frames are intact
+    # JSON, but the scan must stop at the first bad checksum.
+    broken = ("0" if first[0] != "0" else "1") + first[1:]
+    with open(journal.path, "w", encoding="utf-8") as handle:
+        handle.write(broken + second)
+    records, torn = journal.records()
+    assert records == []
+    assert torn
+
+
+def test_repair_truncates_garbage(journal):
+    keep = {"doc_version": 5}
+    journal.append(keep)
+    with open(journal.path, "a", encoding="utf-8") as handle:
+        handle.write("not a frame at all\n")
+    assert journal.repair() == 1
+    assert journal.records() == ([keep], 0)
+
+
+def test_compact_drops_published_records(journal):
+    for version in (2, 3, 4):
+        journal.append({"doc_version": version})
+    journal.compact(3)
+    records, torn = journal.records()
+    assert [record["doc_version"] for record in records] == [4]
+    assert torn == 0
+
+
+def test_compact_to_empty_removes_file(journal):
+    journal.append({"doc_version": 2})
+    journal.compact(2)
+    assert not os.path.exists(journal.path)
+    assert journal.records() == ([], 0)

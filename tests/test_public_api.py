@@ -110,6 +110,7 @@ EXPECTED_ERROR_KINDS = [
     "deadline_exceeded",
     "engine",
     "integrity",
+    "mutation",
     "overloaded",
     "quarantined",
     "timeout",
@@ -130,6 +131,7 @@ ERROR_SURFACE = [
     "IncompatibleInstancesError",
     "InstanceError",
     "IntegrityError",
+    "MutationError",
     "OverloadedError",
     "QuarantinedError",
     "ReproError",
